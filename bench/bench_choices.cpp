@@ -1,0 +1,46 @@
+// §4 extension harness: DAG covering over decomposition choices
+// (Lehman–Watanabe) vs a single fixed decomposition.
+//
+// The paper: "Since this technique is orthogonal to our technique, the
+// two can be combined to produce even better results."  This bench
+// measures the combination on the suite: choice mapping must never lose
+// to the fixed balanced decomposition, and typically wins where chain
+// shapes expose better matches.
+#include <cmath>
+#include <cstdio>
+
+#include "core/choice_map.hpp"
+#include "dagmap/dagmap.hpp"
+
+using namespace dagmap;
+
+int main() {
+  GateLibrary lib = make_lib2_library();
+  std::printf("Decomposition choices ablation (lib2-like, DAG mapping)\n");
+  std::printf("%-12s %8s | %10s %10s %8s | %10s\n", "circuit", "choices",
+              "D(single)", "D(choice)", "ratio", "A(choice)");
+  int rc = 0;
+  double geo = 0;
+  int n = 0;
+  for (const auto& b : make_iscas85_like_suite()) {
+    Network single = tech_decompose(b.network);
+    ChoiceDecomposition c = tech_decompose_choices(b.network);
+    MapResult r1 = dag_map(single, lib);
+    MapResult r2 = dag_map_choices(c, lib);
+    double ratio = r2.optimal_delay / r1.optimal_delay;
+    geo += std::log(ratio);
+    ++n;
+    std::printf("%-12s %8zu | %10.2f %10.2f %8.4f | %10.0f\n",
+                b.name.c_str(), c.num_choices(), r1.optimal_delay,
+                r2.optimal_delay, ratio, r2.netlist.total_area());
+    if (r2.optimal_delay > r1.optimal_delay + 1e-9) rc = 1;
+    if (!check_equivalence(b.network, r2.netlist.to_network()).equivalent)
+      rc = 1;
+  }
+  std::printf("geometric mean delay ratio choice/single: %.4f\n",
+              std::exp(geo / n));
+  std::printf(
+      "\npaper (§4): decomposition choices are orthogonal to DAG covering\n"
+      "and combine with it — the ratio must be <= 1.0.\n");
+  return rc;
+}

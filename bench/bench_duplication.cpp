@@ -1,0 +1,54 @@
+// §3.5 harness: duplication and fanout-structure statistics.
+//
+// The paper's §3.5 makes two structural claims about DAG covering:
+//   * subject nodes are duplicated wherever selected matches overlap
+//     ("intermediate nodes are automatically duplicated in an optimal
+//     way"), which tree covering never does;
+//   * multi-fanout points are *created* by the mapping rather than
+//     inherited from the subject graph (Figure 2's discussion).
+// This bench measures both on the suite, plus complex-gate usage
+// (average gate fan-in), for tree vs DAG covering on 44-3.
+#include <cstdio>
+
+#include "core/stats.hpp"
+#include "dagmap/dagmap.hpp"
+
+using namespace dagmap;
+
+int main() {
+  GateLibrary lib = make_44_library(3);
+  std::printf("Duplication & fanout statistics (44-3-like library)\n");
+  std::printf("%-12s | %8s %8s | %10s %10s %7s | %9s %9s | %8s %8s\n",
+              "circuit", "subjMF", "dup", "covered", "distinct", "ratio",
+              "MF(tree)", "MF(dag)", "in(tree)", "in(dag)");
+  int rc = 0;
+  for (const auto& b : make_iscas85_like_suite()) {
+    Network sg = tech_decompose(b.network);
+    MapResult tree = tree_map(sg, lib);
+    MapResult dag = dag_map(sg, lib);
+    MappingStats ts = mapping_stats(sg, tree.netlist);
+    MappingStats ds = mapping_stats(sg, dag.netlist);
+    double ratio = ds.subject_internal
+                       ? static_cast<double>(dag.covered_instances) /
+                             std::max<std::size_t>(1, dag.covered_distinct)
+                       : 1.0;
+    std::printf(
+        "%-12s | %8zu %8zu | %10zu %10zu %7.3f | %9zu %9zu | %8.2f %8.2f\n",
+        b.name.c_str(), ts.subject_multi_fanout, dag.duplicated_nodes,
+        dag.covered_instances, dag.covered_distinct, ratio,
+        ts.mapped_multi_fanout, ds.mapped_multi_fanout,
+        ts.average_gate_inputs(), ds.average_gate_inputs());
+    // Tree covering never duplicates; DAG covering does on reconvergent
+    // circuits (every suite circuit is reconvergent).
+    if (tree.duplicated_nodes != 0) rc = 1;
+    if (dag.duplicated_nodes == 0) rc = 1;
+    // Complex gates are used more effectively by DAG covering (§5's
+    // "complex gates are used more effectively in DAG covering").
+    if (ds.average_gate_inputs() + 1e-9 < ts.average_gate_inputs()) rc = 1;
+  }
+  std::printf(
+      "\npaper (§3.5): duplication is the mechanism behind the delay win;\n"
+      "tree covering duplicates nothing.  'dup' counts subject nodes\n"
+      "implemented more than once under DAG covering.\n");
+  return rc;
+}

@@ -1,0 +1,84 @@
+// Figures 1 and 2 reproduction.
+//
+// Figure 1 (standard vs extended match): a pattern that matches a
+// reconvergent subject region only when the one-to-one requirement is
+// dropped — we build the figure's 4-node subject and count matches of the
+// OR2 pattern under each match class.
+//
+// Figure 2 (duplication in DAG mapping): a multi-fanout cone is
+// duplicated by DAG covering to exploit a 3-input complex gate that tree
+// covering cannot use; we print both mappings and their delays.
+#include <cstdio>
+
+#include "dagmap/dagmap.hpp"
+
+using namespace dagmap;
+
+static int figure1() {
+  std::printf("=== Figure 1: standard vs extended matches ===\n");
+  GateLibrary lib = make_lib2_library();
+  // Subject: n = NAND(a,b); m = INV(n); m' = INV(n); top = NAND(m, m').
+  Network sg("fig1");
+  NodeId a = sg.add_input("a");
+  NodeId b = sg.add_input("b");
+  NodeId n = sg.add_nand2(a, b);
+  NodeId m1 = sg.add_inv(n);
+  NodeId m2 = sg.add_inv(n);
+  NodeId top = sg.add_nand2(m1, m2);
+  sg.add_output(top, "o");
+
+  Matcher matcher(lib, sg);
+  for (MatchClass mc : {MatchClass::Standard, MatchClass::Extended}) {
+    auto ms = matcher.matches_at(top, mc);
+    bool or2 = false;
+    for (const Match& m : ms) or2 = or2 || m.gate->name == "or2";
+    std::printf("  %-8s matches at top: %zu; or2 pattern matches: %s\n",
+                to_string(mc), ms.size(), or2 ? "yes" : "no");
+    if ((mc == MatchClass::Extended) != or2) {
+      std::printf("  UNEXPECTED: paper's Figure 1 predicts extended-only\n");
+      return 1;
+    }
+  }
+  std::printf(
+      "  -> as in the paper: the pattern maps both its inverters' inputs\n"
+      "     onto the same subject node, so only the extended match exists.\n");
+  return 0;
+}
+
+static int figure2() {
+  std::printf("\n=== Figure 2: duplication of subject-graph nodes ===\n");
+  GateLibrary lib = GateLibrary::from_genlib_text(
+      "GATE inv 1 O=!a;\n PIN a INV 1 999 1.0 0 1.0 0\n"
+      "GATE nand2 2 O=!(a*b);\n PIN * INV 1 999 1.2 0 1.2 0\n"
+      "GATE big3 3 O=a*b+!c;\n PIN * UNKNOWN 1 999 1.0 0 1.0 0\n",
+      "fig2");
+  Network sg("fig2");
+  NodeId a = sg.add_input("a");
+  NodeId b = sg.add_input("b");
+  NodeId c = sg.add_input("c");
+  NodeId d = sg.add_input("d");
+  NodeId mid = sg.add_nand2(a, b);  // the multi-fanout cone
+  sg.add_output(sg.add_nand2(mid, c), "o1");
+  sg.add_output(sg.add_nand2(mid, d), "o2");
+
+  MapResult tree = tree_map(sg, lib);
+  MapResult dag = dag_map(sg, lib);
+  std::printf("  tree mapping: delay %.2f, gates:", tree.optimal_delay);
+  for (auto& [g, n] : tree.netlist.gate_histogram())
+    std::printf(" %zux%s", n, g.c_str());
+  std::printf("\n  dag  mapping: delay %.2f, gates:", dag.optimal_delay);
+  for (auto& [g, n] : dag.netlist.gate_histogram())
+    std::printf(" %zux%s", n, g.c_str());
+  std::printf("\n");
+
+  bool ok = dag.optimal_delay < tree.optimal_delay &&
+            dag.netlist.gate_histogram()["big3"] == 2 &&
+            check_equivalence(sg, dag.netlist.to_network()).equivalent &&
+            check_equivalence(sg, tree.netlist.to_network()).equivalent;
+  std::printf(
+      "  -> as in the paper: the shared cone is duplicated into two big3\n"
+      "     instances; the multi-fanout point moves to the primary inputs.\n");
+  return ok ? 0 : 1;
+}
+
+int main() { return figure1() + figure2(); }

@@ -1,0 +1,45 @@
+// Library-richness ablation: the paper's central qualitative claim is
+// that the DAG-over-tree advantage grows with library richness (Table 2
+// -> Table 3).  This bench sweeps the 44-family levels (7 -> 20 -> 625
+// gates) and reports the delay gap per level.
+#include <cmath>
+#include <cstdio>
+
+#include "dagmap/dagmap.hpp"
+
+using namespace dagmap;
+
+int main() {
+  std::printf("Library richness sweep (44-family), geometric mean over suite\n");
+  std::printf("%-10s %8s %10s | %12s %12s %12s\n", "library", "gates",
+              "patterns", "D(tree) gm", "D(dag) gm", "dag/tree");
+  auto suite = make_iscas85_like_suite();
+  std::vector<Network> subjects;
+  for (const auto& b : suite) subjects.push_back(tech_decompose(b.network));
+
+  int rc = 0;
+  double prev_ratio = 10.0;
+  for (int level = 1; level <= 3; ++level) {
+    GateLibrary lib = make_44_library(level);
+    double tg = 0, dg = 0;
+    for (const Network& sg : subjects) {
+      MapResult t = tree_map(sg, lib);
+      MapResult d = dag_map(sg, lib);
+      tg += std::log(t.optimal_delay);
+      dg += std::log(d.optimal_delay);
+      if (d.optimal_delay > t.optimal_delay + 1e-9) rc = 1;
+    }
+    tg = std::exp(tg / subjects.size());
+    dg = std::exp(dg / subjects.size());
+    double ratio = dg / tg;
+    std::printf("44-%-7d %8zu %10zu | %12.2f %12.2f %12.3f\n", level,
+                lib.size(), lib.total_patterns(), tg, dg, ratio);
+    // The paper's claim: the gap widens (ratio shrinks) with richness.
+    if (level == 3 && ratio > prev_ratio) rc = 1;
+    if (level == 1) prev_ratio = ratio;
+  }
+  std::printf(
+      "\npaper: Table 2 (7 gates) ratios ~0.7-0.96; Table 3 (625 gates)\n"
+      "ratios ~0.34-0.55 — richer libraries widen the DAG advantage.\n");
+  return rc;
+}

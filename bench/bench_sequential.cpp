@@ -1,0 +1,116 @@
+// §4 harness: sequential mapping with retiming (the Pan–Liu three-step
+// transformation adapted to library-based DAG covering).
+//
+// For pipelines with badly placed registers, the pipeline is:
+//   (1) retime the subject graph, (2) DAG-map the combinational portion,
+//   (3) retime the mapped netlist.  We report the clock period at each
+//   stage; the final period must never exceed the mapped period, and on
+//   bunched pipelines the improvement is large.
+#include <cstdio>
+
+#include "dagmap/dagmap.hpp"
+#include "seq/pan_liu.hpp"
+#include "seq/seq_lib_map.hpp"
+
+using namespace dagmap;
+
+// Library-side §4: optimal clock period with pattern matching replacing
+// cut enumeration (the paper's exact proposal), vs the map-then-retime
+// pipeline (lib2-like library).
+static int lib_optimal_section(const GateLibrary& lib) {
+  std::printf(
+      "\nLibrary clock periods (lib2-like): map-only vs map+retime vs\n"
+      "Pan-Liu-with-pattern-matching (the paper's Section 4)\n");
+  std::printf("%-16s | %10s %12s %14s %12s\n", "circuit", "map-only",
+              "map+retime", "cont-bound", "realized");
+  int rc = 0;
+  struct Config {
+    unsigned stages, width;
+    std::uint64_t seed;
+  };
+  for (Config cfg : {Config{3, 6, 3}, Config{4, 8, 11}, Config{5, 6, 19}}) {
+    Network sg = tech_decompose(
+        make_sequential_pipeline(cfg.stages, cfg.width, cfg.seed, 5));
+    MapResult map_only = dag_map(sg, lib);
+    SeqMapOptions pipe_opt;
+    SeqMapResult pipe = map_with_retiming(sg, lib, pipe_opt);
+    SeqLibMapping opt = optimal_period_lib_map_construct(sg, lib);
+    std::printf("%-16s | %10.2f %12.2f %14.2f %12.2f\n", sg.name().c_str(),
+                map_only.optimal_delay, pipe.period_final,
+                opt.summary.period, opt.realized_period);
+    if (!opt.summary.feasible ||
+        opt.summary.period > map_only.optimal_delay + 1e-4)
+      rc = 1;
+  }
+  std::printf(
+      "cont-bound (continuous retiming) <= map-only always; the realized\n"
+      "edge-triggered netlist exceeds it by at most one pin delay per\n"
+      "register crossing (see seq_lib_map.hpp).\n");
+  return rc;
+}
+
+// LUT-side §4 comparison: map-only vs map-then-retime vs the Pan–Liu
+// optimum over all retiming+mapping combinations (k = 4, unit delays).
+static int lut_section() {
+  std::printf(
+      "\nLUT (k=4) clock periods: map-only vs map+retime vs Pan-Liu optimum\n");
+  std::printf("%-16s | %10s %12s %12s\n", "circuit", "map-only",
+              "map+retime", "Pan-Liu");
+  int rc = 0;
+  struct Config {
+    unsigned stages, width;
+    std::uint64_t seed;
+  };
+  for (Config cfg : {Config{4, 8, 3}, Config{6, 8, 11}, Config{8, 12, 19}}) {
+    // Deep stages (8 levels) so k=4 LUT depth per cycle is nontrivial.
+    Network sg = tech_decompose(
+        make_sequential_pipeline(cfg.stages, cfg.width, cfg.seed, 8));
+    SeqLutMapResult mr = lut_map_with_retiming(sg, {.k = 4});
+    SeqLutResult pl = optimal_period_lut_map(sg, {.k = 4});
+    std::printf("%-16s | %10.0f %12.0f %12u\n", sg.name().c_str(),
+                mr.period_mapped, mr.period_final, pl.period);
+    // The Pan–Liu optimum lower-bounds the map-then-retime family.
+    if (!pl.feasible ||
+        pl.period > static_cast<unsigned>(mr.period_mapped + 1e-9))
+      rc = 1;
+  }
+  std::printf(
+      "Pan-Liu <= map-only always; equality with map+retime shows when the\n"
+      "simple pipeline is already optimal.\n");
+  return rc;
+}
+
+int main() {
+  GateLibrary lib = make_lib2_library();
+  std::printf("Sequential mapping with retiming (lib2-like library)\n");
+  std::printf("%-16s %8s | %10s | %10s %10s | %10s %10s\n", "circuit",
+              "latches", "P(subject)", "P(no-ret)", "P(final)", "P(pre-ret)",
+              "P(final)");
+  int rc = 0;
+  struct Config {
+    unsigned stages, width;
+    std::uint64_t seed;
+  };
+  for (Config cfg : {Config{4, 8, 3}, Config{6, 8, 11}, Config{8, 12, 19},
+                     Config{5, 16, 29}, Config{10, 8, 41}}) {
+    Network src = make_sequential_pipeline(cfg.stages, cfg.width, cfg.seed);
+    Network sg = tech_decompose(src);
+    SeqMapOptions with_pre, no_pre;
+    no_pre.pre_retime = false;
+    SeqMapResult rn = map_with_retiming(sg, lib, no_pre);
+    SeqMapResult rp = map_with_retiming(sg, lib, with_pre);
+    std::printf("%-16s %8zu | %10.2f | %10.2f %10.2f | %10.2f %10.2f\n",
+                sg.name().c_str(), sg.num_latches(), rp.period_unmapped,
+                rn.period_mapped, rn.period_final, rp.period_mapped,
+                rp.period_final);
+    if (rn.period_final > rn.period_mapped + 1e-9) rc = 1;
+    if (rp.period_final > rp.period_mapped + 1e-9) rc = 1;
+    rn.netlist.check();
+    rp.netlist.check();
+  }
+  std::printf(
+      "\nreference (paper §4 / Pan-Liu): retiming after mapping reaches the\n"
+      "minimum cycle time over the map-then-retime family; P(final) <= "
+      "P(mapped).\n");
+  return rc + lut_section() + lib_optimal_section(lib);
+}

@@ -1,0 +1,28 @@
+// Table 1 reproduction: tree mapping vs DAG mapping on the lib2-like
+// general-purpose library.
+//
+// Paper (DAC'98, Table 1 — lib2.genlib, DEC AlphaServer seconds): DAG
+// covering is significantly faster than tree covering on every ISCAS-85
+// circuit at a moderate area and CPU cost.  Absolute numbers are not
+// comparable (our circuits are generated stand-ins and delays are in
+// library units), but the *shape* must hold: delay(dag) < delay(tree) on
+// every row, area(dag) > area(tree) (duplication), CPU(dag)/CPU(tree)
+// moderate.
+#include <cstdio>
+
+#include "common/table_runner.hpp"
+#include "library/standard_libs.hpp"
+
+int main() {
+  using namespace dagmap;
+  GateLibrary lib = make_lib2_library();
+  auto rows = bench::run_table(lib);
+  bench::print_table(
+      "Table 1: tree mapping vs DAG mapping, lib2-like library", lib, rows);
+  std::printf(
+      "\npaper reference (lib2.genlib): DAG < tree delay on all circuits;\n"
+      "area grows under DAG covering; CPU increase 'reasonable'.\n");
+  for (const auto& r : rows)
+    if (!r.equivalent || r.dag_delay > r.tree_delay + 1e-9) return 1;
+  return 0;
+}

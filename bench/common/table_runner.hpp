@@ -1,0 +1,39 @@
+// Shared harness for the paper's Tables 1-3: runs tree mapping and DAG
+// mapping on the ISCAS-85-like suite against one library and prints the
+// paper's row format (Delay / Area / CPU, tree vs DAG).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dag_mapper.hpp"
+#include "library/gate_library.hpp"
+
+namespace dagmap::bench {
+
+/// One benchmark row (one circuit, both mappers).
+struct TableRow {
+  std::string circuit;
+  std::size_t subject_nodes = 0;
+  double tree_delay = 0, dag_delay = 0;
+  double tree_area = 0, dag_area = 0;
+  double tree_cpu = 0, dag_cpu = 0;
+  bool equivalent = true;  ///< both mapped netlists verified vs subject
+};
+
+/// Options for a table run.
+struct TableOptions {
+  MatchClass match_class = MatchClass::Standard;
+  bool verify = true;       ///< simulation equivalence for both mappers
+  bool small_suite = false; ///< use the reduced suite (for smoke tests)
+};
+
+/// Runs the suite against `lib`.
+std::vector<TableRow> run_table(const GateLibrary& lib,
+                                const TableOptions& options = {});
+
+/// Prints one table in the paper's layout, plus geometric-mean ratios.
+void print_table(const std::string& title, const GateLibrary& lib,
+                 const std::vector<TableRow>& rows);
+
+}  // namespace dagmap::bench

@@ -1,0 +1,67 @@
+// ASIC-style mapping flow: BLIF in, mapped netlist stats out, with a
+// tree-vs-DAG comparison — the experiment of the paper on one circuit.
+//
+//   $ ./asic_mapping_flow [circuit.blif [library.genlib]]
+//
+// Without arguments, maps the c6288-like 16x16 multiplier against the
+// built-in 44-3-like library (the paper's most dramatic configuration).
+#include <cstdio>
+
+#include "dagmap/dagmap.hpp"
+
+using namespace dagmap;
+
+int main(int argc, char** argv) {
+  // Load or generate the circuit.
+  Network circuit = argc > 1 ? read_blif_file(argv[1])
+                             : make_array_multiplier(16);
+  GateLibrary lib = argc > 2
+                        ? GateLibrary::from_genlib(read_genlib_file(argv[2]),
+                                                   argv[2])
+                        : make_44_library(3);
+  if (!lib.is_complete_for_mapping()) {
+    std::fprintf(stderr,
+                 "library lacks INV or NAND2; cannot map all subjects\n");
+    return 2;
+  }
+
+  std::printf("circuit: %s (%zu nodes), library: %s (%zu gates)\n",
+              circuit.name().c_str(), circuit.size(), lib.name().c_str(),
+              lib.size());
+
+  Network subject = tech_decompose(circuit);
+  std::printf("subject graph: %zu NAND2 + %zu INV\n",
+              subject.count_kind(NodeKind::Nand2),
+              subject.count_kind(NodeKind::Inv));
+
+  // Baseline: conventional tree covering.
+  MapResult tree = tree_map(subject, lib);
+  // The paper's contribution: direct DAG covering.
+  MapResult dag = dag_map(subject, lib);
+  // And the §6 refinement: keep the optimal delay, recover area.
+  DagMapOptions recover;
+  recover.area_recovery = true;
+  MapResult dag_ar = dag_map(subject, lib, recover);
+
+  std::printf("\n%-22s %10s %10s %8s %8s\n", "mapper", "delay", "area",
+              "gates", "cpu(s)");
+  auto report = [&](const char* name, const MapResult& r) {
+    bool ok = check_equivalence(subject, r.netlist.to_network()).equivalent;
+    std::printf("%-22s %10.2f %10.0f %8zu %8.2f %s\n", name, r.optimal_delay,
+                r.netlist.total_area(), r.netlist.num_gates(), r.cpu_seconds,
+                ok ? "" : "NONEQUIVALENT!");
+  };
+  report("tree covering", tree);
+  report("DAG covering", dag);
+  report("DAG + area recovery", dag_ar);
+
+  std::printf("\nmost used gates (DAG covering):\n");
+  int shown = 0;
+  for (auto& [gate, count] : dag.netlist.gate_histogram()) {
+    if (shown++ >= 8) break;
+    std::printf("  %-12s x%zu\n", gate.c_str(), count);
+  }
+  std::printf("\ndelay improvement over tree covering: %.1f%%\n",
+              100.0 * (1.0 - dag.optimal_delay / tree.optimal_delay));
+  return 0;
+}

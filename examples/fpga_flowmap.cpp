@@ -1,0 +1,40 @@
+// FPGA flow: depth-optimal LUT mapping with FlowMap (§2 of the paper),
+// sweeping the LUT input count and writing the mapped network as BLIF.
+//
+//   $ ./fpga_flowmap [circuit.blif]
+#include <cstdio>
+
+#include "dagmap/dagmap.hpp"
+
+using namespace dagmap;
+
+int main(int argc, char** argv) {
+  Network circuit = argc > 1 ? read_blif_file(argv[1]) : make_alu(16);
+  Network subject = tech_decompose(circuit);
+  std::printf("circuit %s: %zu internal subject nodes, NAND/INV depth %u\n",
+              circuit.name().c_str(), subject.num_internal(),
+              subject.depth());
+
+  std::printf("\n%4s %8s %8s %12s\n", "k", "depth", "LUTs", "verified");
+  Network best;
+  for (unsigned k = 3; k <= 6; ++k) {
+    LutMapResult r = flowmap(subject, {.k = k});
+    bool ok = check_equivalence(subject, r.netlist).equivalent;
+    std::printf("%4u %8u %8zu %12s\n", k, r.depth, r.num_luts,
+                ok ? "yes" : "NO");
+    if (k == 4) best = std::move(r.netlist);
+  }
+
+  // Cross-check the two labeling engines at k=4 (flow vs cut
+  // enumeration must agree node-by-node).
+  LutMapResult rf = flowmap(subject, {.k = 4});
+  LutMapResult rc =
+      flowmap(subject, {.k = 4, .algorithm = LutMapOptions::Algorithm::CutEnum});
+  std::printf("\nflow labels == cut-enumeration labels: %s\n",
+              rf.label == rc.label ? "yes" : "NO");
+
+  std::string path = "/tmp/fpga_mapped_k4.blif";
+  write_blif_file(best, path);
+  std::printf("k=4 LUT network written to %s\n", path.c_str());
+  return 0;
+}

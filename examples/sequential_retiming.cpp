@@ -1,0 +1,37 @@
+// Sequential flow (§4): map a pipelined circuit for minimum cycle time
+// with the retime -> map -> retime pipeline, reporting the period after
+// each stage.
+//
+//   $ ./sequential_retiming [stages [width]]
+#include <cstdio>
+#include <cstdlib>
+
+#include "dagmap/dagmap.hpp"
+
+using namespace dagmap;
+
+int main(int argc, char** argv) {
+  unsigned stages = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 6;
+  unsigned width = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+
+  Network circuit = make_sequential_pipeline(stages, width, /*seed=*/2024);
+  Network subject = tech_decompose(circuit);
+  std::printf("pipeline: %u stages x %u bits, %zu latches, %zu subject nodes\n",
+              stages, width, subject.num_latches(), subject.num_internal());
+
+  GateLibrary lib = make_lib2_library();
+  SeqMapResult r = map_with_retiming(subject, lib);
+  std::printf("\nclock period through the pipeline:\n");
+  std::printf("  subject graph (unit delays): %8.2f\n", r.period_unmapped);
+  std::printf("  after DAG mapping:           %8.2f\n", r.period_mapped);
+  std::printf("  after post-retiming:         %8.2f\n", r.period_final);
+  std::printf("\nfinal netlist: %zu gates, %zu latches, area %.0f\n",
+              r.netlist.num_gates(), r.netlist.latches().size(),
+              r.netlist.total_area());
+
+  // The LUT variant for comparison.
+  SeqLutMapResult lr = lut_map_with_retiming(subject, {.k = 4});
+  std::printf("\nLUT (k=4) variant: period %0.2f -> %0.2f after retiming\n",
+              lr.period_mapped, lr.period_final);
+  return r.period_final <= r.period_mapped + 1e-9 ? 0 : 1;
+}

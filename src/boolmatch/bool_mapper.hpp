@@ -1,0 +1,39 @@
+// Boolean-matching DAG mapper: cut enumeration + NPN lookup.
+//
+// The paper's mapper is *structural*: a gate matches only where the
+// subject graph's NAND2/INV shape coincides with one of the gate's
+// pattern graphs, so results depend on the decomposition (the §4
+// discussion of [9] is about exactly this sensitivity).  The modern
+// alternative — what ABC does — matches *functions*: enumerate k-feasible
+// cuts, canonicalize each cut function under NPN, and look it up in the
+// library; input/output negations materialize as explicit inverters.
+//
+// This module implements that mapper for cuts of up to 4 leaves, with
+// the same labeling/cover framework as `dag_map`, as an ablation:
+// Boolean matching explores a superset of single-shape structural
+// matches (at NPN bucket granularity) and is immune to decomposition
+// shape, at the cost of larger matching tables.
+#pragma once
+
+#include "boolmatch/npn.hpp"
+#include "core/dag_mapper.hpp"  // MapResult
+#include "library/gate_library.hpp"
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+/// Options for the Boolean-matching mapper.
+struct BoolMapOptions {
+  /// Cut size (2..4; bounded by the NPN machinery).
+  unsigned cut_size = 4;
+  double epsilon = 1e-9;
+};
+
+/// Maps a NAND2/INV subject graph by Boolean matching.  The library must
+/// be complete (INV + NAND2) so every cut of size <= 2 has a fallback.
+/// The result's `label` holds the per-node optimal arrivals under this
+/// match space.
+MapResult bool_map(const Network& subject, const GateLibrary& lib,
+                   const BoolMapOptions& options = {});
+
+}  // namespace dagmap

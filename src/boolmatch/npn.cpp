@@ -1,0 +1,96 @@
+#include "boolmatch/npn.hpp"
+
+#include <algorithm>
+
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+namespace {
+
+const std::array<std::array<std::uint8_t, 4>, 24>& all_perms() {
+  static const auto perms = [] {
+    std::array<std::array<std::uint8_t, 4>, 24> out{};
+    std::array<std::uint8_t, 4> p{0, 1, 2, 3};
+    std::size_t i = 0;
+    do {
+      out[i++] = p;
+    } while (std::next_permutation(p.begin(), p.end()));
+    return out;
+  }();
+  return perms;
+}
+
+}  // namespace
+
+std::uint16_t npn_apply(std::uint16_t tt, const NpnTransform& t) {
+  std::uint16_t out = 0;
+  for (unsigned m = 0; m < 16; ++m) {
+    unsigned f_index = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+      unsigned bit = ((m >> t.perm[i]) & 1u) ^ ((t.input_negate >> i) & 1u);
+      f_index |= bit << i;
+    }
+    unsigned value = ((tt >> f_index) & 1u) ^ (t.output_negate ? 1u : 0u);
+    out |= static_cast<std::uint16_t>(value << m);
+  }
+  return out;
+}
+
+std::uint16_t npn_canonical(std::uint16_t tt, NpnTransform* to_canonical) {
+  std::uint16_t best = 0xFFFF;
+  NpnTransform best_t;
+  bool first = true;
+  for (const auto& perm : all_perms()) {
+    for (unsigned neg = 0; neg < 16; ++neg) {
+      for (unsigned out = 0; out < 2; ++out) {
+        NpnTransform t;
+        t.perm = perm;
+        t.input_negate = static_cast<std::uint8_t>(neg);
+        t.output_negate = out != 0;
+        std::uint16_t v = npn_apply(tt, t);
+        if (first || v < best) {
+          best = v;
+          best_t = t;
+          first = false;
+        }
+      }
+    }
+  }
+  if (to_canonical) *to_canonical = best_t;
+  return best;
+}
+
+NpnTransform npn_inverse(const NpnTransform& t) {
+  NpnTransform u;
+  for (unsigned i = 0; i < 4; ++i) {
+    u.perm[t.perm[i]] = static_cast<std::uint8_t>(i);
+    if ((t.input_negate >> i) & 1u)
+      u.input_negate |= static_cast<std::uint8_t>(1u << t.perm[i]);
+  }
+  u.output_negate = t.output_negate;
+  return u;
+}
+
+NpnTransform npn_compose(const NpnTransform& a, const NpnTransform& b) {
+  NpnTransform t;
+  for (unsigned i = 0; i < 4; ++i) {
+    t.perm[i] = b.perm[a.perm[i]];
+    unsigned neg = ((a.input_negate >> i) & 1u) ^
+                   ((b.input_negate >> a.perm[i]) & 1u);
+    if (neg) t.input_negate |= static_cast<std::uint8_t>(1u << i);
+  }
+  t.output_negate = a.output_negate != b.output_negate;
+  return t;
+}
+
+std::uint16_t pack_tt4(const TruthTable& f) {
+  DAGMAP_ASSERT_MSG(f.num_vars() <= kNpnMaxVars, "function too wide for NPN");
+  TruthTable wide = f.extended_to(kNpnMaxVars);
+  std::uint16_t tt = 0;
+  for (unsigned m = 0; m < 16; ++m)
+    if (wide.bit(m)) tt |= static_cast<std::uint16_t>(1u << m);
+  return tt;
+}
+
+}  // namespace dagmap

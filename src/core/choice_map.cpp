@@ -1,0 +1,113 @@
+#include "core/choice_map.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "mapnet/cover.hpp"
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+MapResult dag_map_choices(const ChoiceDecomposition& choices,
+                          const GateLibrary& lib,
+                          const DagMapOptions& options) {
+  auto t0 = std::chrono::steady_clock::now();
+  const Network& subject = choices.subject;
+  DAGMAP_ASSERT(subject.is_subject_graph());
+  DAGMAP_ASSERT_MSG(lib.is_complete_for_mapping(),
+                    "library must contain INV and NAND2");
+
+  Matcher matcher(lib, subject);
+  MapResult result;
+  result.label.assign(subject.size(), 0.0);
+
+  // class_label[rep]: best label over the class's variants seen so far;
+  // class_best[rep]: the variant achieving it.  Node creation order is
+  // topological and places all variants of a class before any consumer,
+  // so iterating by node id keeps class labels final by the time a
+  // consumer reads them through `leaf_arrival`.
+  std::vector<double> class_label(subject.size(), kInf);
+  std::vector<NodeId> class_best(subject.size());
+  for (NodeId n = 0; n < subject.size(); ++n) class_best[n] = n;
+  std::vector<double> leaf_arrival(subject.size(), 0.0);
+
+  auto update_class = [&](NodeId n, double value) {
+    NodeId rep = choices.repr[n];
+    if (value < class_label[rep]) {
+      class_label[rep] = value;
+      class_best[rep] = n;
+    }
+    for (NodeId member : choices.members[rep])
+      leaf_arrival[member] = class_label[rep];
+    leaf_arrival[n] = class_label[rep];
+  };
+
+  std::vector<std::optional<Match>> fastest(subject.size());
+  for (NodeId n = 0; n < subject.size(); ++n) {
+    if (subject.is_source(n)) {
+      update_class(n, 0.0);
+      continue;
+    }
+    double best = kInf;
+    double best_area = kInf;
+    matcher.for_each_match(n, options.match_class, [&](const Match& m) {
+      ++result.matches_enumerated;
+      double a = match_arrival(m, leaf_arrival);
+      if (a < best - options.epsilon ||
+          (a < best + options.epsilon && m.gate->area < best_area)) {
+        best = a;
+        best_area = m.gate->area;
+        fastest[n] = m;
+      }
+    });
+    DAGMAP_ASSERT_MSG(fastest[n].has_value(), "unmatchable subject node");
+    result.label[n] = best;
+    update_class(n, best);
+  }
+
+  // Rewrite the selected matches so every leaf reads its class's winning
+  // variant, then cover from the best variant of each endpoint class.
+  std::vector<std::optional<Match>> chosen(subject.size());
+  for (NodeId n = 0; n < subject.size(); ++n) {
+    if (!fastest[n]) continue;
+    Match m = *fastest[n];
+    for (NodeId& leaf : m.pin_binding) {
+      NodeId best_variant = class_best[choices.repr[leaf]];
+      if (!subject.is_source(leaf) && !subject.is_source(best_variant))
+        leaf = best_variant;
+    }
+    chosen[n] = std::move(m);
+  }
+
+  Network covered = subject;  // endpoints re-pointed at winning variants
+  for (std::size_t i = 0; i < covered.outputs().size(); ++i) {
+    NodeId drv = covered.outputs()[i].node;
+    covered.redirect_output(i, class_best[choices.repr[drv]]);
+  }
+  for (NodeId l : covered.latches()) {
+    NodeId d = covered.fanins(l)[0];
+    covered.redirect_latch_input(l, class_best[choices.repr[d]]);
+  }
+
+  for (const Output& o : covered.outputs())
+    result.optimal_delay =
+        std::max(result.optimal_delay, class_label[choices.repr[o.node]]);
+  for (NodeId l : covered.latches())
+    result.optimal_delay = std::max(
+        result.optimal_delay, class_label[choices.repr[covered.fanins(l)[0]]]);
+
+  result.netlist = build_cover(covered, chosen);
+  result.match_attempts = matcher.attempts();
+  result.truncations = matcher.truncations();
+  result.cpu_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace dagmap

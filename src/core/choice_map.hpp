@@ -1,0 +1,25 @@
+// Delay-optimal DAG covering over choice subject graphs — the §4
+// combination of the paper's mapper with Lehman–Watanabe decomposition
+// choices.
+//
+// Labeling runs over all decomposition variants; a match leaf is charged
+// the best label in the leaf's *choice class* (any equivalent variant may
+// drive the gate input), and cover construction rewrites each selected
+// match to read the winning variant.  With choices disabled this
+// degenerates exactly to `dag_map`.
+#pragma once
+
+#include "core/dag_mapper.hpp"
+#include "decomp/choices.hpp"
+
+namespace dagmap {
+
+/// Maps a choice-annotated subject graph (see `tech_decompose_choices`).
+/// Returns the same result type as `dag_map`; `label` is indexed by the
+/// choice subject's node ids and holds per-class best labels for
+/// representatives.
+MapResult dag_map_choices(const ChoiceDecomposition& choices,
+                          const GateLibrary& lib,
+                          const DagMapOptions& options = {});
+
+}  // namespace dagmap

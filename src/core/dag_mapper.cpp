@@ -1,0 +1,170 @@
+#include "core/dag_mapper.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "mapnet/cover.hpp"
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+MapResult dag_map(const Network& subject, const GateLibrary& lib,
+                  const DagMapOptions& options) {
+  auto t0 = std::chrono::steady_clock::now();
+  DAGMAP_ASSERT_MSG(subject.is_subject_graph(),
+                    "dag_map requires a NAND2/INV subject graph");
+  DAGMAP_ASSERT_MSG(lib.is_complete_for_mapping(),
+                    "library must contain INV and NAND2");
+
+  Matcher matcher(lib, subject);
+  MapResult result;
+  result.label.assign(subject.size(), 0.0);
+
+  // Fastest match per node (labeling phase); with area recovery we also
+  // keep the full match lists to re-select against required times.
+  std::vector<std::optional<Match>> fastest(subject.size());
+  std::vector<std::vector<Match>> all_matches;
+  if (options.area_recovery) all_matches.resize(subject.size());
+
+  auto order = subject.topo_order();
+  for (NodeId n : order) {
+    if (subject.is_source(n)) continue;  // label 0
+    double best = kInf;
+    double best_area = kInf;
+    matcher.for_each_match(n, options.match_class, [&](const Match& m) {
+      ++result.matches_enumerated;
+      double a = match_arrival(m, result.label);
+      // Primary criterion: arrival.  Tie-break: gate area, so the
+      // delay-optimal mapping does not pick needlessly big gates.
+      if (a < best - options.epsilon ||
+          (a < best + options.epsilon && m.gate->area < best_area)) {
+        best = a;
+        best_area = m.gate->area;
+        fastest[n] = m;
+      }
+      if (options.area_recovery) all_matches[n].push_back(m);
+    });
+    DAGMAP_ASSERT_MSG(fastest[n].has_value(),
+                      "no match at an internal subject node");
+    result.label[n] = best;
+  }
+  result.match_attempts = matcher.attempts();
+  result.truncations = matcher.truncations();
+
+  // Optimal circuit delay: worst label over endpoints.
+  for (const Output& o : subject.outputs())
+    result.optimal_delay = std::max(result.optimal_delay, result.label[o.node]);
+  for (NodeId l : subject.latches())
+    result.optimal_delay =
+        std::max(result.optimal_delay, result.label[subject.fanins(l)[0]]);
+
+  std::vector<std::optional<Match>> chosen = fastest;
+
+  if (options.area_recovery) {
+    // Area flow (forward): af(n) estimates the per-use area of the best
+    // cover of n's cone, amortizing multi-fanout nodes over their fanout
+    // count — the standard heuristic for duplication-aware area costs.
+    auto fanout = subject.fanout_counts();
+    std::vector<double> area_flow(subject.size(), 0.0);
+    auto match_area_flow = [&](const Match& m) {
+      double af = m.gate->area;
+      for (NodeId leaf : m.pin_binding)
+        if (!subject.is_source(leaf))
+          af += area_flow[leaf] / std::max<std::uint32_t>(1, fanout[leaf]);
+      return af;
+    };
+    for (NodeId n : order) {
+      if (subject.is_source(n)) continue;
+      double best = kInf;
+      for (const Match& m : all_matches[n])
+        best = std::min(best, match_area_flow(m));
+      area_flow[n] = best;
+    }
+
+    // Required-time pass (backward): a needed node picks the feasible
+    // match (arrival within its required time) of minimum area flow,
+    // then tightens the required times of that match's leaves.
+    std::vector<double> required(subject.size(), kInf);
+    std::vector<bool> needed(subject.size(), false);
+    double relax_to = std::max(result.optimal_delay, options.target_delay);
+    auto endpoint = [&](NodeId n) {
+      required[n] = std::min(required[n], relax_to);
+      needed[n] = true;
+    };
+    for (const Output& o : subject.outputs()) endpoint(o.node);
+    for (NodeId l : subject.latches()) endpoint(subject.fanins(l)[0]);
+
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      NodeId n = *it;
+      if (!needed[n] || subject.is_source(n)) continue;
+      const Match* pick = nullptr;
+      double pick_af = kInf;
+      double pick_arrival = kInf;
+      for (const Match& m : all_matches[n]) {
+        double a = match_arrival(m, result.label);
+        if (a > required[n] + options.epsilon) continue;
+        double af = match_area_flow(m);
+        if (af < pick_af - options.epsilon ||
+            (af < pick_af + options.epsilon && a < pick_arrival)) {
+          pick = &m;
+          pick_af = af;
+          pick_arrival = a;
+        }
+      }
+      DAGMAP_ASSERT_MSG(pick != nullptr,
+                        "required time unreachable during area recovery");
+      chosen[n] = *pick;
+      for (std::size_t pin = 0; pin < pick->pin_binding.size(); ++pin) {
+        NodeId leaf = pick->pin_binding[pin];
+        double req = required[n] - pick->gate->pins[pin].delay();
+        required[leaf] = std::min(required[leaf], req);
+        if (!subject.is_source(leaf)) needed[leaf] = true;
+      }
+    }
+  }
+
+  result.netlist = build_cover(subject, chosen);
+
+  // Duplication accounting: walk the used matches (same reachability as
+  // the cover) and count how often each subject node is covered.
+  {
+    std::vector<std::uint32_t> covered_count(subject.size(), 0);
+    std::vector<bool> used(subject.size(), false);
+    std::vector<NodeId> stack;
+    auto use = [&](NodeId n) {
+      if (!used[n] && !subject.is_source(n) &&
+          subject.kind(n) != NodeKind::Const0 &&
+          subject.kind(n) != NodeKind::Const1) {
+        used[n] = true;
+        stack.push_back(n);
+      }
+    };
+    for (const Output& o : subject.outputs()) use(o.node);
+    for (NodeId l : subject.latches()) use(subject.fanins(l)[0]);
+    while (!stack.empty()) {
+      NodeId n = stack.back();
+      stack.pop_back();
+      const Match& m = *chosen[n];
+      for (NodeId c : m.covered) ++covered_count[c];
+      for (NodeId leaf : m.pin_binding) use(leaf);
+    }
+    for (NodeId n = 0; n < subject.size(); ++n) {
+      if (covered_count[n] == 0) continue;
+      result.covered_instances += covered_count[n];
+      ++result.covered_distinct;
+      if (covered_count[n] >= 2) ++result.duplicated_nodes;
+    }
+  }
+
+  result.cpu_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace dagmap

@@ -1,0 +1,83 @@
+// Delay-optimal technology mapping by DAG covering — the paper's
+// contribution (§3).
+//
+// The FlowMap-style labeling pass visits the NAND2/INV subject graph in
+// topological order.  Sources are labelled 0.  At each internal node all
+// structural matches of library gates are enumerated (standard matches by
+// default, per the paper's experiments; extended matches optionally) and
+// the node is labelled with the best achievable arrival time:
+//
+//     label(n) = min over matches M at n of
+//                max over leaves x of M (label(x) + pin_delay(M, x))
+//
+// Because matches may cover multi-fanout nodes without covering their
+// other fanouts, and the backward cover construction duplicates logic
+// wherever two selected matches overlap, the result is delay-optimal with
+// respect to the subject graph and the chosen match class — in contrast
+// to tree covering, which is limited by the subject graph's fanout
+// structure (§3.5).  The whole algorithm is O(s * p): linear in subject
+// size for a fixed library.
+//
+// The optional area-recovery pass (§6's sketched extension) keeps the
+// optimal delay but relaxes non-critical nodes: during cover construction
+// each needed node receives a required time, and the cheapest match
+// meeting it is selected instead of the fastest.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "library/gate_library.hpp"
+#include "mapnet/mapped_netlist.hpp"
+#include "match/matcher.hpp"
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+/// Options for the DAG mapper.
+struct DagMapOptions {
+  /// Which match definition to enumerate (§3.2).  The paper's
+  /// experiments use Standard (footnote 3).
+  MatchClass match_class = MatchClass::Standard;
+  /// Trade area for delay on non-critical paths while preserving the
+  /// optimal delay (off reproduces the paper exactly: "the fastest
+  /// mapping is simply created no matter how critical the node is").
+  bool area_recovery = false;
+  /// With area recovery: relax the circuit to this delay target instead
+  /// of the optimum (clamped from below to the optimal delay — a target
+  /// beneath it is unreachable).  <= 0 means "the optimal delay".  This
+  /// is the §6 area/delay trade-off knob: sweeping it from the optimum
+  /// upward trades speed back for area.
+  double target_delay = 0.0;
+  /// Delay slack treated as equal when comparing arrivals.
+  double epsilon = 1e-9;
+};
+
+/// Result of a mapping run.
+struct MapResult {
+  MappedNetlist netlist;
+  /// Optimal-arrival label of every subject node (0 for sources).
+  std::vector<double> label;
+  /// max label over PO drivers / latch D drivers == mapped circuit delay.
+  double optimal_delay = 0.0;
+  /// Statistics.
+  std::uint64_t match_attempts = 0;
+  std::uint64_t matches_enumerated = 0;
+  std::uint64_t truncations = 0;
+  double cpu_seconds = 0.0;
+  /// Duplication accounting (§3.5): subject nodes covered by the selected
+  /// matches, counted with multiplicity / distinctly, and the number of
+  /// subject nodes implemented more than once.
+  std::size_t covered_instances = 0;
+  std::size_t covered_distinct = 0;
+  std::size_t duplicated_nodes = 0;
+};
+
+/// Maps `subject` (a NAND2/INV subject graph) onto `lib` with
+/// delay-optimal DAG covering.  The library must contain an inverter and
+/// a 2-input NAND (`lib.is_complete_for_mapping()`).
+MapResult dag_map(const Network& subject, const GateLibrary& lib,
+                  const DagMapOptions& options = {});
+
+}  // namespace dagmap

@@ -1,0 +1,44 @@
+#include "core/stats.hpp"
+
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+double MappingStats::average_gate_inputs() const {
+  std::size_t total = 0, count = 0;
+  for (std::size_t k = 0; k < fanin_histogram.size(); ++k) {
+    total += k * fanin_histogram[k];
+    count += fanin_histogram[k];
+  }
+  return count ? static_cast<double>(total) / count : 0.0;
+}
+
+MappingStats mapping_stats(const Network& subject,
+                           const MappedNetlist& mapped) {
+  MappingStats s;
+  s.subject_internal = subject.num_internal();
+  auto counts = subject.fanout_counts();
+  for (NodeId n = 0; n < subject.size(); ++n)
+    if (!subject.is_source(n) && counts[n] >= 2) ++s.subject_multi_fanout;
+
+  s.gates = mapped.num_gates();
+  s.area = mapped.total_area();
+  std::vector<std::size_t> sinks(mapped.size(), 0);
+  for (InstId id = 0; id < mapped.size(); ++id) {
+    const Instance& inst = mapped.instance(id);
+    for (InstId f : inst.fanins) ++sinks[f];
+    if (inst.kind == Instance::Kind::GateInst) {
+      std::size_t k = inst.fanins.size();
+      DAGMAP_ASSERT(k < s.fanin_histogram.size());
+      ++s.fanin_histogram[k];
+    }
+  }
+  for (const Output& o : mapped.outputs()) ++sinks[o.node];
+  for (InstId id = 0; id < mapped.size(); ++id)
+    if (mapped.instance(id).kind == Instance::Kind::GateInst &&
+        sinks[id] >= 2)
+      ++s.mapped_multi_fanout;
+  return s;
+}
+
+}  // namespace dagmap

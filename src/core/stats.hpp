@@ -1,0 +1,39 @@
+// Mapping statistics: quantifying §3.5's structural observations.
+//
+// DAG covering duplicates subject logic (covered multi-fanout nodes are
+// re-implemented inside every selected match that spans them) and
+// *creates* multi-fanout points that did not exist in the subject graph
+// (Figure 2's discussion).  These statistics make both effects
+// measurable per mapping.
+#pragma once
+
+#include <cstddef>
+
+#include "mapnet/mapped_netlist.hpp"
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+/// Structural comparison of a subject graph and one of its mappings.
+struct MappingStats {
+  // Subject side.
+  std::size_t subject_internal = 0;       ///< NAND2/INV nodes
+  std::size_t subject_multi_fanout = 0;   ///< internal nodes with >=2 fanouts
+
+  // Mapped side.
+  std::size_t gates = 0;
+  std::size_t mapped_multi_fanout = 0;  ///< gate outputs with >=2 sinks
+  double area = 0.0;
+
+  // Gate input-count histogram (index = fan-in, up to 16).
+  std::array<std::size_t, 17> fanin_histogram{};
+
+  /// Average gate fan-in (complex-gate usage indicator; rises with
+  /// richer libraries under DAG covering).
+  double average_gate_inputs() const;
+};
+
+/// Computes the statistics for a subject graph and its mapped netlist.
+MappingStats mapping_stats(const Network& subject, const MappedNetlist& mapped);
+
+}  // namespace dagmap

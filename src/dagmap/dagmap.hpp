@@ -1,0 +1,45 @@
+// Umbrella header for the dagmap library.
+//
+// dagmap reproduces "Delay-Optimal Technology Mapping by DAG Covering"
+// (Kukimoto, Brayton, Sawkar — DAC 1998): a delay-optimal, linear-time
+// technology mapper that covers NAND2/INV subject DAGs directly instead
+// of decomposing them into trees, plus the full substrate it rests on
+// (Boolean networks, GENLIB/BLIF I/O, technology decomposition, graph
+// matching, the classic tree-mapping baseline, FlowMap, timing analysis,
+// simulation-based equivalence checking, benchmark generators, and
+// retiming for the sequential extension).
+//
+// Typical flow:
+//
+//   Network circuit   = make_array_multiplier(16);            // gen/
+//   Network subject   = tech_decompose(circuit);              // decomp/
+//   GateLibrary lib   = make_lib2_library();                  // library/
+//   MapResult mapped  = dag_map(subject, lib);                // core/
+//   TimingReport rpt  = analyze_timing(mapped.netlist);       // timing/
+//   auto ok = check_equivalence(subject,
+//                               mapped.netlist.to_network()); // sim/
+#pragma once
+
+#include "core/dag_mapper.hpp"
+#include "decomp/isop.hpp"
+#include "decomp/lowering.hpp"
+#include "decomp/tech_decomp.hpp"
+#include "gen/circuits.hpp"
+#include "io/blif.hpp"
+#include "io/expr.hpp"
+#include "io/genlib.hpp"
+#include "library/gate_library.hpp"
+#include "library/pattern.hpp"
+#include "library/standard_libs.hpp"
+#include "lutmap/flowmap.hpp"
+#include "mapnet/cover.hpp"
+#include "mapnet/mapped_netlist.hpp"
+#include "match/matcher.hpp"
+#include "netlist/assert.hpp"
+#include "netlist/network.hpp"
+#include "netlist/truth_table.hpp"
+#include "seq/retiming.hpp"
+#include "seq/seq_map.hpp"
+#include "sim/simulator.hpp"
+#include "timing/timing.hpp"
+#include "treemap/tree_mapper.hpp"

@@ -1,0 +1,111 @@
+#include "decomp/choices.hpp"
+
+#include "decomp/isop.hpp"
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+std::size_t ChoiceDecomposition::num_choices() const {
+  std::size_t n = 0;
+  for (const auto& m : members)
+    if (m.size() > 1) ++n;
+  return n;
+}
+
+ChoiceDecomposition tech_decompose_choices(const Network& src) {
+  ChoiceDecomposition out;
+  out.subject.set_name(src.name());
+  Network& net = out.subject;
+
+  std::vector<NodeId> map(src.size(), kNullNode);  // src -> balanced variant
+
+  const std::vector<NodeId>* current_fanins = nullptr;
+  NetworkNandBuilder builder(net, [&](const std::string& name) -> NodeId {
+    DAGMAP_ASSERT(current_fanins && name.size() >= 2 && name[0] == 'v');
+    std::size_t idx = std::stoul(name.substr(1));
+    DAGMAP_ASSERT(idx < current_fanins->size());
+    return (*current_fanins)[idx];
+  });
+
+  for (NodeId pi : src.inputs()) map[pi] = net.add_input(src.node(pi).name);
+  for (NodeId l : src.latches())
+    map[l] = net.add_latch_placeholder(src.node(l).name);
+
+  auto note_choice = [&](NodeId a, NodeId b) {
+    // Register a and b as one class (representative = a).  Strash often
+    // makes them identical, in which case there is no choice.
+    if (a == b) return;
+    if (out.repr.size() < net.size()) out.repr.resize(net.size(), kNullNode);
+    out.repr[a] = a;
+    out.repr[b] = a;
+  };
+
+  for (NodeId id : src.topo_order()) {
+    if (map[id] != kNullNode) continue;
+    const Node& n = src.node(id);
+    std::vector<NodeId> fanins;
+    fanins.reserve(n.fanins.size());
+    for (NodeId f : n.fanins) fanins.push_back(map[f]);
+    switch (n.kind) {
+      case NodeKind::Const0: map[id] = builder.make_const(false); break;
+      case NodeKind::Const1: map[id] = builder.make_const(true); break;
+      case NodeKind::Inv: map[id] = builder.make_inv(fanins[0]); break;
+      case NodeKind::Nand2:
+        map[id] = builder.make_nand2(fanins[0], fanins[1]);
+        break;
+      case NodeKind::Logic: {
+        const TruthTable& f = n.function;
+        if (f.is_const0() || f.is_const1()) {
+          map[id] = builder.make_const(f.is_const1());
+          break;
+        }
+        std::vector<std::string> vars;
+        for (unsigned i = 0; i < f.num_vars(); ++i)
+          vars.push_back("v" + std::to_string(i));
+        // Four variants: {positive SOP, inverted complement SOP} x
+        // {balanced, chain}.  Strash dedupes coinciding shapes.
+        Expr pos = truth_table_to_expr(f, vars);
+        Expr neg = Expr::make_not(truth_table_to_expr(~f, vars));
+        current_fanins = &fanins;
+        NodeId first = kNullNode;
+        for (const Expr* e : {&pos, &neg}) {
+          for (DecompShape shape :
+               {DecompShape::Balanced, DecompShape::Chain}) {
+            NodeId v = static_cast<NodeId>(lower_expr(*e, shape, builder));
+            if (first == kNullNode)
+              first = v;
+            else
+              note_choice(first, v);
+          }
+        }
+        current_fanins = nullptr;
+        map[id] = first;
+        break;
+      }
+      case NodeKind::PrimaryInput:
+      case NodeKind::Latch:
+        DAGMAP_ASSERT_MSG(false, "source not pre-mapped");
+    }
+  }
+
+  for (std::size_t i = 0; i < src.latches().size(); ++i)
+    net.connect_latch(map[src.latches()[i]],
+                      map[src.fanins(src.latches()[i])[0]]);
+  for (const Output& o : src.outputs()) net.add_output(map[o.node], o.name);
+
+  // Finalize class bookkeeping over the final node count.
+  out.repr.resize(net.size(), kNullNode);
+  for (NodeId n = 0; n < net.size(); ++n)
+    if (out.repr[n] == kNullNode) out.repr[n] = n;
+  out.members.assign(net.size(), {});
+  // Representative first, then other members in id order.
+  for (NodeId n = 0; n < net.size(); ++n)
+    if (out.repr[n] == n) out.members[n].push_back(n);
+  for (NodeId n = 0; n < net.size(); ++n)
+    if (out.repr[n] != n) out.members[out.repr[n]].push_back(n);
+
+  DAGMAP_ASSERT(net.is_subject_graph());
+  return out;
+}
+
+}  // namespace dagmap

@@ -1,0 +1,48 @@
+// Choice-based technology decomposition (Lehman–Watanabe, referenced in
+// the paper's §4 closing discussion).
+//
+// A single subject graph commits to one of exponentially many NAND2/INV
+// decompositions before the library is known, so many good mappings are
+// unreachable.  Lehman et al. encode several decompositions into one
+// "mapping graph"; the paper notes the technique is orthogonal to DAG
+// covering and that combining the two gives better results.
+//
+// This module implements the combination in its practical form: every
+// logic node is lowered with *both* association shapes (balanced and
+// chain), and structurally distinct roots are recorded as a *choice
+// class* — functionally equivalent signals the mapper may pick between.
+// (Matches do not cross choice boundaries, the same restriction ABC's
+// choice mapping has; classes still strictly enlarge the search space.)
+#pragma once
+
+#include <vector>
+
+#include "decomp/tech_decomp.hpp"
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+/// A subject graph annotated with equivalence choices.
+struct ChoiceDecomposition {
+  /// The subject graph containing all decomposition variants.  Node
+  /// creation order is topological (fanins precede fanouts), so index
+  /// order is a valid evaluation order.
+  Network subject;
+  /// repr[n]: representative of n's choice class (repr[n] == n when n is
+  /// the representative or unclassed).
+  std::vector<NodeId> repr;
+  /// members[rep]: all nodes of the class (size >= 1), representative
+  /// first.  Indexed by representative id; empty for non-representatives.
+  std::vector<std::vector<NodeId>> members;
+
+  /// Number of classes with more than one variant.
+  std::size_t num_choices() const;
+};
+
+/// Decomposes `src` into a subject graph with choice classes: one class
+/// per logic node whose balanced and chain lowerings differ structurally.
+/// Primary outputs and latch D inputs initially reference the balanced
+/// variant.
+ChoiceDecomposition tech_decompose_choices(const Network& src);
+
+}  // namespace dagmap

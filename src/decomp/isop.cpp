@@ -1,0 +1,143 @@
+#include "decomp/isop.hpp"
+
+#include <bit>
+
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+unsigned Cube::num_literals() const {
+  return static_cast<unsigned>(std::popcount(pos_mask) +
+                               std::popcount(neg_mask));
+}
+
+namespace {
+
+// Negative/positive cofactor w.r.t. variable `var`, expressed over the
+// same variable set (the variable becomes a don't-care input).
+TruthTable cofactor(const TruthTable& f, unsigned var, bool value) {
+  TruthTable r(f.num_vars());
+  std::size_t vbit = std::size_t{1} << var;
+  for (std::size_t m = 0; m < f.num_minterms(); ++m) {
+    std::size_t src = value ? (m | vbit) : (m & ~vbit);
+    if (f.bit(src)) r.set_bit(m, true);
+  }
+  return r;
+}
+
+// Minato–Morreale: returns a cover C with L <= C <= U.
+std::vector<Cube> isop_rec(const TruthTable& lower, const TruthTable& upper,
+                           unsigned top, TruthTable* cover_tt) {
+  unsigned nv = lower.num_vars();
+  if (lower.is_const0()) {
+    *cover_tt = TruthTable::constant(false, nv);
+    return {};
+  }
+  if (upper.is_const1()) {
+    *cover_tt = TruthTable::constant(true, nv);
+    return {Cube{}};
+  }
+  // Find the top variable either bound depends on.
+  unsigned var = top;
+  for (;;) {
+    DAGMAP_ASSERT_MSG(var > 0 || lower.depends_on(0) || upper.depends_on(0),
+                      "isop: no splitting variable");
+    if (lower.depends_on(var) || upper.depends_on(var)) break;
+    DAGMAP_ASSERT(var > 0);
+    --var;
+  }
+
+  TruthTable l0 = cofactor(lower, var, false);
+  TruthTable l1 = cofactor(lower, var, true);
+  TruthTable u0 = cofactor(upper, var, false);
+  TruthTable u1 = cofactor(upper, var, true);
+
+  TruthTable g0, g1;
+  std::vector<Cube> c0 =
+      isop_rec(l0 & ~u1, u0, var == 0 ? 0 : var - 1, &g0);
+  std::vector<Cube> c1 =
+      isop_rec(l1 & ~u0, u1, var == 0 ? 0 : var - 1, &g1);
+
+  TruthTable l_rest = (l0 & ~g0) | (l1 & ~g1);
+  TruthTable g_rest;
+  std::vector<Cube> c_rest =
+      isop_rec(l_rest, u0 & u1, var == 0 ? 0 : var - 1, &g_rest);
+
+  std::uint16_t vmask = static_cast<std::uint16_t>(1u << var);
+  for (Cube& c : c0) c.neg_mask |= vmask;
+  for (Cube& c : c1) c.pos_mask |= vmask;
+
+  TruthTable v = TruthTable::variable(var, nv);
+  *cover_tt = (g0 & ~v) | (g1 & v) | g_rest;
+
+  std::vector<Cube> result = std::move(c0);
+  result.insert(result.end(), c1.begin(), c1.end());
+  result.insert(result.end(), c_rest.begin(), c_rest.end());
+  return result;
+}
+
+}  // namespace
+
+std::vector<Cube> compute_isop(const TruthTable& f) {
+  TruthTable cover_tt;
+  unsigned top = f.num_vars() == 0 ? 0 : f.num_vars() - 1;
+  std::vector<Cube> cover = isop_rec(f, f, top, &cover_tt);
+  DAGMAP_ASSERT_MSG(cover_tt == f, "isop cover does not equal function");
+  return cover;
+}
+
+TruthTable cover_to_truth_table(const std::vector<Cube>& cover,
+                                unsigned num_vars) {
+  TruthTable t = TruthTable::constant(false, num_vars);
+  for (const Cube& c : cover) {
+    TruthTable cube_tt = TruthTable::constant(true, num_vars);
+    for (unsigned v = 0; v < num_vars; ++v) {
+      if (c.pos_mask & (1u << v)) cube_tt = cube_tt & TruthTable::variable(v, num_vars);
+      if (c.neg_mask & (1u << v)) cube_tt = cube_tt & ~TruthTable::variable(v, num_vars);
+    }
+    t = t | cube_tt;
+  }
+  return t;
+}
+
+Expr cover_to_expr(const std::vector<Cube>& cover,
+                   const std::vector<std::string>& vars) {
+  if (cover.empty()) return Expr::make_const(false);
+  std::vector<Expr> terms;
+  for (const Cube& c : cover) {
+    std::vector<Expr> lits;
+    for (unsigned v = 0; v < vars.size(); ++v) {
+      if (c.pos_mask & (1u << v)) lits.push_back(Expr::make_var(vars[v]));
+      if (c.neg_mask & (1u << v))
+        lits.push_back(Expr::make_not(Expr::make_var(vars[v])));
+    }
+    if (lits.empty())
+      terms.push_back(Expr::make_const(true));
+    else
+      terms.push_back(Expr::make_and(std::move(lits)));
+  }
+  return Expr::make_or(std::move(terms));
+}
+
+Expr truth_table_to_expr(const TruthTable& f,
+                         const std::vector<std::string>& vars) {
+  DAGMAP_ASSERT(vars.size() >= f.num_vars());
+  return cover_to_expr(compute_isop(f), vars);
+}
+
+Expr truth_table_to_expr_best_phase(const TruthTable& f,
+                                    const std::vector<std::string>& vars) {
+  DAGMAP_ASSERT(vars.size() >= f.num_vars());
+  std::vector<Cube> pos = compute_isop(f);
+  std::vector<Cube> neg = compute_isop(~f);
+  auto cost = [](const std::vector<Cube>& cover) {
+    std::size_t lits = 0;
+    for (const Cube& c : cover) lits += c.num_literals();
+    return std::pair<std::size_t, std::size_t>{lits, cover.size()};
+  };
+  if (cost(neg) < cost(pos))
+    return Expr::make_not(cover_to_expr(neg, vars));
+  return cover_to_expr(pos, vars);
+}
+
+}  // namespace dagmap

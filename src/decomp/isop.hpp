@@ -1,0 +1,57 @@
+// Irredundant sum-of-products extraction from truth tables
+// (Minato–Morreale ISOP algorithm).
+//
+// Technology decomposition and pattern generation both need a two-level
+// form of a node function before lowering it to NAND2/INV.  The ISOP is
+// computed on the dense truth tables used throughout the library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/expr.hpp"
+#include "netlist/truth_table.hpp"
+
+namespace dagmap {
+
+/// One product term over up to 16 variables: variable `i` appears
+/// positively if bit `i` of `pos_mask` is set, negatively if bit `i` of
+/// `neg_mask` is set (never both).  An empty cube is the constant 1.
+struct Cube {
+  std::uint16_t pos_mask = 0;
+  std::uint16_t neg_mask = 0;
+
+  unsigned num_literals() const;
+  bool operator==(const Cube&) const = default;
+};
+
+/// Computes an irredundant SOP cover of `f` (exactly: a cover `c` with
+/// f <= c <= f, irredundant in the Minato–Morreale sense).  The constant-0
+/// function yields an empty cover; constant 1 yields the single empty cube.
+std::vector<Cube> compute_isop(const TruthTable& f);
+
+/// Evaluates a cover back to a truth table over `num_vars` variables
+/// (used to validate ISOP correctness).
+TruthTable cover_to_truth_table(const std::vector<Cube>& cover,
+                                unsigned num_vars);
+
+/// Renders a cover as an expression AST over the given variable names
+/// (OR of ANDs of literals).  An empty cover is CONST0.
+Expr cover_to_expr(const std::vector<Cube>& cover,
+                   const std::vector<std::string>& vars);
+
+/// Convenience: ISOP then cover_to_expr with variables named x0..x{n-1}
+/// or the supplied names.
+Expr truth_table_to_expr(const TruthTable& f,
+                         const std::vector<std::string>& vars);
+
+/// Phase-selected two-level form: the cheaper (by literal count, then
+/// cube count) of SOP(f) and !(SOP(!f)).  Complement-heavy functions —
+/// the AOI/OAI family — lower to inverted-SOP structures this way, which
+/// is what lets inverting complex gates match their own decompositions
+/// (SIS's tech decomposition made the same choice).
+Expr truth_table_to_expr_best_phase(const TruthTable& f,
+                                    const std::vector<std::string>& vars);
+
+}  // namespace dagmap

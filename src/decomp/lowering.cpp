@@ -1,0 +1,83 @@
+#include "decomp/lowering.hpp"
+
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+namespace {
+
+using Handle = NandSink::Handle;
+
+Handle lower_rec(const Expr& e, DecompShape shape, NandSink& sink);
+
+// Reduces `items` pairwise with `combine` according to the shape.
+Handle reduce(std::vector<Handle> items, DecompShape shape,
+              const std::function<Handle(Handle, Handle)>& combine) {
+  DAGMAP_ASSERT(!items.empty());
+  if (shape == DecompShape::Chain) {
+    Handle acc = items[0];
+    for (std::size_t i = 1; i < items.size(); ++i)
+      acc = combine(acc, items[i]);
+    return acc;
+  }
+  // Balanced: repeatedly combine adjacent pairs.
+  while (items.size() > 1) {
+    std::vector<Handle> next;
+    next.reserve((items.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < items.size(); i += 2)
+      next.push_back(combine(items[i], items[i + 1]));
+    if (items.size() % 2) next.push_back(items.back());
+    items = std::move(next);
+  }
+  return items[0];
+}
+
+// AND over operands: NAND at the last level where possible.  Returns the
+// AND (positive phase); uses INV(NAND(a,b)) pairs.
+Handle lower_and(const std::vector<Expr>& ops, DecompShape shape,
+                 NandSink& sink) {
+  std::vector<Handle> hs;
+  hs.reserve(ops.size());
+  for (const Expr& o : ops) hs.push_back(lower_rec(o, shape, sink));
+  return reduce(std::move(hs), shape, [&](Handle a, Handle b) {
+    return sink.make_inv(sink.make_nand2(a, b));
+  });
+}
+
+Handle lower_or(const std::vector<Expr>& ops, DecompShape shape,
+                NandSink& sink) {
+  // OR(a, b) = NAND(!a, !b).
+  std::vector<Handle> hs;
+  hs.reserve(ops.size());
+  for (const Expr& o : ops)
+    hs.push_back(sink.make_inv(lower_rec(o, shape, sink)));
+  // Reduce in the inverted domain: acc holds !OR(...) so far.
+  Handle inv_or = reduce(std::move(hs), shape, [&](Handle na, Handle nb) {
+    return sink.make_inv(sink.make_nand2(na, nb));
+  });
+  // inv_or = AND of the complements = !(OR); invert once more.
+  return sink.make_inv(inv_or);
+}
+
+Handle lower_rec(const Expr& e, DecompShape shape, NandSink& sink) {
+  switch (e.op) {
+    case Expr::Op::Const0: return sink.make_const(false);
+    case Expr::Op::Const1: return sink.make_const(true);
+    case Expr::Op::Var: return sink.leaf(e.var);
+    case Expr::Op::Not:
+      return sink.make_inv(lower_rec(e.operands[0], shape, sink));
+    case Expr::Op::And: return lower_and(e.operands, shape, sink);
+    case Expr::Op::Or: return lower_or(e.operands, shape, sink);
+  }
+  DAGMAP_ASSERT_MSG(false, "unreachable expression op");
+  return 0;
+}
+
+}  // namespace
+
+NandSink::Handle lower_expr(const Expr& e, DecompShape shape,
+                            NandSink& sink) {
+  return lower_rec(e, shape, sink);
+}
+
+}  // namespace dagmap

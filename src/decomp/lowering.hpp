@@ -1,0 +1,50 @@
+// Lowering of AND/OR/NOT expressions to NAND2/INV structures.
+//
+// This is the single decomposition routine shared by technology
+// decomposition (building subject graphs from networks) and pattern
+// generation (building pattern graphs from library gate functions), so
+// that subject graphs and pattern graphs decompose the same way — the
+// property Keutzer's covering formulation relies on.
+//
+// The consumer provides a `NandSink`; the lowering calls back to create
+// leaves, NAND2s and inverters.  Sinks are expected to hash-cons (share
+// structurally identical nodes) and to collapse INV(INV(x)); the helper
+// `lower_not` assumes nothing, it simply never emits double inverters
+// itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "io/expr.hpp"
+
+namespace dagmap {
+
+/// How n-ary AND/OR operands are associated into two-input nodes.
+enum class DecompShape : std::uint8_t {
+  Balanced,  ///< minimum-depth tree (the default everywhere)
+  Chain,     ///< left-leaning chain (alternative library patterns)
+};
+
+/// Receiver of lowered NAND2/INV structure.  Handles are opaque to the
+/// lowering; the sink defines their meaning (network NodeId, pattern node
+/// index, ...).
+class NandSink {
+ public:
+  using Handle = std::uint32_t;
+  virtual ~NandSink() = default;
+
+  /// Returns the handle for input variable `name`.
+  virtual Handle leaf(const std::string& name) = 0;
+  virtual Handle make_nand2(Handle a, Handle b) = 0;
+  virtual Handle make_inv(Handle a) = 0;
+  /// Constants may legitimately appear in degenerate covers.
+  virtual Handle make_const(bool value) = 0;
+};
+
+/// Lowers `e` into `sink`, returning the handle of the root signal.
+NandSink::Handle lower_expr(const Expr& e, DecompShape shape, NandSink& sink);
+
+}  // namespace dagmap

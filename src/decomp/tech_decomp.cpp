@@ -1,0 +1,130 @@
+#include "decomp/tech_decomp.hpp"
+
+#include <unordered_map>
+
+#include "decomp/isop.hpp"
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+NetworkNandBuilder::NetworkNandBuilder(
+    Network& net, std::function<NodeId(const std::string&)> leaf_resolver)
+    : net_(net), leaf_resolver_(std::move(leaf_resolver)) {}
+
+NandSink::Handle NetworkNandBuilder::leaf(const std::string& name) {
+  return leaf_resolver_(name);
+}
+
+NandSink::Handle NetworkNandBuilder::make_const(bool value) {
+  NodeId& slot = value ? const1_ : const0_;
+  if (slot == kNullNode) slot = net_.add_constant(value);
+  return slot;
+}
+
+NandSink::Handle NetworkNandBuilder::make_inv(Handle a) {
+  // Constant propagation and double-inverter collapse.
+  switch (net_.kind(a)) {
+    case NodeKind::Const0: return make_const(true);
+    case NodeKind::Const1: return make_const(false);
+    case NodeKind::Inv: return net_.fanins(a)[0];
+    default: break;
+  }
+  std::uint64_t key = (std::uint64_t{1} << 62) | a;
+  auto [it, inserted] = strash_.try_emplace(key, kNullNode);
+  if (inserted) it->second = net_.add_inv(a);
+  return it->second;
+}
+
+NandSink::Handle NetworkNandBuilder::make_nand2(Handle a, Handle b) {
+  if (a > b) std::swap(a, b);
+  // NAND simplifications: nand(x,x) = !x; nand(x,0) = 1; nand(x,1) = !x.
+  if (a == b) return make_inv(a);
+  NodeKind ka = net_.kind(a), kb = net_.kind(b);
+  if (ka == NodeKind::Const0 || kb == NodeKind::Const0) return make_const(true);
+  if (ka == NodeKind::Const1) return make_inv(b);
+  if (kb == NodeKind::Const1) return make_inv(a);
+  std::uint64_t key =
+      (std::uint64_t{2} << 62) | (std::uint64_t{a} << 31) | b;
+  auto [it, inserted] = strash_.try_emplace(key, kNullNode);
+  if (inserted) it->second = net_.add_nand2(a, b);
+  return it->second;
+}
+
+Network tech_decompose(const Network& src, const TechDecompOptions& options) {
+  Network out(src.name());
+  std::vector<NodeId> map(src.size(), kNullNode);
+
+  // The leaf resolver reads the fanin handles of the node currently being
+  // lowered; leaf names are "v<i>" indexing into that vector.
+  const std::vector<NodeId>* current_fanins = nullptr;
+  NetworkNandBuilder builder(out, [&](const std::string& name) -> NodeId {
+    DAGMAP_ASSERT_MSG(current_fanins != nullptr && name.size() >= 2 &&
+                          name[0] == 'v',
+                      "unexpected leaf name " + name);
+    std::size_t idx = std::stoul(name.substr(1));
+    DAGMAP_ASSERT(idx < current_fanins->size());
+    return (*current_fanins)[idx];
+  });
+
+  // Sources first: PIs keep their names; latches become placeholders to be
+  // wired after their D cones exist.
+  for (NodeId pi : src.inputs()) map[pi] = out.add_input(src.node(pi).name);
+  for (NodeId l : src.latches())
+    map[l] = out.add_latch_placeholder(src.node(l).name);
+
+  for (NodeId id : src.topo_order()) {
+    if (map[id] != kNullNode) continue;  // sources already placed
+    const Node& n = src.node(id);
+    std::vector<NodeId> fanins;
+    fanins.reserve(n.fanins.size());
+    for (NodeId f : n.fanins) {
+      DAGMAP_ASSERT(map[f] != kNullNode);
+      fanins.push_back(map[f]);
+    }
+    switch (n.kind) {
+      case NodeKind::Const0: map[id] = builder.make_const(false); break;
+      case NodeKind::Const1: map[id] = builder.make_const(true); break;
+      case NodeKind::Inv: map[id] = builder.make_inv(fanins[0]); break;
+      case NodeKind::Nand2:
+        map[id] = builder.make_nand2(fanins[0], fanins[1]);
+        break;
+      case NodeKind::Logic: {
+        const TruthTable& f = n.function;
+        if (f.is_const0()) {
+          map[id] = builder.make_const(false);
+          break;
+        }
+        if (f.is_const1()) {
+          map[id] = builder.make_const(true);
+          break;
+        }
+        std::vector<std::string> vars;
+        vars.reserve(f.num_vars());
+        for (unsigned i = 0; i < f.num_vars(); ++i)
+          vars.push_back("v" + std::to_string(i));
+        Expr e = truth_table_to_expr_best_phase(f, vars);
+        current_fanins = &fanins;
+        map[id] = static_cast<NodeId>(lower_expr(e, options.shape, builder));
+        current_fanins = nullptr;
+        break;
+      }
+      case NodeKind::PrimaryInput:
+      case NodeKind::Latch:
+        DAGMAP_ASSERT_MSG(false, "source not pre-mapped");
+    }
+  }
+
+  for (std::size_t i = 0; i < src.latches().size(); ++i) {
+    NodeId l = src.latches()[i];
+    NodeId d = src.fanins(l)[0];
+    out.connect_latch(map[l], map[d]);
+  }
+  for (const Output& o : src.outputs()) out.add_output(map[o.node], o.name);
+
+  auto [clean, remap] = out.cleaned_copy();
+  clean.check();
+  DAGMAP_ASSERT(clean.is_subject_graph());
+  return std::move(clean);
+}
+
+}  // namespace dagmap

@@ -1,0 +1,50 @@
+// Technology decomposition: arbitrary logic networks -> NAND2/INV subject
+// graphs (step 1 of every mapping flow in the paper).
+//
+// Each generic logic node's function is converted to an irredundant SOP
+// (ISOP) and lowered with the shared AND/OR/NOT -> NAND2/INV routine.  The
+// builder hash-conses structurally identical nodes, collapses double
+// inverters, and constant-propagates, so the resulting subject graph is a
+// clean DAG.
+#pragma once
+
+#include "decomp/lowering.hpp"
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+/// Options for technology decomposition.
+struct TechDecompOptions {
+  /// Association shape for n-ary AND/OR lowering.
+  DecompShape shape = DecompShape::Balanced;
+};
+
+/// Decomposes `src` into an equivalent NAND2/INV subject graph.  Primary
+/// input/output and latch names are preserved; dead logic is dropped.
+/// Postcondition: `result.is_subject_graph()`.
+Network tech_decompose(const Network& src, const TechDecompOptions& options = {});
+
+/// A `NandSink` that builds into a `Network` with structural hashing,
+/// double-inverter collapsing and constant propagation.  Exposed so other
+/// subsystems (pattern generation tests, generators) can lower directly
+/// into networks.
+class NetworkNandBuilder : public NandSink {
+ public:
+  /// `leaf_resolver` maps leaf names to existing node ids in `net`.
+  NetworkNandBuilder(Network& net,
+                     std::function<NodeId(const std::string&)> leaf_resolver);
+
+  Handle leaf(const std::string& name) override;
+  Handle make_nand2(Handle a, Handle b) override;
+  Handle make_inv(Handle a) override;
+  Handle make_const(bool value) override;
+
+ private:
+  Network& net_;
+  std::function<NodeId(const std::string&)> leaf_resolver_;
+  std::unordered_map<std::uint64_t, NodeId> strash_;
+  NodeId const0_ = kNullNode;
+  NodeId const1_ = kNullNode;
+};
+
+}  // namespace dagmap

@@ -1,0 +1,40 @@
+// Buffer-tree construction at multi-fanout points (Touati's
+// performance-oriented fanout optimization, simplified).
+//
+// The paper argues (§3.5, §5) that DAG covering composes with buffering:
+// the mapper ignores loads, then "the buffer tree construction methods of
+// [13] can be used later at multiple fanout points to reduce load
+// dependency of delays."  This pass rebuilds every over-loaded net as a
+// balanced buffer tree, splitting the consumers into groups of at most
+// `max_branch`, critical consumers (smallest slack first) closest to the
+// driver.
+#pragma once
+
+#include "fanout/load_timing.hpp"
+#include "library/gate_library.hpp"
+#include "mapnet/mapped_netlist.hpp"
+
+namespace dagmap {
+
+/// Options for buffer-tree construction.
+struct BufferOptions {
+  /// Maximum consumers per driver after buffering (tree branching factor).
+  unsigned max_branch = 4;
+  LoadModel load_model;
+};
+
+/// Result of the buffering pass.
+struct BufferResult {
+  MappedNetlist netlist;
+  std::size_t buffers_inserted = 0;
+  double delay_before = 0.0;  ///< load-aware delay before buffering
+  double delay_after = 0.0;   ///< load-aware delay after
+};
+
+/// Inserts balanced buffer trees on every net with more than
+/// `options.max_branch` consumers.  The library must provide a buffer
+/// gate (`lib.buffer()`); functional behaviour is unchanged.
+BufferResult buffer_fanouts(const MappedNetlist& net, const GateLibrary& lib,
+                            const BufferOptions& options = {});
+
+}  // namespace dagmap

@@ -1,0 +1,85 @@
+#include "fanout/load_timing.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+LoadTimingReport analyze_timing_loaded(const MappedNetlist& net,
+                                       const LoadModel& model) {
+  LoadTimingReport r;
+  r.arrival.assign(net.size(), 0.0);
+  r.net_load.assign(net.size(), 0.0);
+
+  // Output load of every instance: reading pins' input loads + wiring.
+  for (InstId id = 0; id < net.size(); ++id) {
+    const Instance& inst = net.instance(id);
+    if (inst.kind == Instance::Kind::GateInst) {
+      for (std::size_t pin = 0; pin < inst.fanins.size(); ++pin)
+        r.net_load[inst.fanins[pin]] +=
+            inst.gate->pins[pin].input_load + model.wire_load_per_fanout;
+    } else if (inst.kind == Instance::Kind::Latch && !inst.fanins.empty()) {
+      r.net_load[inst.fanins[0]] +=
+          model.latch_input_load + model.wire_load_per_fanout;
+    }
+  }
+  for (const Output& o : net.outputs())
+    r.net_load[o.node] += model.primary_output_load;
+
+  for (InstId id : net.topo_order()) {
+    const Instance& inst = net.instance(id);
+    if (inst.kind != Instance::Kind::GateInst) continue;
+    double a = 0.0;
+    for (std::size_t pin = 0; pin < inst.fanins.size(); ++pin) {
+      const GatePin& p = inst.gate->pins[pin];
+      a = std::max(a, r.arrival[inst.fanins[pin]] + p.delay() +
+                          p.load_slope() * r.net_load[id]);
+    }
+    r.arrival[id] = a;
+  }
+
+  for (const Output& o : net.outputs())
+    r.delay = std::max(r.delay, r.arrival[o.node]);
+  for (InstId l : net.latches()) {
+    const Instance& inst = net.instance(l);
+    if (!inst.fanins.empty())
+      r.delay = std::max(r.delay, r.arrival[inst.fanins[0]]);
+  }
+
+  // Backward pass: required times / slack against the measured delay.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  r.required.assign(net.size(), kInf);
+  for (const Output& o : net.outputs())
+    r.required[o.node] = std::min(r.required[o.node], r.delay);
+  for (InstId l : net.latches()) {
+    const Instance& inst = net.instance(l);
+    if (!inst.fanins.empty())
+      r.required[inst.fanins[0]] =
+          std::min(r.required[inst.fanins[0]], r.delay);
+  }
+  auto order = net.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Instance& inst = net.instance(*it);
+    if (inst.kind != Instance::Kind::GateInst || r.required[*it] == kInf)
+      continue;
+    for (std::size_t pin = 0; pin < inst.fanins.size(); ++pin) {
+      const GatePin& p = inst.gate->pins[pin];
+      double req =
+          r.required[*it] - p.delay() - p.load_slope() * r.net_load[*it];
+      r.required[inst.fanins[pin]] =
+          std::min(r.required[inst.fanins[pin]], req);
+    }
+  }
+  r.slack.assign(net.size(), kInf);
+  for (InstId id = 0; id < net.size(); ++id)
+    if (r.required[id] != kInf) r.slack[id] = r.required[id] - r.arrival[id];
+  return r;
+}
+
+double circuit_delay_loaded(const MappedNetlist& net, const LoadModel& model) {
+  return analyze_timing_loaded(net, model).delay;
+}
+
+}  // namespace dagmap

@@ -1,0 +1,50 @@
+// LT-tree fanout optimization (Touati, "Performance-oriented technology
+// mapping", the paper's reference [13]).
+//
+// The balanced trees in fanout/buffering.hpp bound fanout structurally;
+// Touati's construction is *timing-driven*: for each overloaded net the
+// sinks are sorted by required time and a chain of buffers is grown away
+// from the driver — critical sinks attach early (small delay, small
+// load), slack-rich sinks ride further down the chain behind buffers
+// that hide their load.  We implement the chain ("LT-tree type I") form
+// as a van-Ginneken-style dynamic program:
+//
+//   solve(i) = Pareto set of (input load, required time) options for a
+//              subtree serving sinks i..n-1, built by choosing how many
+//              sinks attach at this stage and which buffer (any size in
+//              the library) drives the rest.
+//
+// The driver then picks the option maximizing its own slack.  Buffer
+// sizes come from the library's non-inverting buffers (use a sized
+// library for a real size ladder).
+#pragma once
+
+#include "fanout/load_timing.hpp"
+#include "library/gate_library.hpp"
+#include "mapnet/mapped_netlist.hpp"
+
+namespace dagmap {
+
+/// Options for LT-tree construction.
+struct LtTreeOptions {
+  LoadModel load_model;
+  /// Only nets with more than this many sinks are rebuilt.
+  unsigned fanout_threshold = 4;
+};
+
+/// Result of the LT-tree pass (same shape as BufferResult).
+struct LtTreeResult {
+  MappedNetlist netlist;
+  std::size_t buffers_inserted = 0;
+  double delay_before = 0.0;
+  double delay_after = 0.0;
+};
+
+/// Rebuilds every overloaded net as a timing-driven buffer chain.  The
+/// library must contain at least one buffer gate; all functionally
+/// buffer gates participate as size choices.
+LtTreeResult buffer_fanouts_lt_tree(const MappedNetlist& net,
+                                    const GateLibrary& lib,
+                                    const LtTreeOptions& options = {});
+
+}  // namespace dagmap

@@ -1,0 +1,639 @@
+#include "gen/circuits.hpp"
+
+#include <algorithm>
+
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+namespace {
+
+std::string idx_name(const char* base, unsigned i) {
+  return std::string(base) + "[" + std::to_string(i) + "]";
+}
+
+// Deterministic xorshift for the random generators.
+struct Rng {
+  std::uint64_t s;
+  explicit Rng(std::uint64_t seed) : s(seed * 0x9E3779B97F4A7C15ull + 1) {}
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  std::uint32_t below(std::uint32_t n) {
+    return static_cast<std::uint32_t>(next() % n);
+  }
+};
+
+// One full-adder bit; returns {sum, carry}.
+std::pair<NodeId, NodeId> full_adder(Network& n, NodeId a, NodeId b,
+                                     NodeId cin) {
+  NodeId sum = n.add_xor(n.add_xor(a, b), cin);
+  NodeId carry = n.add_maj3(a, b, cin);
+  return {sum, carry};
+}
+
+}  // namespace
+
+Network make_ripple_carry_adder(unsigned bits) {
+  DAGMAP_ASSERT(bits >= 1);
+  Network n("rca" + std::to_string(bits));
+  std::vector<NodeId> a(bits), b(bits);
+  for (unsigned i = 0; i < bits; ++i) a[i] = n.add_input(idx_name("a", i));
+  for (unsigned i = 0; i < bits; ++i) b[i] = n.add_input(idx_name("b", i));
+  NodeId carry = n.add_input("cin");
+  for (unsigned i = 0; i < bits; ++i) {
+    auto [s, c] = full_adder(n, a[i], b[i], carry);
+    n.add_output(s, idx_name("s", i));
+    carry = c;
+  }
+  n.add_output(carry, "cout");
+  return n;
+}
+
+Network make_carry_lookahead_adder(unsigned bits) {
+  DAGMAP_ASSERT(bits >= 1);
+  Network n("cla" + std::to_string(bits));
+  std::vector<NodeId> a(bits), b(bits);
+  for (unsigned i = 0; i < bits; ++i) a[i] = n.add_input(idx_name("a", i));
+  for (unsigned i = 0; i < bits; ++i) b[i] = n.add_input(idx_name("b", i));
+  NodeId carry = n.add_input("cin");
+
+  // 4-bit lookahead groups, ripple between groups.
+  for (unsigned base = 0; base < bits; base += 4) {
+    unsigned width = std::min(4u, bits - base);
+    std::vector<NodeId> g(width), p(width), c(width + 1);
+    c[0] = carry;
+    for (unsigned i = 0; i < width; ++i) {
+      g[i] = n.add_and(a[base + i], b[base + i]);
+      p[i] = n.add_xor(a[base + i], b[base + i]);
+    }
+    // c[i+1] = g[i] + p[i]g[i-1] + ... + p[i]..p[0]c0, expressed as a
+    // genuine two-level OR of wide ANDs (the lookahead unit) — wide
+    // nodes exercise decomposition shapes and rich-library matching.
+    for (unsigned i = 0; i < width; ++i) {
+      std::vector<NodeId> terms{g[i]};
+      for (unsigned j = 0; j < i; ++j) {
+        std::vector<NodeId> lits{g[j]};
+        for (unsigned k = j + 1; k <= i; ++k) lits.push_back(p[k]);
+        terms.push_back(n.add_and(std::span<const NodeId>(lits)));
+      }
+      std::vector<NodeId> lits{c[0]};
+      for (unsigned k = 0; k <= i; ++k) lits.push_back(p[k]);
+      terms.push_back(n.add_and(std::span<const NodeId>(lits)));
+      c[i + 1] = n.add_or(std::span<const NodeId>(terms));
+    }
+    for (unsigned i = 0; i < width; ++i)
+      n.add_output(n.add_xor(p[i], c[i]), idx_name("s", base + i));
+    carry = c[width];
+  }
+  n.add_output(carry, "cout");
+  return n;
+}
+
+Network make_array_multiplier(unsigned bits) {
+  DAGMAP_ASSERT(bits >= 2);
+  Network n("mult" + std::to_string(bits) + "x" + std::to_string(bits));
+  std::vector<NodeId> a(bits), b(bits);
+  for (unsigned i = 0; i < bits; ++i) a[i] = n.add_input(idx_name("a", i));
+  for (unsigned i = 0; i < bits; ++i) b[i] = n.add_input(idx_name("b", i));
+
+  // Partial products pp[i][j] = a[j] & b[i].
+  // Row-by-row carry-save reduction, like the C6288 array.
+  std::vector<NodeId> row(bits);  // current partial sum, bit j of weight i+j
+  for (unsigned j = 0; j < bits; ++j) row[j] = n.add_and(a[j], b[0]);
+  n.add_output(row[0], idx_name("p", 0));
+
+  std::vector<NodeId> carries;  // carries into the next row (aligned)
+  for (unsigned i = 1; i < bits; ++i) {
+    std::vector<NodeId> pp(bits);
+    for (unsigned j = 0; j < bits; ++j) pp[j] = n.add_and(a[j], b[i]);
+    std::vector<NodeId> next(bits);
+    std::vector<NodeId> new_carries;
+    for (unsigned j = 0; j + 1 < bits; ++j) {
+      // sum of row[j+1], pp[j], and carry (if any from previous row).
+      NodeId cin = (j < carries.size()) ? carries[j]
+                                        : kNullNode;
+      if (cin == kNullNode) {
+        NodeId s = n.add_xor(row[j + 1], pp[j]);
+        NodeId c = n.add_and(row[j + 1], pp[j]);
+        next[j] = s;
+        new_carries.push_back(c);
+      } else {
+        auto [s, c] = full_adder(n, row[j + 1], pp[j], cin);
+        next[j] = s;
+        new_carries.push_back(c);
+      }
+    }
+    // Top bit of the row: pp[bits-1] plus any leftover carry.
+    NodeId top = pp[bits - 1];
+    if (bits - 1 < carries.size()) {
+      NodeId cin = carries[bits - 1];
+      NodeId s = n.add_xor(top, cin);
+      NodeId c = n.add_and(top, cin);
+      next[bits - 1] = s;
+      new_carries.push_back(c);
+      (void)c;
+    } else {
+      next[bits - 1] = top;
+    }
+    carries = std::move(new_carries);
+    row = std::move(next);
+    // next[j] has weight i+j; the "row[j+1]" indexing of the next
+    // iteration realizes the left shift of the array.
+    n.add_output(row[0], idx_name("p", i));
+  }
+
+  // Final ripple to merge the remaining row (weights bits..2*bits-2) with
+  // the last carry vector (weights bits..2*bits-1).
+  NodeId carry = n.add_constant(false);
+  for (unsigned j = 0; j < bits; ++j) {
+    NodeId x = (j + 1 < bits) ? row[j + 1] : n.add_constant(false);
+    NodeId cj = j < carries.size() ? carries[j] : n.add_constant(false);
+    auto [s, c] = full_adder(n, x, cj, carry);
+    n.add_output(s, idx_name("p", bits + j));
+    carry = c;
+  }
+  return n;
+}
+
+Network make_alu(unsigned bits) {
+  DAGMAP_ASSERT(bits >= 1);
+  Network n("alu" + std::to_string(bits));
+  std::vector<NodeId> a(bits), b(bits);
+  for (unsigned i = 0; i < bits; ++i) a[i] = n.add_input(idx_name("a", i));
+  for (unsigned i = 0; i < bits; ++i) b[i] = n.add_input(idx_name("b", i));
+  NodeId op0 = n.add_input("op0");
+  NodeId op1 = n.add_input("op1");
+  NodeId cin = n.add_input("cin");
+
+  // ADD datapath.
+  std::vector<NodeId> add(bits);
+  NodeId carry = cin;
+  for (unsigned i = 0; i < bits; ++i) {
+    auto [s, c] = full_adder(n, a[i], b[i], carry);
+    add[i] = s;
+    carry = c;
+  }
+  // Bitwise datapaths + 4:1 select per bit:
+  //   op = 00 -> add, 01 -> and, 10 -> or, 11 -> xor.
+  for (unsigned i = 0; i < bits; ++i) {
+    NodeId land = n.add_and(a[i], b[i]);
+    NodeId lor = n.add_or(a[i], b[i]);
+    NodeId lxor = n.add_xor(a[i], b[i]);
+    NodeId lo = n.add_mux(op0, land, add[i]);
+    NodeId hi = n.add_mux(op0, lxor, lor);
+    n.add_output(n.add_mux(op1, hi, lo), idx_name("y", i));
+  }
+  n.add_output(carry, "cout");
+  return n;
+}
+
+Network make_parity_tree(unsigned bits) {
+  DAGMAP_ASSERT(bits >= 2);
+  Network n("parity" + std::to_string(bits));
+  std::vector<NodeId> level(bits);
+  for (unsigned i = 0; i < bits; ++i) level[i] = n.add_input(idx_name("x", i));
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(n.add_xor(level[i], level[i + 1]));
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  n.add_output(level[0], "parity");
+  return n;
+}
+
+Network make_comparator(unsigned bits) {
+  DAGMAP_ASSERT(bits >= 1);
+  Network n("cmp" + std::to_string(bits));
+  std::vector<NodeId> a(bits), b(bits);
+  for (unsigned i = 0; i < bits; ++i) a[i] = n.add_input(idx_name("a", i));
+  for (unsigned i = 0; i < bits; ++i) b[i] = n.add_input(idx_name("b", i));
+  // MSB-first ripple: gt/lt accumulate, eq chains.
+  NodeId gt = n.add_constant(false);
+  NodeId lt = n.add_constant(false);
+  NodeId eq = n.add_constant(true);
+  for (int i = static_cast<int>(bits) - 1; i >= 0; --i) {
+    NodeId ai = a[i], bi = b[i];
+    NodeId ai_gt = n.add_and(ai, n.add_inv(bi));
+    NodeId ai_lt = n.add_and(n.add_inv(ai), bi);
+    gt = n.add_or(gt, n.add_and(eq, ai_gt));
+    lt = n.add_or(lt, n.add_and(eq, ai_lt));
+    eq = n.add_and(eq, n.add_inv(n.add_xor(ai, bi)));
+  }
+  n.add_output(lt, "lt");
+  n.add_output(eq, "eq");
+  n.add_output(gt, "gt");
+  return n;
+}
+
+Network make_priority_encoder(unsigned bits) {
+  DAGMAP_ASSERT(bits >= 2);
+  Network n("prienc" + std::to_string(bits));
+  std::vector<NodeId> x(bits);
+  for (unsigned i = 0; i < bits; ++i) x[i] = n.add_input(idx_name("x", i));
+  unsigned out_bits = 0;
+  while ((1u << out_bits) < bits) ++out_bits;
+  // highest set index wins: idx = OR over i of (i & mask) where i is the
+  // highest set bit; build "x[i] and none of the higher bits".
+  std::vector<NodeId> sel(bits);
+  NodeId none_higher = n.add_constant(true);
+  for (int i = static_cast<int>(bits) - 1; i >= 0; --i) {
+    sel[i] = n.add_and(x[i], none_higher);
+    none_higher = n.add_and(none_higher, n.add_inv(x[i]));
+  }
+  for (unsigned ob = 0; ob < out_bits; ++ob) {
+    NodeId acc = n.add_constant(false);
+    for (unsigned i = 0; i < bits; ++i)
+      if ((i >> ob) & 1) acc = n.add_or(acc, sel[i]);
+    n.add_output(acc, idx_name("idx", ob));
+  }
+  n.add_output(n.add_inv(none_higher), "valid");
+  return n;
+}
+
+Network make_mux_tree(unsigned sel_bits) {
+  DAGMAP_ASSERT(sel_bits >= 1 && sel_bits <= 10);
+  Network n("mux" + std::to_string(1u << sel_bits));
+  unsigned leaves = 1u << sel_bits;
+  std::vector<NodeId> data(leaves), sel(sel_bits);
+  for (unsigned i = 0; i < leaves; ++i) data[i] = n.add_input(idx_name("d", i));
+  for (unsigned i = 0; i < sel_bits; ++i) sel[i] = n.add_input(idx_name("s", i));
+  std::vector<NodeId> level = data;
+  for (unsigned s = 0; s < sel_bits; ++s) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(n.add_mux(sel[s], level[i + 1], level[i]));
+    level = std::move(next);
+  }
+  n.add_output(level[0], "y");
+  return n;
+}
+
+Network make_decoder(unsigned bits) {
+  DAGMAP_ASSERT(bits >= 1 && bits <= 8);
+  Network n("dec" + std::to_string(bits));
+  std::vector<NodeId> a(bits), na(bits);
+  for (unsigned i = 0; i < bits; ++i) a[i] = n.add_input(idx_name("a", i));
+  for (unsigned i = 0; i < bits; ++i) na[i] = n.add_inv(a[i]);
+  for (unsigned j = 0; j < (1u << bits); ++j) {
+    std::vector<NodeId> lits(bits);
+    for (unsigned i = 0; i < bits; ++i)
+      lits[i] = ((j >> i) & 1) ? a[i] : na[i];
+    NodeId o = bits == 1 ? lits[0] : n.add_and(std::span<const NodeId>(lits));
+    n.add_output(o, idx_name("y", j));
+  }
+  return n;
+}
+
+Network make_barrel_shifter(unsigned bits) {
+  DAGMAP_ASSERT(bits >= 2 && (bits & (bits - 1)) == 0);
+  unsigned stages = 0;
+  while ((1u << stages) < bits) ++stages;
+  Network n("bshift" + std::to_string(bits));
+  std::vector<NodeId> data(bits), sh(stages);
+  for (unsigned i = 0; i < bits; ++i) data[i] = n.add_input(idx_name("d", i));
+  for (unsigned s = 0; s < stages; ++s) sh[s] = n.add_input(idx_name("s", s));
+  std::vector<NodeId> cur = data;
+  NodeId zero = n.add_constant(false);
+  for (unsigned s = 0; s < stages; ++s) {
+    unsigned amount = 1u << s;
+    std::vector<NodeId> next(bits);
+    for (unsigned i = 0; i < bits; ++i) {
+      NodeId shifted = (i >= amount) ? cur[i - amount] : zero;
+      next[i] = n.add_mux(sh[s], shifted, cur[i]);
+    }
+    cur = std::move(next);
+  }
+  for (unsigned i = 0; i < bits; ++i) n.add_output(cur[i], idx_name("y", i));
+  return n;
+}
+
+Network make_hamming_decoder(unsigned data_bits) {
+  DAGMAP_ASSERT(data_bits >= 4);
+  // Parity width: smallest p with 2^p >= data + p + 1.
+  unsigned p = 2;
+  while ((1u << p) < data_bits + p + 1) ++p;
+  unsigned n = data_bits + p;  // code length, positions 1..n
+
+  Network net("hamming" + std::to_string(data_bits));
+  std::vector<NodeId> code(n + 1, kNullNode);  // 1-based positions
+  for (unsigned i = 1; i <= n; ++i) code[i] = net.add_input(idx_name("c", i));
+
+  // Syndrome bit k = XOR over positions with bit k set.
+  std::vector<NodeId> synd(p);
+  for (unsigned k = 0; k < p; ++k) {
+    std::vector<NodeId> terms;
+    for (unsigned i = 1; i <= n; ++i)
+      if ((i >> k) & 1) terms.push_back(code[i]);
+    NodeId x = terms[0];
+    for (std::size_t t = 1; t < terms.size(); ++t) x = net.add_xor(x, terms[t]);
+    synd[k] = x;
+  }
+  std::vector<NodeId> nsynd(p);
+  for (unsigned k = 0; k < p; ++k) nsynd[k] = net.add_inv(synd[k]);
+
+  // error flag: syndrome != 0.
+  NodeId any = synd[0];
+  for (unsigned k = 1; k < p; ++k) any = net.add_or(any, synd[k]);
+  net.add_output(any, "error");
+
+  // Corrected data bits: positions that are not powers of two.
+  for (unsigned i = 1; i <= n; ++i) {
+    if ((i & (i - 1)) == 0) continue;  // parity position
+    // flip = (syndrome == i): AND of per-bit literals.
+    std::vector<NodeId> lits(p);
+    for (unsigned k = 0; k < p; ++k)
+      lits[k] = ((i >> k) & 1) ? synd[k] : nsynd[k];
+    NodeId flip = net.add_and(std::span<const NodeId>(lits));
+    net.add_output(net.add_xor(code[i], flip), idx_name("d", i));
+  }
+  return net;
+}
+
+Network make_interrupt_controller(unsigned channels) {
+  DAGMAP_ASSERT(channels >= 2 && channels <= 64);
+  Network net("intc" + std::to_string(channels));
+  std::vector<NodeId> req(channels), en(channels);
+  for (unsigned i = 0; i < channels; ++i)
+    req[i] = net.add_input(idx_name("req", i));
+  for (unsigned i = 0; i < channels; ++i)
+    en[i] = net.add_input(idx_name("en", i));
+  NodeId master = net.add_input("master_en");
+
+  std::vector<NodeId> masked(channels);
+  for (unsigned i = 0; i < channels; ++i)
+    masked[i] = net.add_and(net.add_and(req[i], en[i]), master);
+
+  // Highest channel wins; grant[i] = masked[i] & none higher.
+  NodeId none_higher = net.add_constant(true);
+  std::vector<NodeId> grant(channels);
+  for (int i = static_cast<int>(channels) - 1; i >= 0; --i) {
+    grant[i] = net.add_and(masked[i], none_higher);
+    none_higher = net.add_and(none_higher, net.add_inv(masked[i]));
+  }
+  for (unsigned i = 0; i < channels; ++i)
+    net.add_output(grant[i], idx_name("grant", i));
+
+  unsigned out_bits = 0;
+  while ((1u << out_bits) < channels) ++out_bits;
+  for (unsigned ob = 0; ob < out_bits; ++ob) {
+    std::vector<NodeId> terms;
+    for (unsigned i = 0; i < channels; ++i)
+      if ((i >> ob) & 1) terms.push_back(grant[i]);
+    // Balanced OR tree (wide add_or is capped at 16 inputs).
+    while (terms.size() > 1) {
+      std::vector<NodeId> next;
+      for (std::size_t t = 0; t + 1 < terms.size(); t += 2)
+        next.push_back(net.add_or(terms[t], terms[t + 1]));
+      if (terms.size() % 2) next.push_back(terms.back());
+      terms = std::move(next);
+    }
+    net.add_output(terms.empty() ? net.add_constant(false) : terms[0],
+                   idx_name("vec", ob));
+  }
+  net.add_output(net.add_inv(none_higher), "active");
+  return net;
+}
+
+Network make_random_dag(unsigned num_inputs, unsigned num_nodes,
+                        unsigned num_outputs, std::uint64_t seed) {
+  DAGMAP_ASSERT(num_inputs >= 2 && num_nodes >= num_outputs);
+  Network n("rand_i" + std::to_string(num_inputs) + "_n" +
+            std::to_string(num_nodes) + "_s" + std::to_string(seed));
+  Rng rng(seed);
+  std::vector<NodeId> pool;
+  for (unsigned i = 0; i < num_inputs; ++i)
+    pool.push_back(n.add_input(idx_name("x", i)));
+  for (unsigned i = 0; i < num_nodes; ++i) {
+    // Bias fanins towards recent nodes for a realistic depth profile.
+    auto pick = [&]() -> NodeId {
+      std::uint32_t window =
+          std::min<std::uint32_t>(static_cast<std::uint32_t>(pool.size()),
+                                  3 * num_inputs);
+      return pool[pool.size() - 1 - rng.below(window)];
+    };
+    NodeId f0 = pick();
+    NodeId f1 = pick();
+    int tries = 0;
+    while (f1 == f0 && tries++ < 4) f1 = pick();
+    NodeId g;
+    switch (rng.below(7)) {
+      case 0: g = n.add_and(f0, f1); break;
+      case 1: g = n.add_or(f0, f1); break;
+      case 2: g = n.add_xor(f0, f1); break;
+      case 3: g = n.add_logic({f0, f1}, TruthTable::from_bits(0b0111, 2));
+        break;  // NAND
+      case 4: g = n.add_logic({f0, f1}, TruthTable::from_bits(0b0001, 2));
+        break;  // NOR
+      default: {
+        // Wide SOP node (4-6 inputs), as SIS-era optimized networks have.
+        unsigned width = 4 + rng.below(3);
+        std::vector<NodeId> ins{f0, f1};
+        while (ins.size() < width) ins.push_back(pick());
+        g = rng.below(2) ? n.add_and(std::span<const NodeId>(ins))
+                         : n.add_or(std::span<const NodeId>(ins));
+        break;
+      }
+    }
+    pool.push_back(g);
+  }
+  for (unsigned i = 0; i < num_outputs; ++i)
+    n.add_output(pool[pool.size() - 1 - i], idx_name("y", i));
+  return n;
+}
+
+Network make_sequential_pipeline(unsigned stages, unsigned width,
+                                 std::uint64_t seed, unsigned levels) {
+  DAGMAP_ASSERT(stages >= 1 && width >= 2 && levels >= 1);
+  Network n("pipe_s" + std::to_string(stages) + "_w" + std::to_string(width));
+  Rng rng(seed);
+  std::vector<NodeId> cur(width);
+  for (unsigned i = 0; i < width; ++i) cur[i] = n.add_input(idx_name("in", i));
+  // Feedback register bank: width latches whose D comes from the last
+  // stage, XOR-folded into stage 0.
+  std::vector<NodeId> fb(width);
+  for (unsigned i = 0; i < width; ++i)
+    fb[i] = n.add_latch_placeholder("fb" + std::to_string(i));
+  for (unsigned i = 0; i < width; ++i) cur[i] = n.add_xor(cur[i], fb[i]);
+
+  for (unsigned s = 0; s < stages; ++s) {
+    // One stage of random 2-input logic, `levels` deep.
+    std::vector<NodeId> next = cur;
+    for (unsigned lv = 0; lv < levels; ++lv) {
+      std::vector<NodeId> layer(width);
+      for (unsigned i = 0; i < width; ++i) {
+        NodeId f0 = next[rng.below(width)];
+        NodeId f1 = next[rng.below(width)];
+        switch (rng.below(3)) {
+          case 0: layer[i] = n.add_and(f0, f1); break;
+          case 1: layer[i] = n.add_or(f0, f1); break;
+          default: layer[i] = n.add_xor(f0, f1); break;
+        }
+      }
+      next = std::move(layer);
+    }
+    // Latch boundary between stages (except after the last stage, which
+    // feeds the feedback bank).
+    if (s + 1 < stages) {
+      for (unsigned i = 0; i < width; ++i)
+        next[i] = n.add_latch(next[i],
+                              "l" + std::to_string(s) + "_" + std::to_string(i));
+    }
+    cur = std::move(next);
+  }
+  for (unsigned i = 0; i < width; ++i) {
+    n.connect_latch(fb[i], cur[i]);
+    n.add_output(cur[i], idx_name("out", i));
+  }
+  return n;
+}
+
+namespace {
+
+// Merges `parts` into one network with fresh PI/PO namespaces per part.
+Network merge_networks(const std::string& name,
+                       const std::vector<const Network*>& parts) {
+  Network out(name);
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    const Network& src = *parts[p];
+    std::string prefix = "m" + std::to_string(p) + "_";
+    std::vector<NodeId> map(src.size(), kNullNode);
+    for (NodeId pi : src.inputs())
+      map[pi] = out.add_input(prefix + src.node(pi).name);
+    for (NodeId l : src.latches())
+      map[l] = out.add_latch_placeholder(prefix + src.node(l).name);
+    for (NodeId id : src.topo_order()) {
+      if (map[id] != kNullNode) continue;
+      const Node& nd = src.node(id);
+      std::vector<NodeId> fanins;
+      for (NodeId f : nd.fanins) fanins.push_back(map[f]);
+      switch (nd.kind) {
+        case NodeKind::Const0: map[id] = out.add_constant(false); break;
+        case NodeKind::Const1: map[id] = out.add_constant(true); break;
+        case NodeKind::Inv: map[id] = out.add_inv(fanins[0]); break;
+        case NodeKind::Nand2:
+          map[id] = out.add_nand2(fanins[0], fanins[1]);
+          break;
+        case NodeKind::Logic:
+          map[id] = out.add_logic(std::move(fanins), nd.function);
+          break;
+        default: DAGMAP_ASSERT_MSG(false, "source not pre-mapped");
+      }
+    }
+    for (std::size_t i = 0; i < src.latches().size(); ++i) {
+      NodeId l = src.latches()[i];
+      out.connect_latch(map[l], map[src.fanins(l)[0]]);
+    }
+    for (const Output& o : src.outputs())
+      out.add_output(map[o.node], prefix + o.name);
+  }
+  return out;
+}
+
+BenchmarkCircuit bench(std::string name, std::string note, Network net) {
+  net.set_name(name);
+  return {std::move(name), std::move(note), std::move(net)};
+}
+
+}  // namespace
+
+std::vector<BenchmarkCircuit> make_iscas85_like_suite() {
+  std::vector<BenchmarkCircuit> suite;
+
+  {  // c432: 27-channel interrupt controller (the real C432's function).
+    suite.push_back(bench("c432-like",
+                          "27-channel interrupt controller (orig: same "
+                          "function, 160 gates)",
+                          make_interrupt_controller(27)));
+  }
+  {  // c499/c1355: 32-bit single-error-correcting circuit.
+    suite.push_back(bench(
+        "c499-like",
+        "32-bit SEC Hamming decoder (orig: same function, 202 gates)",
+        make_hamming_decoder(32)));
+  }
+  {  // c880: 8-bit ALU.
+    Network alu = make_alu(8);
+    Network ctl = make_random_dag(24, 150, 16, 0xC880);
+    suite.push_back(bench("c880-like",
+                          "8-bit ALU + control (orig: 383-gate 8-bit ALU)",
+                          merge_networks("c880-like", {&alu, &ctl})));
+  }
+  {  // c1908: 16-bit SEC/DED ECC.
+    Network ham = make_hamming_decoder(16);
+    Network par = make_parity_tree(16);
+    Network ctl = make_random_dag(16, 180, 8, 0xC1908);
+    suite.push_back(bench(
+        "c1908-like",
+        "16-bit SEC/DED error corrector (orig: 880-gate SEC/DED)",
+        merge_networks("c1908-like", {&ham, &par, &ctl})));
+  }
+  {  // c2670: 32-bit comparator + adder + decoder + random control.
+    Network cmp = make_comparator(32);
+    Network add = make_carry_lookahead_adder(12);
+    Network dec = make_decoder(5);
+    Network ctl = make_random_dag(64, 500, 32, 0xC2670);
+    suite.push_back(bench(
+        "c2670-like",
+        "ALU + control (orig: 1193-gate ALU/comparator); comparator32 + "
+        "CLA12 + decoder + random control",
+        merge_networks("c2670-like", {&cmp, &add, &dec, &ctl})));
+  }
+  {  // c3540: 8-bit ALU plus control.
+    Network alu = make_alu(8);
+    Network pri = make_priority_encoder(32);
+    Network ctl = make_random_dag(50, 900, 22, 0xC3540);
+    suite.push_back(bench(
+        "c3540-like",
+        "8-bit ALU + control (orig: 1669-gate 8-bit ALU)",
+        merge_networks("c3540-like", {&alu, &pri, &ctl})));
+  }
+  {  // c5315: 9-bit ALU -> wider ALU + shifter + selector + control.
+    Network alu = make_alu(16);
+    Network mux = make_mux_tree(5);
+    Network shf = make_barrel_shifter(16);
+    Network ctl = make_random_dag(80, 1200, 60, 0xC5315);
+    suite.push_back(bench(
+        "c5315-like",
+        "16-bit ALU + shifter + selector + control (orig: 2307-gate 9-bit "
+        "ALU)",
+        merge_networks("c5315-like", {&alu, &mux, &shf, &ctl})));
+  }
+  {  // c6288: the 16x16 array multiplier, the real structure.
+    suite.push_back(bench("c6288-like",
+                          "16x16 array multiplier (orig: same structure)",
+                          make_array_multiplier(16)));
+  }
+  {  // c7552: 32-bit adder/comparator + parity + control.
+    Network add = make_carry_lookahead_adder(32);
+    Network cmp = make_comparator(32);
+    Network par = make_parity_tree(32);
+    Network ctl = make_random_dag(96, 1500, 80, 0xC7552);
+    suite.push_back(bench(
+        "c7552-like",
+        "32-bit adder + comparator + parity + control (orig: 3512-gate "
+        "adder/comparator)",
+        merge_networks("c7552-like", {&add, &cmp, &par, &ctl})));
+  }
+  return suite;
+}
+
+std::vector<BenchmarkCircuit> make_small_suite() {
+  std::vector<BenchmarkCircuit> suite;
+  suite.push_back(bench("rca8", "8-bit ripple adder",
+                        make_ripple_carry_adder(8)));
+  suite.push_back(bench("mult4", "4x4 multiplier", make_array_multiplier(4)));
+  suite.push_back(bench("alu4", "4-bit ALU", make_alu(4)));
+  suite.push_back(bench("cmp8", "8-bit comparator", make_comparator(8)));
+  suite.push_back(bench("par16", "16-bit parity", make_parity_tree(16)));
+  suite.push_back(
+      bench("rand200", "random control", make_random_dag(16, 200, 8, 42)));
+  return suite;
+}
+
+}  // namespace dagmap

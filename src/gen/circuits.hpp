@@ -1,0 +1,93 @@
+// Benchmark circuit generators.
+//
+// The paper evaluates on ISCAS-85 / MCNC circuits (C2670..C7552), which
+// are not redistributable data files; these generators build circuits of
+// the same *kind* and *scale* — datapath + control mixes, a 16x16 array
+// multiplier (what C6288 actually is), wide adders and comparators, and
+// seeded random k-bounded control logic.  The DAG-vs-tree delay gap the
+// paper measures is a structural property (reconvergent fanout density),
+// which these circuits reproduce; see DESIGN.md for the substitution
+// rationale.
+//
+// All generators are deterministic; random logic takes an explicit seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+/// n-bit ripple-carry adder: inputs a[i], b[i], cin; outputs s[i], cout.
+Network make_ripple_carry_adder(unsigned bits);
+
+/// n-bit carry-lookahead adder (4-bit groups with ripple between groups).
+Network make_carry_lookahead_adder(unsigned bits);
+
+/// n x n array multiplier — the structure of ISCAS-85 C6288 (n = 16).
+/// Inputs a[i], b[i]; outputs p[0 .. 2n-1].
+Network make_array_multiplier(unsigned bits);
+
+/// n-bit ALU: op[1:0] selects ADD / AND / OR / XOR of a and b.
+Network make_alu(unsigned bits);
+
+/// n-input XOR parity tree.
+Network make_parity_tree(unsigned bits);
+
+/// n-bit magnitude comparator: outputs lt, eq, gt.
+Network make_comparator(unsigned bits);
+
+/// n-input priority encoder: outputs log2(n) index bits + valid.
+Network make_priority_encoder(unsigned bits);
+
+/// 2^sel_bits-to-1 multiplexer tree.
+Network make_mux_tree(unsigned sel_bits);
+
+/// n-to-2^n decoder: output j is the wide AND of the n address literals
+/// matching j (a dense source of wide gates and shared inverters).
+Network make_decoder(unsigned bits);
+
+/// n-bit barrel shifter (logical left shift by a log2(n)-bit amount).
+Network make_barrel_shifter(unsigned bits);
+
+/// Hamming single-error-correcting decoder over `data_bits` payload bits
+/// (the structure of ISCAS-85 C499/C1355/C1908): inputs are the received
+/// code word (data + parity), outputs are the corrected data bits plus an
+/// error flag.  XOR-tree heavy, highly reconvergent.
+Network make_hamming_decoder(unsigned data_bits);
+
+/// Interrupt/priority controller (the structure of C432): `channels`
+/// request lines gated by `channels` enable lines, a priority encoder,
+/// and per-channel grant outputs.
+Network make_interrupt_controller(unsigned channels);
+
+/// Seeded random 2-bounded DAG: `num_nodes` random 2-input gates
+/// (AND/OR/XOR/NAND/NOR with random input complements) over
+/// `num_inputs` PIs; the last `num_outputs` sinks become POs.
+Network make_random_dag(unsigned num_inputs, unsigned num_nodes,
+                        unsigned num_outputs, std::uint64_t seed);
+
+/// Sequential benchmark: `stages`-deep pipeline of random logic of the
+/// given `width`, with latches between stages and a feedback path.
+/// `levels` controls the logic depth of each stage (default 1).
+Network make_sequential_pipeline(unsigned stages, unsigned width,
+                                 std::uint64_t seed, unsigned levels = 1);
+
+/// One named benchmark (an ISCAS-85-like stand-in).
+struct BenchmarkCircuit {
+  std::string name;   ///< e.g. "c6288-like"
+  std::string note;   ///< what the original was / what this one is
+  Network network;
+};
+
+/// The five-circuit suite standing in for the paper's Tables 1-3 rows:
+/// c2670 / c3540 / c5315 / c6288 / c7552 lookalikes at matching scale.
+std::vector<BenchmarkCircuit> make_iscas85_like_suite();
+
+/// A reduced-size version of the suite for unit tests (same structure,
+/// smaller parameters).
+std::vector<BenchmarkCircuit> make_small_suite();
+
+}  // namespace dagmap

@@ -1,0 +1,34 @@
+// BLIF (Berkeley Logic Interchange Format) reader and writer.
+//
+// Supports the combinational + latch subset SIS used for the paper's
+// benchmarks: .model/.inputs/.outputs/.names/.latch/.end, with
+// line continuation ('\') and comments ('#').  `.names` covers are
+// converted to truth tables (so node fan-in is limited to 16, far above
+// anything technology decomposition produces).
+#pragma once
+
+#include <string>
+
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+/// Parses BLIF text into a Network.  Throws ParseError on malformed input
+/// or unsupported constructs (.subckt, multiple models).
+Network parse_blif(const std::string& text);
+
+/// Reads a BLIF file from disk.
+Network read_blif_file(const std::string& path);
+
+/// Serializes a network as BLIF.  Generic logic nodes are written as
+/// minterm covers; NAND2/INV/constants use their canonical covers.
+std::string write_blif(const Network& net);
+
+/// Writes a network to a BLIF file on disk.
+void write_blif_file(const Network& net, const std::string& path);
+
+/// Graphviz DOT rendering of a network (debugging aid; node labels show
+/// kind and name).
+std::string write_dot(const Network& net);
+
+}  // namespace dagmap

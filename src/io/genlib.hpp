@@ -1,0 +1,56 @@
+// GENLIB reader/writer — the SIS-era gate-library exchange format.
+//
+// A GENLIB file is a sequence of GATE statements:
+//
+//   GATE nand2 2.0 O=!(a*b);
+//     PIN * INV 1 999 1.0 0.2 1.0 0.2
+//
+// Each PIN line gives (name|*) phase input-load max-load rise-block
+// rise-fanout fall-block fall-fanout.  A '*' pin name applies the timing
+// to all pins of the gate.  The paper's delay model is load-independent:
+// the mappers use only the block (intrinsic) delays, but the fanout
+// coefficients are parsed and preserved so files round-trip.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "io/expr.hpp"
+
+namespace dagmap {
+
+/// Timing/electrical description of one gate input pin.
+struct GenlibPin {
+  enum class Phase : std::uint8_t { Inv, NonInv, Unknown };
+
+  std::string name;  ///< pin name, or "*" meaning "all pins"
+  Phase phase = Phase::Unknown;
+  double input_load = 1.0;
+  double max_load = 999.0;
+  double rise_block = 1.0;    ///< intrinsic rise delay (used by the mappers)
+  double rise_fanout = 0.0;   ///< load-dependent rise coefficient (ignored)
+  double fall_block = 1.0;    ///< intrinsic fall delay (used by the mappers)
+  double fall_fanout = 0.0;   ///< load-dependent fall coefficient (ignored)
+};
+
+/// One GATE statement.
+struct GenlibGate {
+  std::string name;
+  double area = 0.0;
+  std::string output_name;  ///< left-hand side of the '=' in the function
+  Expr function;
+  std::vector<GenlibPin> pins;
+};
+
+/// Parses GENLIB text into gate descriptions.  Unsupported statements
+/// (LATCH and friends) raise ParseError; comments (#...) are skipped.
+std::vector<GenlibGate> parse_genlib(const std::string& text);
+
+/// Reads and parses a GENLIB file from disk.
+std::vector<GenlibGate> read_genlib_file(const std::string& path);
+
+/// Serializes gates back to GENLIB text (one PIN line per pin).
+std::string write_genlib(const std::vector<GenlibGate>& gates);
+
+}  // namespace dagmap

@@ -1,0 +1,123 @@
+#include "library/gate_library.hpp"
+
+#include <algorithm>
+
+#include "decomp/isop.hpp"
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+double Gate::max_pin_delay() const {
+  double d = 0.0;
+  for (const GatePin& p : pins) d = std::max(d, p.delay());
+  return d;
+}
+
+double Gate::max_load_slope() const {
+  double s = 0.0;
+  for (const GatePin& p : pins) s = std::max(s, p.load_slope());
+  return s;
+}
+
+bool Gate::is_buffer() const {
+  return pins.size() == 1 && function == TruthTable::variable(0, 1);
+}
+
+GateLibrary GateLibrary::from_genlib(const std::vector<GenlibGate>& gates,
+                                     std::string name) {
+  GateLibrary lib;
+  lib.name_ = std::move(name);
+  lib.gates_.reserve(gates.size());
+
+  for (const GenlibGate& gg : gates) {
+    Gate g;
+    g.name = gg.name;
+    g.area = gg.area;
+
+    std::vector<std::string> vars = expr_variables(gg.function);
+    DAGMAP_ASSERT_MSG(vars.size() <= TruthTable::kMaxVars,
+                      "gate " + gg.name + " has too many inputs");
+    g.function = expr_truth_table(gg.function, vars);
+
+    // Resolve pin timing: named PIN entries first, '*' as the default.
+    const GenlibPin* wildcard = nullptr;
+    for (const GenlibPin& p : gg.pins)
+      if (p.name == "*") wildcard = &p;
+    for (const std::string& v : vars) {
+      GatePin pin;
+      pin.name = v;
+      const GenlibPin* src = wildcard;
+      for (const GenlibPin& p : gg.pins)
+        if (p.name == v) src = &p;
+      if (src) {
+        pin.rise_block = src->rise_block;
+        pin.fall_block = src->fall_block;
+        pin.input_load = src->input_load;
+        pin.rise_fanout = src->rise_fanout;
+        pin.fall_fanout = src->fall_fanout;
+      }
+      g.pins.push_back(std::move(pin));
+    }
+
+    // Patterns come from the GENLIB factored form *and* from the
+    // normalized ISOP-best-phase form — the latter is the exact shape
+    // technology decomposition emits for this function, so every gate
+    // can always cover its own decomposition.
+    g.patterns = generate_patterns(gg.function, vars);
+    if (!vars.empty() && !g.function.is_const0() && !g.function.is_const1()) {
+      Expr norm = truth_table_to_expr_best_phase(g.function, vars);
+      std::vector<std::uint64_t> seen;
+      seen.reserve(g.patterns.size());
+      for (const PatternGraph& p : g.patterns)
+        seen.push_back(p.structural_hash());
+      for (PatternGraph& p : generate_patterns(norm, vars)) {
+        std::uint64_t h = p.structural_hash();
+        if (std::find(seen.begin(), seen.end(), h) == seen.end()) {
+          seen.push_back(h);
+          g.patterns.push_back(std::move(p));
+        }
+      }
+    }
+    lib.gates_.push_back(std::move(g));
+  }
+
+  // Base gates: minimum-area implementations of INV and NAND2.
+  TruthTable inv_f = ~TruthTable::variable(0, 1);
+  TruthTable nand_f = ~(TruthTable::variable(0, 2) & TruthTable::variable(1, 2));
+  for (const Gate& g : lib.gates_) {
+    if (g.function == inv_f &&
+        (!lib.inverter_ || g.area < lib.inverter_->area))
+      lib.inverter_ = &g;
+    if (g.function == nand_f && (!lib.nand2_ || g.area < lib.nand2_->area))
+      lib.nand2_ = &g;
+    if (g.is_buffer() && (!lib.buffer_ || g.area < lib.buffer_->area))
+      lib.buffer_ = &g;
+  }
+  return lib;
+}
+
+GateLibrary GateLibrary::from_genlib_text(const std::string& text,
+                                          std::string name) {
+  return from_genlib(parse_genlib(text), std::move(name));
+}
+
+std::size_t GateLibrary::total_pattern_nodes() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_)
+    for (const PatternGraph& p : g.patterns) n += p.nodes.size();
+  return n;
+}
+
+std::size_t GateLibrary::total_patterns() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) n += g.patterns.size();
+  return n;
+}
+
+unsigned GateLibrary::max_gate_inputs() const {
+  unsigned n = 0;
+  for (const Gate& g : gates_) n = std::max(n, g.num_inputs());
+  return n;
+}
+
+}  // namespace dagmap

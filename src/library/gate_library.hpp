@@ -1,0 +1,119 @@
+// Gate libraries: the technology the mappers target.
+//
+// A `Gate` couples a Boolean function (truth table over its pins), an
+// area, per-pin intrinsic delays (the paper's load-independent delay
+// model), and the NAND2/INV pattern graphs used for matching.  A
+// `GateLibrary` owns the gates, validates completeness (an inverter and a
+// 2-input NAND must exist or some subject graphs are unmappable) and
+// exposes the base gates the mappers fall back to.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/genlib.hpp"
+#include "library/pattern.hpp"
+#include "netlist/truth_table.hpp"
+
+namespace dagmap {
+
+/// One input pin of a gate with its intrinsic (load-independent) delay
+/// and its electrical parameters (used only by the load-aware timing and
+/// buffering passes — the mappers themselves are load-independent, as in
+/// the paper).
+struct GatePin {
+  std::string name;
+  double rise_block = 1.0;
+  double fall_block = 1.0;
+  /// Capacitive load this pin presents to its driver (GENLIB input-load).
+  double input_load = 1.0;
+  /// Load-dependent delay slopes (GENLIB rise/fall-fanout); zeroed by the
+  /// paper's experiments but kept for the §5 buffering discussion.
+  double rise_fanout = 0.0;
+  double fall_fanout = 0.0;
+
+  /// The pin delay used by the mappers: worst of rise/fall intrinsic
+  /// delay (the paper zeroes the load-dependent terms, footnote 4).
+  double delay() const { return rise_block > fall_block ? rise_block : fall_block; }
+
+  /// Worst load-dependent slope (delay per unit of driven load).
+  double load_slope() const {
+    return rise_fanout > fall_fanout ? rise_fanout : fall_fanout;
+  }
+};
+
+/// A library gate.
+struct Gate {
+  std::string name;
+  double area = 0.0;
+  std::vector<GatePin> pins;
+  /// Function over the pins (variable i = pins[i]).
+  TruthTable function;
+  /// NAND2/INV decompositions used for structural matching.
+  std::vector<PatternGraph> patterns;
+
+  unsigned num_inputs() const { return static_cast<unsigned>(pins.size()); }
+  /// Worst pin delay (single-number summary used in reports).
+  double max_pin_delay() const;
+  /// Worst load-dependent slope over the pins.
+  double max_load_slope() const;
+  /// True for single-input non-inverting gates (no patterns; used by the
+  /// buffering pass).
+  bool is_buffer() const;
+};
+
+/// An immutable collection of gates ready for mapping.
+class GateLibrary {
+ public:
+  // The base-gate pointers refer into `gates_`: moves are safe (the heap
+  // buffer transfers), copies are not, so copying is disabled.
+  GateLibrary(const GateLibrary&) = delete;
+  GateLibrary& operator=(const GateLibrary&) = delete;
+  GateLibrary(GateLibrary&&) = default;
+  GateLibrary& operator=(GateLibrary&&) = default;
+
+  /// Builds a library from parsed GENLIB gates: derives pin order from
+  /// the function's variables, resolves PIN timing ('*' wildcards),
+  /// computes truth tables and generates pattern graphs.
+  static GateLibrary from_genlib(const std::vector<GenlibGate>& gates,
+                                 std::string name = "library");
+
+  /// Convenience: parse GENLIB text then build.
+  static GateLibrary from_genlib_text(const std::string& text,
+                                      std::string name = "library");
+
+  const std::string& name() const { return name_; }
+  const std::vector<Gate>& gates() const { return gates_; }
+  std::size_t size() const { return gates_.size(); }
+
+  /// Minimum-area gate implementing INV (null if absent).
+  const Gate* inverter() const { return inverter_; }
+  /// Minimum-area gate implementing NAND2 (null if absent).
+  const Gate* nand2() const { return nand2_; }
+  /// Minimum-area non-inverting buffer (null if absent).
+  const Gate* buffer() const { return buffer_; }
+
+  /// True when every NAND2/INV subject graph admits a full cover
+  /// (an inverter and a 2-input NAND are present).
+  bool is_complete_for_mapping() const { return inverter_ && nand2_; }
+
+  /// Total node count over all pattern graphs — the paper's constant "p"
+  /// in the O(s*p) complexity bound.
+  std::size_t total_pattern_nodes() const;
+  /// Total number of pattern graphs.
+  std::size_t total_patterns() const;
+  /// Largest gate input count.
+  unsigned max_gate_inputs() const;
+
+ private:
+  GateLibrary() = default;
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  const Gate* inverter_ = nullptr;
+  const Gate* nand2_ = nullptr;
+  const Gate* buffer_ = nullptr;
+};
+
+}  // namespace dagmap

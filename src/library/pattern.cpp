@@ -1,0 +1,186 @@
+#include "library/pattern.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+std::size_t PatternGraph::num_internal() const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes.begin(), nodes.end(), [](const PatternNode& n) {
+        return n.kind != PatternNode::Kind::Leaf;
+      }));
+}
+
+std::size_t PatternGraph::num_leaves() const {
+  return nodes.size() - num_internal();
+}
+
+std::vector<std::uint32_t> PatternGraph::out_degrees() const {
+  std::vector<std::uint32_t> deg(nodes.size(), 0);
+  for (const PatternNode& n : nodes) {
+    if (n.fanin0 >= 0) ++deg[n.fanin0];
+    if (n.fanin1 >= 0) ++deg[n.fanin1];
+  }
+  return deg;
+}
+
+std::uint64_t PatternGraph::structural_hash() const {
+  std::vector<std::uint64_t> h(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const PatternNode& n = nodes[i];
+    switch (n.kind) {
+      case PatternNode::Kind::Leaf:
+        h[i] = 0x9E3779B97F4A7C15ull * (n.pin + 2);
+        break;
+      case PatternNode::Kind::Inv:
+        h[i] = h[n.fanin0] * 0xBF58476D1CE4E5B9ull + 0x94D049BB133111EBull;
+        break;
+      case PatternNode::Kind::Nand2: {
+        std::uint64_t a = h[n.fanin0], b = h[n.fanin1];
+        if (a > b) std::swap(a, b);  // commutative
+        h[i] = (a ^ (b * 0xFF51AFD7ED558CCDull)) + 0xC4CEB9FE1A85EC53ull +
+               (a + b);
+        break;
+      }
+    }
+  }
+  return h[root] ^ (nodes.size() << 48);
+}
+
+std::string PatternGraph::to_string() const {
+  std::vector<std::string> s(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const PatternNode& n = nodes[i];
+    switch (n.kind) {
+      case PatternNode::Kind::Leaf:
+        s[i] = "p" + std::to_string(n.pin);
+        break;
+      case PatternNode::Kind::Inv:
+        s[i] = "INV(" + s[n.fanin0] + ")";
+        break;
+      case PatternNode::Kind::Nand2:
+        s[i] = "NAND(" + s[n.fanin0] + "," + s[n.fanin1] + ")";
+        break;
+    }
+  }
+  return s[root];
+}
+
+namespace {
+
+// NandSink building a PatternGraph with hash-consing (shared leaves and
+// shared internal nodes) and INV(INV(x)) collapse.
+class PatternBuilder : public NandSink {
+ public:
+  explicit PatternBuilder(const std::vector<std::string>& pins)
+      : pins_(pins) {}
+
+  Handle leaf(const std::string& name) override {
+    auto it = std::find(pins_.begin(), pins_.end(), name);
+    DAGMAP_ASSERT_MSG(it != pins_.end(), "unknown pin " + name);
+    std::int32_t pin = static_cast<std::int32_t>(it - pins_.begin());
+    auto [slot, inserted] = leaf_by_pin_.try_emplace(pin, 0);
+    if (inserted) {
+      graph_.nodes.push_back({PatternNode::Kind::Leaf, -1, -1, pin});
+      slot->second = static_cast<Handle>(graph_.nodes.size() - 1);
+    }
+    return slot->second;
+  }
+
+  Handle make_inv(Handle a) override {
+    if (graph_.nodes[a].kind == PatternNode::Kind::Inv)
+      return static_cast<Handle>(graph_.nodes[a].fanin0);
+    std::uint64_t key = (std::uint64_t{1} << 62) | a;
+    auto [slot, inserted] = strash_.try_emplace(key, 0);
+    if (inserted) {
+      graph_.nodes.push_back(
+          {PatternNode::Kind::Inv, static_cast<std::int32_t>(a), -1, -1});
+      slot->second = static_cast<Handle>(graph_.nodes.size() - 1);
+    }
+    return slot->second;
+  }
+
+  Handle make_nand2(Handle a, Handle b) override {
+    if (a > b) std::swap(a, b);
+    DAGMAP_ASSERT_MSG(a != b, "degenerate NAND in pattern (x*x)");
+    std::uint64_t key = (std::uint64_t{2} << 62) | (std::uint64_t{a} << 31) | b;
+    auto [slot, inserted] = strash_.try_emplace(key, 0);
+    if (inserted) {
+      graph_.nodes.push_back({PatternNode::Kind::Nand2,
+                              static_cast<std::int32_t>(a),
+                              static_cast<std::int32_t>(b), -1});
+      slot->second = static_cast<Handle>(graph_.nodes.size() - 1);
+    }
+    return slot->second;
+  }
+
+  Handle make_const(bool) override {
+    DAGMAP_ASSERT_MSG(false, "constant in gate pattern");
+    return 0;
+  }
+
+  // Extracts the finished pattern, dropping nodes that became unreachable
+  // when double inverters collapsed (the lowering may create an INV whose
+  // consumer later cancels it).
+  PatternGraph take(Handle root) {
+    std::vector<bool> live(graph_.nodes.size(), false);
+    std::vector<Handle> stack{root};
+    live[root] = true;
+    while (!stack.empty()) {
+      const PatternNode& n = graph_.nodes[stack.back()];
+      stack.pop_back();
+      for (std::int32_t f : {n.fanin0, n.fanin1})
+        if (f >= 0 && !live[f]) {
+          live[f] = true;
+          stack.push_back(static_cast<Handle>(f));
+        }
+    }
+    PatternGraph out;
+    std::vector<std::int32_t> remap(graph_.nodes.size(), -1);
+    for (std::size_t i = 0; i < graph_.nodes.size(); ++i) {
+      if (!live[i]) continue;
+      PatternNode n = graph_.nodes[i];
+      if (n.fanin0 >= 0) n.fanin0 = remap[n.fanin0];
+      if (n.fanin1 >= 0) n.fanin1 = remap[n.fanin1];
+      remap[i] = static_cast<std::int32_t>(out.nodes.size());
+      out.nodes.push_back(n);
+    }
+    out.root = static_cast<std::uint32_t>(remap[root]);
+    return out;
+  }
+
+ private:
+  const std::vector<std::string>& pins_;
+  PatternGraph graph_;
+  std::map<std::int32_t, Handle> leaf_by_pin_;
+  std::unordered_map<std::uint64_t, Handle> strash_;
+};
+
+}  // namespace
+
+std::vector<PatternGraph> generate_patterns(
+    const Expr& function, const std::vector<std::string>& pins) {
+  if (function.op == Expr::Op::Const0 || function.op == Expr::Op::Const1)
+    return {};
+  if (function.op == Expr::Op::Var) return {};  // non-inverting buffer
+
+  std::vector<PatternGraph> patterns;
+  std::vector<std::uint64_t> hashes;
+  for (DecompShape shape : {DecompShape::Balanced, DecompShape::Chain}) {
+    PatternBuilder builder(pins);
+    NandSink::Handle root = lower_expr(function, shape, builder);
+    PatternGraph g = builder.take(root);
+    if (g.num_internal() == 0) continue;  // degenerate (single wire)
+    std::uint64_t h = g.structural_hash();
+    if (std::find(hashes.begin(), hashes.end(), h) != hashes.end()) continue;
+    hashes.push_back(h);
+    patterns.push_back(std::move(g));
+  }
+  return patterns;
+}
+
+}  // namespace dagmap

@@ -1,0 +1,59 @@
+// Pattern graphs: library gates decomposed into NAND2/INV DAGs.
+//
+// A pattern graph is what the matcher walks against the subject graph
+// (Keutzer's formulation).  Leaves are gate input pins; a pin appearing
+// several times in the gate function is a single shared leaf, so patterns
+// are DAGs in general (the classic XOR pattern shares an internal NAND as
+// well).  Patterns are generated from gate expressions with the same
+// lowering used for technology decomposition, in both balanced and chain
+// association shapes, then deduplicated structurally.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decomp/lowering.hpp"
+#include "io/expr.hpp"
+
+namespace dagmap {
+
+/// One node of a pattern graph.
+struct PatternNode {
+  enum class Kind : std::uint8_t { Leaf, Inv, Nand2 };
+
+  Kind kind = Kind::Leaf;
+  std::int32_t fanin0 = -1;  ///< Inv/Nand2: first child index
+  std::int32_t fanin1 = -1;  ///< Nand2: second child index
+  std::int32_t pin = -1;     ///< Leaf: gate input pin index
+};
+
+/// A NAND2/INV DAG with pin-labelled leaves.  Nodes are stored in
+/// topological order (children before parents); `root` is the output.
+struct PatternGraph {
+  std::vector<PatternNode> nodes;
+  std::uint32_t root = 0;
+
+  std::size_t num_internal() const;
+  std::size_t num_leaves() const;
+
+  /// Out-degree of every node *within the pattern* (used by exact-match
+  /// checking: Rudell's Definition 2 requires subject fanout to agree).
+  std::vector<std::uint32_t> out_degrees() const;
+
+  /// Structural hash that respects pin labels and NAND commutativity
+  /// (two patterns with equal hashes are treated as duplicates).
+  std::uint64_t structural_hash() const;
+
+  /// Human-readable rendering for debugging, e.g. "NAND(INV(p0),p1)".
+  std::string to_string() const;
+};
+
+/// Generates the deduplicated pattern graphs of a gate function whose
+/// variables are `pins[i]` (pin index = position).  Returns an empty list
+/// for constant functions and for non-inverting single-literal functions
+/// (buffers), which are excluded from matching.
+std::vector<PatternGraph> generate_patterns(
+    const Expr& function, const std::vector<std::string>& pins);
+
+}  // namespace dagmap

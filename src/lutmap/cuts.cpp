@@ -1,0 +1,111 @@
+#include "lutmap/cuts.hpp"
+
+#include <unordered_map>
+
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+namespace {
+
+// Merges two sorted cuts; returns false if the union exceeds k leaves.
+bool merge_cuts(const Cut& a, const Cut& b, unsigned k, Cut& out) {
+  out.clear();
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    NodeId next;
+    if (j >= b.size() || (i < a.size() && a[i] < b[j]))
+      next = a[i++];
+    else if (i >= a.size() || b[j] < a[i])
+      next = b[j++];
+    else {
+      next = a[i];
+      ++i;
+      ++j;
+    }
+    if (out.size() == k) return false;
+    out.push_back(next);
+  }
+  return true;
+}
+
+bool is_subset(const Cut& small, const Cut& big) {
+  std::size_t j = 0;
+  for (NodeId x : small) {
+    while (j < big.size() && big[j] < x) ++j;
+    if (j == big.size() || big[j] != x) return false;
+    ++j;
+  }
+  return true;
+}
+
+// Adds `c` to `cuts` unless dominated; removes cuts it dominates.
+void add_cut(std::vector<Cut>& cuts, Cut c) {
+  for (const Cut& existing : cuts)
+    if (is_subset(existing, c)) return;  // dominated
+  std::erase_if(cuts,
+                [&](const Cut& existing) { return is_subset(c, existing); });
+  cuts.push_back(std::move(c));
+}
+
+}  // namespace
+
+std::vector<std::vector<Cut>> enumerate_cuts(const Network& net, unsigned k) {
+  std::vector<std::vector<Cut>> cuts(net.size());
+  for (NodeId n : net.topo_order()) {
+    if (net.is_source(n)) {
+      cuts[n] = {{n}};
+      continue;
+    }
+    auto fanins = net.fanins(n);
+    std::vector<Cut> result;
+    if (fanins.size() == 1) {
+      for (const Cut& c : cuts[fanins[0]]) add_cut(result, c);
+    } else {
+      std::vector<Cut> acc = cuts[fanins[0]];
+      Cut merged;
+      for (std::size_t f = 1; f < fanins.size(); ++f) {
+        std::vector<Cut> next;
+        for (const Cut& a : acc)
+          for (const Cut& b : cuts[fanins[f]])
+            if (merge_cuts(a, b, k, merged)) add_cut(next, merged);
+        acc = std::move(next);
+      }
+      result = std::move(acc);
+    }
+    add_cut(result, {n});  // the trivial cut
+    cuts[n] = std::move(result);
+  }
+  return cuts;
+}
+
+TruthTable cone_function(const Network& net, NodeId t, const Cut& cut) {
+  unsigned nv = static_cast<unsigned>(cut.size());
+  std::unordered_map<NodeId, TruthTable> value;
+  for (unsigned i = 0; i < nv; ++i)
+    value.emplace(cut[i], TruthTable::variable(i, nv));
+  std::vector<NodeId> stack{t};
+  while (!stack.empty()) {
+    NodeId u = stack.back();
+    if (value.count(u)) {
+      stack.pop_back();
+      continue;
+    }
+    DAGMAP_ASSERT_MSG(!net.is_source(u), "cone escapes its cut");
+    bool ready = true;
+    for (NodeId f : net.fanins(u))
+      if (!value.count(f)) {
+        ready = false;
+        stack.push_back(f);
+      }
+    if (!ready) continue;
+    stack.pop_back();
+    std::vector<TruthTable> args;
+    args.reserve(net.fanins(u).size());
+    for (NodeId f : net.fanins(u)) args.push_back(value.at(f));
+    value.emplace(u, net.local_function(u).compose(args));
+  }
+  return value.at(t);
+}
+
+}  // namespace dagmap

@@ -1,0 +1,66 @@
+// FlowMap — delay-optimal LUT mapping (Cong & Ding), §2 of the paper.
+//
+// The paper derives its library-based DAG mapper from FlowMap's labeling
+// idea, so this module implements the original: depth-optimal k-LUT
+// mapping of a k-bounded Boolean network under the unit-delay model.
+//
+// Two interchangeable labeling engines:
+//   * MaxFlow — the authentic algorithm: at each node t, test whether the
+//     optimal label p (the max fanin label) is achievable by collapsing
+//     all label-p cone nodes into t and looking for a k-feasible cut via
+//     max-flow with unit node capacities (node splitting); label(t) is p
+//     if the min cut is <= k, else p+1.
+//   * CutEnum — exhaustive k-feasible cut enumeration with superset
+//     (dominance) pruning; exact for the same objective and used as a
+//     cross-check oracle in tests.
+//
+// Cover construction is the paper's backward queue pass: each needed node
+// becomes one LUT over its stored best cut, with automatic duplication.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+/// Options for FlowMap.
+struct LutMapOptions {
+  /// LUT input count.  The flow engine accepts 2..8; cut enumeration is
+  /// practical (and exact) for k <= 6.
+  unsigned k = 4;
+
+  enum class Algorithm : std::uint8_t { MaxFlow, CutEnum };
+  Algorithm algorithm = Algorithm::MaxFlow;
+
+  /// Depth-preserving LUT-count recovery (Cong & Ding's area/depth
+  /// trade-off, cited in the paper's conclusions): after labeling, each
+  /// needed node picks the cut of minimum area flow whose height meets
+  /// the node's required depth, instead of the fastest cut.  Implies the
+  /// CutEnum engine (all cuts are needed); the smaller of the recovered
+  /// and the plain depth cover is returned.
+  bool area_recovery = false;
+
+  /// Internal: run the recovery pass directly without the keep-the-better
+  /// guard (set by flowmap itself on its recursive call).
+  bool recovery_guard_ = false;
+};
+
+/// Result of a FlowMap run.
+struct LutMapResult {
+  /// The LUT network: internal nodes are Logic nodes with <= k fanins.
+  Network netlist;
+  /// Depth label of every input-network node (0 for sources).
+  std::vector<unsigned> label;
+  /// Optimal depth = max label over PO / latch-D drivers.
+  unsigned depth = 0;
+  /// Number of LUTs in the cover.
+  std::size_t num_luts = 0;
+};
+
+/// Maps `input` (a k-bounded network; NAND2/INV subject graphs qualify
+/// for any k >= 2) into a depth-optimal k-LUT network.
+LutMapResult flowmap(const Network& input, const LutMapOptions& options = {});
+
+}  // namespace dagmap

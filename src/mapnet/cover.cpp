@@ -1,0 +1,74 @@
+#include "mapnet/cover.hpp"
+
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+MappedNetlist build_cover(const Network& subject,
+                          std::span<const std::optional<Match>> chosen,
+                          std::string name) {
+  DAGMAP_ASSERT(chosen.size() == subject.size());
+  MappedNetlist out(name.empty() ? subject.name() : std::move(name));
+  std::vector<InstId> inst_of(subject.size(), kNullInst);
+
+  // Sources first: PIs and latch outputs are the match leaves' anchors.
+  for (NodeId pi : subject.inputs())
+    inst_of[pi] = out.add_input(subject.node(pi).name);
+  for (NodeId l : subject.latches())
+    inst_of[l] = out.add_latch_placeholder(subject.node(l).name);
+
+  // Iterative DFS: an internal node's instance is created after all of
+  // its match leaves have instances.
+  std::vector<NodeId> stack;
+  auto require = [&](NodeId n) {
+    if (inst_of[n] == kNullInst) stack.push_back(n);
+  };
+  for (const Output& o : subject.outputs()) require(o.node);
+  for (NodeId l : subject.latches()) require(subject.fanins(l)[0]);
+
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    if (inst_of[n] != kNullInst) {
+      stack.pop_back();
+      continue;
+    }
+    switch (subject.kind(n)) {
+      case NodeKind::Const0:
+        inst_of[n] = out.add_constant(false);
+        stack.pop_back();
+        continue;
+      case NodeKind::Const1:
+        inst_of[n] = out.add_constant(true);
+        stack.pop_back();
+        continue;
+      default:
+        break;
+    }
+    DAGMAP_ASSERT_MSG(chosen[n].has_value(),
+                      "needed subject node has no selected match");
+    const Match& m = *chosen[n];
+    bool ready = true;
+    for (NodeId leaf : m.pin_binding)
+      if (inst_of[leaf] == kNullInst) {
+        if (ready) ready = false;
+        stack.push_back(leaf);
+      }
+    if (!ready) continue;
+    stack.pop_back();
+    std::vector<InstId> fanins;
+    fanins.reserve(m.pin_binding.size());
+    for (NodeId leaf : m.pin_binding) fanins.push_back(inst_of[leaf]);
+    inst_of[n] = out.add_gate(m.gate, std::move(fanins), subject.node(n).name);
+  }
+
+  for (std::size_t i = 0; i < subject.latches().size(); ++i) {
+    NodeId l = subject.latches()[i];
+    out.connect_latch(inst_of[l], inst_of[subject.fanins(l)[0]]);
+  }
+  for (const Output& o : subject.outputs())
+    out.add_output(inst_of[o.node], o.name);
+  out.check();
+  return out;
+}
+
+}  // namespace dagmap

@@ -1,0 +1,30 @@
+// Cover construction: turning a per-node match selection into a mapped
+// netlist (§3.3 of the paper).
+//
+// Both mappers end with the same backward pass: starting from the primary
+// outputs (and latch D inputs), create the selected gate at each needed
+// node and recurse into the match leaves.  Subject nodes covered strictly
+// inside matches never get instances of their own — under DAG covering
+// this is exactly where logic duplication happens automatically, and
+// under tree covering (exact matches) it never does.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "mapnet/mapped_netlist.hpp"
+#include "match/matcher.hpp"
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+/// Builds the mapped netlist implied by `chosen`, a per-subject-node
+/// selected match (indexed by NodeId; entries may be empty for nodes that
+/// are never needed).  Every internal node reachable as a PO/latch-D
+/// driver or as a leaf of a selected match must have a match.
+MappedNetlist build_cover(const Network& subject,
+                          std::span<const std::optional<Match>> chosen,
+                          std::string name = {});
+
+}  // namespace dagmap

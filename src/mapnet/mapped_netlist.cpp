@@ -1,0 +1,164 @@
+#include "mapnet/mapped_netlist.hpp"
+
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+InstId MappedNetlist::add_input(std::string name) {
+  DAGMAP_ASSERT_MSG(!name.empty(), "primary inputs must be named");
+  instances_.push_back({Instance::Kind::PrimaryInput, nullptr, {}, std::move(name)});
+  InstId id = static_cast<InstId>(instances_.size() - 1);
+  inputs_.push_back(id);
+  return id;
+}
+
+InstId MappedNetlist::add_latch_placeholder(std::string name) {
+  instances_.push_back({Instance::Kind::Latch, nullptr, {}, std::move(name)});
+  InstId id = static_cast<InstId>(instances_.size() - 1);
+  latches_.push_back(id);
+  return id;
+}
+
+void MappedNetlist::connect_latch(InstId latch, InstId d) {
+  DAGMAP_ASSERT(latch < instances_.size() &&
+                instances_[latch].kind == Instance::Kind::Latch);
+  DAGMAP_ASSERT_MSG(instances_[latch].fanins.empty(), "latch already wired");
+  DAGMAP_ASSERT(d < instances_.size());
+  instances_[latch].fanins.push_back(d);
+}
+
+InstId MappedNetlist::add_constant(bool value) {
+  instances_.push_back(
+      {value ? Instance::Kind::Const1 : Instance::Kind::Const0, nullptr, {}, {}});
+  return static_cast<InstId>(instances_.size() - 1);
+}
+
+InstId MappedNetlist::add_gate(const Gate* gate, std::vector<InstId> fanins,
+                               std::string name) {
+  DAGMAP_ASSERT(gate != nullptr);
+  DAGMAP_ASSERT_MSG(fanins.size() == gate->num_inputs(),
+                    "gate " + gate->name + " fanin count != pin count");
+  for (InstId f : fanins) DAGMAP_ASSERT(f < instances_.size());
+  instances_.push_back(
+      {Instance::Kind::GateInst, gate, std::move(fanins), std::move(name)});
+  return static_cast<InstId>(instances_.size() - 1);
+}
+
+void MappedNetlist::replace_gate(InstId inst, const Gate* gate) {
+  DAGMAP_ASSERT(inst < instances_.size() && gate != nullptr);
+  Instance& i = instances_[inst];
+  DAGMAP_ASSERT_MSG(i.kind == Instance::Kind::GateInst,
+                    "replace_gate target is not a gate instance");
+  DAGMAP_ASSERT_MSG(gate->num_inputs() == i.fanins.size(),
+                    "replacement gate pin count mismatch");
+  DAGMAP_ASSERT_MSG(gate->function == i.gate->function,
+                    "replacement gate is not functionally identical");
+  i.gate = gate;
+}
+
+void MappedNetlist::add_output(InstId inst, std::string name) {
+  DAGMAP_ASSERT(inst < instances_.size());
+  DAGMAP_ASSERT_MSG(!name.empty(), "primary outputs must be named");
+  outputs_.push_back({inst, std::move(name)});
+}
+
+const Instance& MappedNetlist::instance(InstId id) const {
+  DAGMAP_ASSERT(id < instances_.size());
+  return instances_[id];
+}
+
+std::size_t MappedNetlist::num_gates() const {
+  std::size_t n = 0;
+  for (const Instance& i : instances_)
+    if (i.kind == Instance::Kind::GateInst) ++n;
+  return n;
+}
+
+double MappedNetlist::total_area() const {
+  double a = 0.0;
+  for (const Instance& i : instances_)
+    if (i.kind == Instance::Kind::GateInst) a += i.gate->area;
+  return a;
+}
+
+std::map<std::string, std::size_t> MappedNetlist::gate_histogram() const {
+  std::map<std::string, std::size_t> h;
+  for (const Instance& i : instances_)
+    if (i.kind == Instance::Kind::GateInst) ++h[i.gate->name];
+  return h;
+}
+
+std::vector<InstId> MappedNetlist::topo_order() const {
+  std::vector<std::uint32_t> pending(instances_.size(), 0);
+  std::vector<std::vector<InstId>> outs(instances_.size());
+  for (InstId id = 0; id < instances_.size(); ++id) {
+    const Instance& inst = instances_[id];
+    if (inst.kind == Instance::Kind::Latch) continue;  // source
+    pending[id] = static_cast<std::uint32_t>(inst.fanins.size());
+    for (InstId f : inst.fanins) outs[f].push_back(id);
+  }
+  std::vector<InstId> order;
+  order.reserve(instances_.size());
+  for (InstId id = 0; id < instances_.size(); ++id)
+    if (pending[id] == 0) order.push_back(id);
+  for (std::size_t head = 0; head < order.size(); ++head)
+    for (InstId o : outs[order[head]])
+      if (--pending[o] == 0) order.push_back(o);
+  DAGMAP_ASSERT_MSG(order.size() == instances_.size(),
+                    "combinational cycle in mapped netlist");
+  return order;
+}
+
+void MappedNetlist::check() const {
+  for (InstId id = 0; id < instances_.size(); ++id) {
+    const Instance& inst = instances_[id];
+    switch (inst.kind) {
+      case Instance::Kind::PrimaryInput:
+      case Instance::Kind::Const0:
+      case Instance::Kind::Const1:
+        DAGMAP_ASSERT(inst.fanins.empty());
+        break;
+      case Instance::Kind::Latch:
+        DAGMAP_ASSERT_MSG(inst.fanins.size() == 1, "unwired latch");
+        break;
+      case Instance::Kind::GateInst:
+        DAGMAP_ASSERT(inst.gate != nullptr);
+        DAGMAP_ASSERT(inst.fanins.size() == inst.gate->num_inputs());
+        break;
+    }
+  }
+  for (const Output& o : outputs_) DAGMAP_ASSERT(o.node < instances_.size());
+  (void)topo_order();
+}
+
+Network MappedNetlist::to_network() const {
+  Network net(name_);
+  std::vector<NodeId> map(instances_.size(), kNullNode);
+  for (InstId id : inputs_) map[id] = net.add_input(instances_[id].name);
+  for (InstId id : latches_)
+    map[id] = net.add_latch_placeholder(instances_[id].name);
+  for (InstId id : topo_order()) {
+    if (map[id] != kNullNode) continue;
+    const Instance& inst = instances_[id];
+    switch (inst.kind) {
+      case Instance::Kind::Const0: map[id] = net.add_constant(false); break;
+      case Instance::Kind::Const1: map[id] = net.add_constant(true); break;
+      case Instance::Kind::GateInst: {
+        std::vector<NodeId> fanins;
+        fanins.reserve(inst.fanins.size());
+        for (InstId f : inst.fanins) fanins.push_back(map[f]);
+        map[id] = net.add_logic(std::move(fanins), inst.gate->function,
+                                inst.name);
+        break;
+      }
+      default:
+        DAGMAP_ASSERT_MSG(false, "source not pre-mapped");
+    }
+  }
+  for (InstId l : latches_)
+    net.connect_latch(map[l], map[instances_[l].fanins.at(0)]);
+  for (const Output& o : outputs_) net.add_output(map[o.node], o.name);
+  return net;
+}
+
+}  // namespace dagmap

@@ -1,0 +1,98 @@
+// Mapped netlists: the output of technology mapping.
+//
+// A `MappedNetlist` is a DAG of library-gate instances (plus primary
+// inputs, latches and constants).  It is a separate type from `Network`
+// so that area and gate-level timing are first-class, but it converts to
+// a `Network` (each gate instance becomes a generic logic node carrying
+// the gate's function) for simulation-based equivalence checking.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "library/gate_library.hpp"
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+/// Index of an instance inside its `MappedNetlist`.
+using InstId = std::uint32_t;
+
+inline constexpr InstId kNullInst = 0xFFFFFFFFu;
+
+/// One element of a mapped netlist.
+struct Instance {
+  enum class Kind : std::uint8_t {
+    PrimaryInput,
+    Latch,   ///< D latch; fanins[0] is the D driver
+    GateInst,  ///< instance of `gate`; fanins follow the gate's pin order
+    Const0,
+    Const1,
+  };
+
+  Kind kind = Kind::GateInst;
+  const Gate* gate = nullptr;
+  std::vector<InstId> fanins;
+  std::string name;
+};
+
+/// A technology-mapped circuit.
+class MappedNetlist {
+ public:
+  MappedNetlist() = default;
+  explicit MappedNetlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  InstId add_input(std::string name);
+  InstId add_latch_placeholder(std::string name = {});
+  void connect_latch(InstId latch, InstId d);
+  InstId add_constant(bool value);
+  /// Adds a gate instance; `fanins.size()` must equal the gate's pin
+  /// count and fanins follow pin order.
+  InstId add_gate(const Gate* gate, std::vector<InstId> fanins,
+                  std::string name = {});
+
+  /// Swaps the gate of an existing instance for a functionally identical
+  /// one with the same pin count (used by the sizing pass).
+  void replace_gate(InstId inst, const Gate* gate);
+  void add_output(InstId inst, std::string name);
+
+  std::size_t size() const { return instances_.size(); }
+  const Instance& instance(InstId id) const;
+  std::span<const InstId> inputs() const { return inputs_; }
+  std::span<const InstId> latches() const { return latches_; }
+  std::span<const Output> outputs() const { return outputs_; }
+
+  /// Gate instances only (excludes sources/constants).
+  std::size_t num_gates() const;
+
+  /// Sum of instance gate areas — the "Area" column of the paper's
+  /// tables.
+  double total_area() const;
+
+  /// Gate-name -> instance-count histogram (reporting aid).
+  std::map<std::string, std::size_t> gate_histogram() const;
+
+  /// Instances in topological order (latch outputs are sources).
+  std::vector<InstId> topo_order() const;
+
+  /// Structural sanity check (fanin arity vs pin count, acyclicity).
+  void check() const;
+
+  /// Converts to a logic network for simulation/equivalence: gate
+  /// instances become `Logic` nodes with the gate's truth table.
+  Network to_network() const;
+
+ private:
+  std::string name_;
+  std::vector<Instance> instances_;
+  std::vector<InstId> inputs_;
+  std::vector<InstId> latches_;
+  std::vector<Output> outputs_;  // Output::node indexes instances
+};
+
+}  // namespace dagmap

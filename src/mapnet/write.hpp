@@ -1,0 +1,38 @@
+// Writers for mapped netlists: mapped BLIF (.gate statements, the format
+// SIS emits after `map`) and structural Verilog.
+//
+// Both writers name every net deterministically (PI/PO/latch names
+// preserved, internal nets n<id>), so output is stable across runs and
+// diffable in tests.
+#pragma once
+
+#include <string>
+
+#include "mapnet/mapped_netlist.hpp"
+
+namespace dagmap {
+
+/// Mapped BLIF: `.gate <cell> <pin>=<net> ... O=<net>` per instance,
+/// `.latch` per register.  Readable back by SIS-compatible tools.
+std::string write_mapped_blif(const MappedNetlist& net);
+
+/// Structural Verilog: one module with cell instantiations
+/// `cell_name inst_id (.a(net), ..., .O(net));`.  Gate names are
+/// sanitized into valid Verilog identifiers.
+std::string write_mapped_verilog(const MappedNetlist& net);
+
+/// Writes either format to a file (dispatch on extension: .blif / .v).
+void write_mapped_file(const MappedNetlist& net, const std::string& path);
+
+/// Reads a mapped BLIF (.gate statements) back into a MappedNetlist,
+/// resolving cell names against `lib` (which must outlive the result).
+/// Plain `.names` blocks are accepted only as constants and single-input
+/// identity aliases (what `write_mapped_blif` emits).
+MappedNetlist parse_mapped_blif(const std::string& text,
+                                const GateLibrary& lib);
+
+/// Reads a mapped BLIF file from disk.
+MappedNetlist read_mapped_blif_file(const std::string& path,
+                                    const GateLibrary& lib);
+
+}  // namespace dagmap

@@ -1,0 +1,246 @@
+#include "match/matcher.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+const char* to_string(MatchClass mc) {
+  switch (mc) {
+    case MatchClass::Exact: return "exact";
+    case MatchClass::Standard: return "standard";
+    case MatchClass::Extended: return "extended";
+  }
+  return "?";
+}
+
+double match_arrival(const Match& m, std::span<const double> leaf_arrival) {
+  double arrival = 0.0;
+  for (std::size_t pin = 0; pin < m.pin_binding.size(); ++pin) {
+    double a = leaf_arrival[m.pin_binding[pin]] + m.gate->pins[pin].delay();
+    arrival = std::max(arrival, a);
+  }
+  return arrival;
+}
+
+namespace {
+
+// Symmetry hash of each pattern subtree: leaves hash by their pin's
+// *delay*, not its index, so two children of a NAND with equal hashes are
+// interchangeable both structurally and in cost.  Trying both child
+// orders for such children only permutes cost-equivalent pins, so the
+// swapped order is pruned.
+std::vector<std::uint64_t> symmetry_hashes(const PatternGraph& pg,
+                                           const Gate& gate) {
+  std::vector<std::uint64_t> h(pg.nodes.size());
+  for (std::size_t i = 0; i < pg.nodes.size(); ++i) {
+    const PatternNode& n = pg.nodes[i];
+    switch (n.kind) {
+      case PatternNode::Kind::Leaf: {
+        double d = gate.pins[n.pin].delay();
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        h[i] = bits * 0x9E3779B97F4A7C15ull + 0x51ED0BADull;
+        break;
+      }
+      case PatternNode::Kind::Inv:
+        h[i] = h[n.fanin0] * 0xBF58476D1CE4E5B9ull + 0x94D049BB133111EBull;
+        break;
+      case PatternNode::Kind::Nand2: {
+        std::uint64_t a = h[n.fanin0], b = h[n.fanin1];
+        if (a > b) std::swap(a, b);
+        h[i] = (a ^ (b * 0xFF51AFD7ED558CCDull)) + 0xC4CEB9FE1A85EC53ull;
+        break;
+      }
+    }
+  }
+  return h;
+}
+
+// Bounded enumerator of all bindings of one pattern at one root.
+class Enumerator {
+ public:
+  Enumerator(const Network& subject, const PatternGraph& pg,
+             const std::vector<std::uint64_t>& sym, std::uint64_t budget)
+      : subject_(subject), pg_(pg), sym_(sym), budget_(budget) {
+    bind_.assign(pg.nodes.size(), kNullNode);
+  }
+
+  /// Enumerates every complete binding; `on_complete` reads `bind()`.
+  void run(NodeId root, const std::function<void()>& on_complete) {
+    on_complete_ = &on_complete;
+    todo_.clear();
+    todo_.push_back({pg_.root, root});
+    recurse();
+  }
+
+  const std::vector<NodeId>& bind() const { return bind_; }
+  bool truncated() const { return budget_ == 0; }
+
+ private:
+  void recurse() {
+    if (budget_ == 0) return;
+    --budget_;
+    if (todo_.empty()) {
+      (*on_complete_)();
+      return;
+    }
+    auto [p, s] = todo_.back();
+    todo_.pop_back();
+
+    if (bind_[p] != kNullNode) {
+      if (bind_[p] == s) recurse();
+      todo_.push_back({p, s});
+      return;
+    }
+
+    const PatternNode& pn = pg_.nodes[p];
+    switch (pn.kind) {
+      case PatternNode::Kind::Leaf:
+        bind_[p] = s;
+        recurse();
+        bind_[p] = kNullNode;
+        break;
+
+      case PatternNode::Kind::Inv:
+        if (subject_.kind(s) == NodeKind::Inv) {
+          bind_[p] = s;
+          todo_.push_back(
+              {static_cast<std::uint32_t>(pn.fanin0), subject_.fanins(s)[0]});
+          recurse();
+          todo_.pop_back();
+          bind_[p] = kNullNode;
+        }
+        break;
+
+      case PatternNode::Kind::Nand2:
+        if (subject_.kind(s) == NodeKind::Nand2) {
+          bind_[p] = s;
+          NodeId s0 = subject_.fanins(s)[0];
+          NodeId s1 = subject_.fanins(s)[1];
+          auto p0 = static_cast<std::uint32_t>(pn.fanin0);
+          auto p1 = static_cast<std::uint32_t>(pn.fanin1);
+          todo_.push_back({p0, s0});
+          todo_.push_back({p1, s1});
+          recurse();
+          todo_.pop_back();
+          todo_.pop_back();
+          // The swapped pairing explores genuinely new matches only when
+          // the children are not symmetric (or the subject children
+          // differ — matching x,x to symmetric children twice is also
+          // redundant).
+          if (sym_[p0] != sym_[p1] && s0 != s1) {
+            todo_.push_back({p0, s1});
+            todo_.push_back({p1, s0});
+            recurse();
+            todo_.pop_back();
+            todo_.pop_back();
+          }
+          bind_[p] = kNullNode;
+        }
+        break;
+    }
+    todo_.push_back({p, s});
+  }
+
+  const Network& subject_;
+  const PatternGraph& pg_;
+  const std::vector<std::uint64_t>& sym_;
+  std::uint64_t budget_;
+  std::vector<NodeId> bind_;
+  std::vector<std::pair<std::uint32_t, NodeId>> todo_;
+  const std::function<void()>* on_complete_ = nullptr;
+};
+
+}  // namespace
+
+Matcher::Matcher(const GateLibrary& lib, const Network& subject)
+    : lib_(lib), subject_(subject), fanout_counts_(subject.fanout_counts()) {
+  DAGMAP_ASSERT_MSG(subject.is_subject_graph(),
+                    "matcher requires a NAND2/INV subject graph");
+  for (const Gate& g : lib_.gates()) {
+    for (const PatternGraph& p : g.patterns) {
+      const PatternNode& root = p.nodes[p.root];
+      PatternRef ref{&g, &p, symmetry_hashes(p, g)};
+      if (root.kind == PatternNode::Kind::Inv)
+        inv_rooted_.push_back(std::move(ref));
+      else if (root.kind == PatternNode::Kind::Nand2)
+        nand_rooted_.push_back(std::move(ref));
+      // Leaf-rooted patterns (buffers) are excluded by pattern generation.
+    }
+  }
+}
+
+void Matcher::for_each_match(NodeId root, MatchClass mc,
+                             const MatchCallback& cb) const {
+  NodeKind rk = subject_.kind(root);
+  DAGMAP_ASSERT_MSG(rk == NodeKind::Nand2 || rk == NodeKind::Inv,
+                    "matching roots must be internal subject nodes");
+  const std::vector<PatternRef>& candidates =
+      rk == NodeKind::Inv ? inv_rooted_ : nand_rooted_;
+
+  // Deduplicate complete matches (symmetric patterns can reach the same
+  // binding through different child orders).
+  std::unordered_set<std::uint64_t> seen;
+
+  for (const PatternRef& ref : candidates) {
+    const PatternGraph& pg = *ref.pattern;
+    ++attempts_;
+    Enumerator en(subject_, pg, ref.sym_hash, kEnumerationBudget);
+    en.run(root, [&] {
+      const std::vector<NodeId>& bind = en.bind();
+
+      // One-to-one check (Standard and Exact; Definitions 1/2).
+      if (mc != MatchClass::Extended) {
+        std::vector<NodeId> sorted(bind);
+        std::sort(sorted.begin(), sorted.end());
+        if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+          return;
+      }
+
+      // Exact-match fanout condition (Definition 2 condition 3): every
+      // covered non-root pattern node's subject image must have exactly
+      // the pattern node's out-degree.
+      if (mc == MatchClass::Exact) {
+        auto out_deg = pg.out_degrees();
+        for (std::uint32_t p = 0; p < pg.nodes.size(); ++p) {
+          if (p == pg.root || pg.nodes[p].kind == PatternNode::Kind::Leaf)
+            continue;
+          if (fanout_counts_[bind[p]] != out_deg[p]) return;
+        }
+      }
+
+      Match m;
+      m.gate = ref.gate;
+      m.pattern = ref.pattern;
+      m.pin_binding.assign(ref.gate->num_inputs(), kNullNode);
+      for (std::uint32_t p = 0; p < pg.nodes.size(); ++p) {
+        const PatternNode& pn = pg.nodes[p];
+        if (pn.kind == PatternNode::Kind::Leaf)
+          m.pin_binding[pn.pin] = bind[p];
+        else
+          m.covered.push_back(bind[p]);
+      }
+      for (NodeId leaf : m.pin_binding) DAGMAP_ASSERT(leaf != kNullNode);
+
+      std::uint64_t key = std::hash<const void*>{}(ref.gate);
+      for (NodeId leaf : m.pin_binding)
+        key = key * 0x100000001B3ull ^ (leaf + 1);
+      if (!seen.insert(key).second) return;
+
+      cb(m);
+    });
+    if (en.truncated()) ++truncations_;
+  }
+}
+
+std::vector<Match> Matcher::matches_at(NodeId root, MatchClass mc) const {
+  std::vector<Match> out;
+  for_each_match(root, mc, [&](const Match& m) { out.push_back(m); });
+  return out;
+}
+
+}  // namespace dagmap

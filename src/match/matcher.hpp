@@ -1,0 +1,98 @@
+// Structural matching of pattern graphs on subject graphs (§3.2).
+//
+// Three match classes, in increasing permissiveness:
+//   * Exact    — Rudell's tree-covering matches (Definition 2): fanout of
+//                every covered internal subject node must be fully inside
+//                the match.  Used by the baseline tree mapper.
+//   * Standard — Definition 1: internal subject nodes may drive logic
+//                outside the match, but the pattern-node -> subject-node
+//                map is one-to-one.  The paper's experimental setting.
+//   * Extended — Definition 3: the one-to-one requirement is dropped, so
+//                the match may "unfold" the subject DAG, binding the same
+//                subject node to several pattern nodes (Figure 1).
+//
+// Matching is a backtracking walk of the pattern DAG against the subject
+// DAG, trying both orders of every NAND2's children (commutativity) and
+// binding shared pattern nodes consistently.  Complexity per root is
+// O(p) for tree patterns in the paper's sense; the implementation prunes
+// on node kinds so failed gates abort after a few nodes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "library/gate_library.hpp"
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+/// Which of the paper's match definitions to enumerate.
+enum class MatchClass : std::uint8_t { Exact, Standard, Extended };
+
+const char* to_string(MatchClass mc);
+
+/// One successful match of a library gate rooted at a subject node.
+struct Match {
+  const Gate* gate = nullptr;
+  const PatternGraph* pattern = nullptr;
+  /// Subject node feeding gate pin i (the match "leaves").
+  std::vector<NodeId> pin_binding;
+  /// Internal subject nodes covered by the match, root included
+  /// (duplicates possible under Extended matches).
+  std::vector<NodeId> covered;
+};
+
+/// Arrival time at the match root if each leaf is available at
+/// `leaf_arrival[pin_binding[i]]`: max over pins of (leaf arrival + pin
+/// intrinsic delay).  This is the paper's load-independent cost.
+double match_arrival(const Match& m, std::span<const double> leaf_arrival);
+
+/// Enumerates matches of every library gate rooted at subject nodes.
+class Matcher {
+ public:
+  /// Both references must outlive the matcher.  Precondition: `subject`
+  /// is a NAND2/INV subject graph.
+  Matcher(const GateLibrary& lib, const Network& subject);
+
+  using MatchCallback = std::function<void(const Match&)>;
+
+  /// Invokes `cb` for every deduplicated match rooted at `root`.
+  /// `root` must be an internal (NAND2/INV) node.
+  void for_each_match(NodeId root, MatchClass mc,
+                      const MatchCallback& cb) const;
+
+  /// Convenience: collects the matches at `root` into a vector.
+  std::vector<Match> matches_at(NodeId root, MatchClass mc) const;
+
+  /// Total number of (root, pattern) match attempts so far (statistics).
+  std::uint64_t attempts() const { return attempts_; }
+
+  /// Number of attempts that hit the enumeration budget (symmetric
+  /// patterns on highly regular subjects); their match lists are sound
+  /// but possibly incomplete.
+  std::uint64_t truncations() const { return truncations_; }
+
+  /// Safety valve per (root, pattern): backtracking steps before the
+  /// enumeration is cut off.
+  static constexpr std::uint64_t kEnumerationBudget = 50'000;
+
+ private:
+  struct PatternRef {
+    const Gate* gate;
+    const PatternGraph* pattern;
+    std::vector<std::uint64_t> sym_hash;
+  };
+
+  const GateLibrary& lib_;
+  const Network& subject_;
+  std::vector<std::uint32_t> fanout_counts_;
+  /// Patterns bucketed by root node kind (Inv / Nand2) for pruning.
+  std::vector<PatternRef> inv_rooted_;
+  std::vector<PatternRef> nand_rooted_;
+  mutable std::uint64_t attempts_ = 0;
+  mutable std::uint64_t truncations_ = 0;
+};
+
+}  // namespace dagmap

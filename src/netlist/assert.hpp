@@ -1,0 +1,44 @@
+// Lightweight contract-checking support used across the dagmap libraries.
+//
+// Invariant violations are programming errors: they throw `ContractError`
+// so that tests can observe them and tools fail loudly instead of silently
+// producing wrong mappings.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dagmap {
+
+/// Thrown when an internal invariant or a caller-side precondition is
+/// violated.  Carries the failing expression and source location.
+class ContractError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* expr, const char* file,
+                                          int line, const std::string& msg) {
+  std::string what = std::string("contract violated: ") + expr + " at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) what += " (" + msg + ")";
+  throw ContractError(what);
+}
+}  // namespace detail
+
+}  // namespace dagmap
+
+/// Check an invariant/precondition; throws dagmap::ContractError on failure.
+#define DAGMAP_ASSERT(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::dagmap::detail::contract_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Same as DAGMAP_ASSERT but with an explanatory message.
+#define DAGMAP_ASSERT_MSG(expr, msg)                                       \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::dagmap::detail::contract_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

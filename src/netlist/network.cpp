@@ -1,0 +1,360 @@
+#include "netlist/network.hpp"
+
+#include <algorithm>
+
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::PrimaryInput: return "pi";
+    case NodeKind::Const0: return "const0";
+    case NodeKind::Const1: return "const1";
+    case NodeKind::Inv: return "inv";
+    case NodeKind::Nand2: return "nand2";
+    case NodeKind::Logic: return "logic";
+    case NodeKind::Latch: return "latch";
+  }
+  return "?";
+}
+
+NodeId Network::add_node(Node n) {
+  for (NodeId f : n.fanins)
+    DAGMAP_ASSERT_MSG(f < nodes_.size(), "fanin out of range");
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Network::add_input(std::string name) {
+  DAGMAP_ASSERT_MSG(!name.empty(), "primary inputs must be named");
+  NodeId id = add_node({NodeKind::PrimaryInput, {}, {}, std::move(name)});
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Network::add_constant(bool value) {
+  return add_node(
+      {value ? NodeKind::Const1 : NodeKind::Const0, {}, {}, {}});
+}
+
+NodeId Network::add_inv(NodeId a, std::string name) {
+  return add_node({NodeKind::Inv, {a}, {}, std::move(name)});
+}
+
+NodeId Network::add_nand2(NodeId a, NodeId b, std::string name) {
+  return add_node({NodeKind::Nand2, {a, b}, {}, std::move(name)});
+}
+
+NodeId Network::add_logic(std::vector<NodeId> fanins, TruthTable function,
+                          std::string name) {
+  DAGMAP_ASSERT_MSG(function.num_vars() == fanins.size(),
+                    "function arity != fanin count");
+  DAGMAP_ASSERT_MSG(fanins.size() <= TruthTable::kMaxVars,
+                    "too many fanins on a logic node");
+  return add_node(
+      {NodeKind::Logic, std::move(fanins), std::move(function), std::move(name)});
+}
+
+NodeId Network::add_latch(NodeId d, std::string name) {
+  NodeId id = add_node({NodeKind::Latch, {d}, {}, std::move(name)});
+  latches_.push_back(id);
+  return id;
+}
+
+NodeId Network::add_latch_placeholder(std::string name) {
+  NodeId id = add_node({NodeKind::Latch, {}, {}, std::move(name)});
+  latches_.push_back(id);
+  return id;
+}
+
+void Network::connect_latch(NodeId latch, NodeId d) {
+  DAGMAP_ASSERT_MSG(latch < nodes_.size() &&
+                        nodes_[latch].kind == NodeKind::Latch,
+                    "connect_latch target is not a latch");
+  DAGMAP_ASSERT_MSG(nodes_[latch].fanins.empty(),
+                    "latch D input already connected");
+  DAGMAP_ASSERT_MSG(d < nodes_.size(), "latch D input out of range");
+  nodes_[latch].fanins.push_back(d);
+}
+
+void Network::add_output(NodeId node, std::string name) {
+  DAGMAP_ASSERT_MSG(node < nodes_.size(), "PO node out of range");
+  DAGMAP_ASSERT_MSG(!name.empty(), "primary outputs must be named");
+  outputs_.push_back({node, std::move(name)});
+}
+
+void Network::redirect_output(std::size_t output_index, NodeId node) {
+  DAGMAP_ASSERT(output_index < outputs_.size());
+  DAGMAP_ASSERT(node < nodes_.size());
+  outputs_[output_index].node = node;
+}
+
+void Network::redirect_latch_input(NodeId latch, NodeId d) {
+  DAGMAP_ASSERT(latch < nodes_.size() &&
+                nodes_[latch].kind == NodeKind::Latch);
+  DAGMAP_ASSERT_MSG(nodes_[latch].fanins.size() == 1,
+                    "latch not yet connected");
+  DAGMAP_ASSERT(d < nodes_.size());
+  nodes_[latch].fanins[0] = d;
+}
+
+NodeId Network::add_and(NodeId a, NodeId b, std::string name) {
+  return add_logic({a, b}, TruthTable::from_bits(0b1000, 2), std::move(name));
+}
+
+NodeId Network::add_or(NodeId a, NodeId b, std::string name) {
+  return add_logic({a, b}, TruthTable::from_bits(0b1110, 2), std::move(name));
+}
+
+NodeId Network::add_xor(NodeId a, NodeId b, std::string name) {
+  return add_logic({a, b}, TruthTable::from_bits(0b0110, 2), std::move(name));
+}
+
+NodeId Network::add_and(std::span<const NodeId> ins, std::string name) {
+  DAGMAP_ASSERT(!ins.empty() && ins.size() <= TruthTable::kMaxVars);
+  unsigned n = static_cast<unsigned>(ins.size());
+  TruthTable f = TruthTable::constant(true, n);
+  for (unsigned i = 0; i < n; ++i) f = f & TruthTable::variable(i, n);
+  return add_logic({ins.begin(), ins.end()}, std::move(f), std::move(name));
+}
+
+NodeId Network::add_or(std::span<const NodeId> ins, std::string name) {
+  DAGMAP_ASSERT(!ins.empty() && ins.size() <= TruthTable::kMaxVars);
+  unsigned n = static_cast<unsigned>(ins.size());
+  TruthTable f = TruthTable::constant(false, n);
+  for (unsigned i = 0; i < n; ++i) f = f | TruthTable::variable(i, n);
+  return add_logic({ins.begin(), ins.end()}, std::move(f), std::move(name));
+}
+
+NodeId Network::add_mux(NodeId sel, NodeId then_in, NodeId else_in,
+                        std::string name) {
+  // Variables: 0 = sel, 1 = then, 2 = else; f = sel ? then : else.
+  TruthTable s = TruthTable::variable(0, 3);
+  TruthTable t = TruthTable::variable(1, 3);
+  TruthTable e = TruthTable::variable(2, 3);
+  return add_logic({sel, then_in, else_in}, (s & t) | (~s & e),
+                   std::move(name));
+}
+
+NodeId Network::add_maj3(NodeId a, NodeId b, NodeId c, std::string name) {
+  TruthTable x = TruthTable::variable(0, 3);
+  TruthTable y = TruthTable::variable(1, 3);
+  TruthTable z = TruthTable::variable(2, 3);
+  return add_logic({a, b, c}, (x & y) | (y & z) | (x & z), std::move(name));
+}
+
+const Node& Network::node(NodeId id) const {
+  DAGMAP_ASSERT_MSG(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+bool Network::is_source(NodeId id) const {
+  switch (kind(id)) {
+    case NodeKind::PrimaryInput:
+    case NodeKind::Const0:
+    case NodeKind::Const1:
+    case NodeKind::Latch:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::size_t Network::num_internal() const {
+  std::size_t n = 0;
+  for (NodeId id = 0; id < nodes_.size(); ++id)
+    if (!is_source(id)) ++n;
+  return n;
+}
+
+std::size_t Network::count_kind(NodeKind k) const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [k](const Node& n) { return n.kind == k; }));
+}
+
+TruthTable Network::local_function(NodeId id) const {
+  const Node& n = node(id);
+  switch (n.kind) {
+    case NodeKind::Const0: return TruthTable::constant(false, 0);
+    case NodeKind::Const1: return TruthTable::constant(true, 0);
+    case NodeKind::Inv: return ~TruthTable::variable(0, 1);
+    case NodeKind::Nand2:
+      return ~(TruthTable::variable(0, 2) & TruthTable::variable(1, 2));
+    case NodeKind::Logic: return n.function;
+    case NodeKind::PrimaryInput:
+    case NodeKind::Latch:
+      DAGMAP_ASSERT_MSG(false, "sources have no local function");
+  }
+  return {};
+}
+
+std::vector<NodeId> Network::topo_order() const {
+  // Kahn's algorithm over combinational edges; latch D-edges do not count
+  // as incoming edges of the latch (latch outputs are sources).
+  std::vector<std::uint32_t> pending(nodes_.size(), 0);
+  for (NodeId id = 0; id < nodes_.size(); ++id)
+    if (!is_source(id))
+      pending[id] = static_cast<std::uint32_t>(nodes_[id].fanins.size());
+
+  std::vector<std::vector<NodeId>> outs(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (kind(id) == NodeKind::Latch) continue;  // no combinational in-edges
+    for (NodeId f : nodes_[id].fanins) outs[f].push_back(id);
+  }
+
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id)
+    if (is_source(id)) order.push_back(id);
+
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    NodeId n = order[head];
+    for (NodeId o : outs[n])
+      if (--pending[o] == 0) order.push_back(o);
+  }
+  DAGMAP_ASSERT_MSG(order.size() == nodes_.size(),
+                    "combinational cycle detected");
+  return order;
+}
+
+std::vector<std::uint32_t> Network::fanout_counts() const {
+  std::vector<std::uint32_t> counts(nodes_.size(), 0);
+  for (const Node& n : nodes_)
+    for (NodeId f : n.fanins) ++counts[f];
+  for (const Output& o : outputs_) ++counts[o.node];
+  return counts;
+}
+
+std::vector<std::vector<NodeId>> Network::fanout_lists() const {
+  std::vector<std::vector<NodeId>> outs(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id)
+    for (NodeId f : nodes_[id].fanins) outs[f].push_back(id);
+  return outs;
+}
+
+std::vector<NodeId> Network::transitive_fanin(NodeId root) const {
+  std::vector<NodeId> stack{root}, result;
+  std::vector<bool> seen(nodes_.size(), false);
+  seen[root] = true;
+  while (!stack.empty()) {
+    NodeId n = stack.back();
+    stack.pop_back();
+    result.push_back(n);
+    if (is_source(n)) continue;
+    for (NodeId f : nodes_[n].fanins)
+      if (!seen[f]) {
+        seen[f] = true;
+        stack.push_back(f);
+      }
+  }
+  return result;
+}
+
+bool Network::is_subject_graph() const {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (is_source(id)) continue;
+    NodeKind k = kind(id);
+    if (k != NodeKind::Nand2 && k != NodeKind::Inv) return false;
+  }
+  return true;
+}
+
+bool Network::is_k_bounded(unsigned k) const {
+  return std::all_of(nodes_.begin(), nodes_.end(), [k](const Node& n) {
+    return n.fanins.size() <= k;
+  });
+}
+
+unsigned Network::depth() const {
+  std::vector<unsigned> level(nodes_.size(), 0);
+  unsigned d = 0;
+  for (NodeId id : topo_order()) {
+    if (is_source(id)) continue;
+    unsigned lv = 0;
+    for (NodeId f : nodes_[id].fanins) lv = std::max(lv, level[f]);
+    level[id] = lv + 1;
+    d = std::max(d, level[id]);
+  }
+  return d;
+}
+
+void Network::check() const {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    for (NodeId f : n.fanins)
+      DAGMAP_ASSERT_MSG(f < nodes_.size(), "fanin out of range");
+    switch (n.kind) {
+      case NodeKind::PrimaryInput:
+      case NodeKind::Const0:
+      case NodeKind::Const1:
+        DAGMAP_ASSERT_MSG(n.fanins.empty(), "source node with fanins");
+        break;
+      case NodeKind::Inv:
+      case NodeKind::Latch:
+        DAGMAP_ASSERT_MSG(n.fanins.size() == 1, "inv/latch needs 1 fanin");
+        break;
+      case NodeKind::Nand2:
+        DAGMAP_ASSERT_MSG(n.fanins.size() == 2, "nand2 needs 2 fanins");
+        break;
+      case NodeKind::Logic:
+        DAGMAP_ASSERT_MSG(n.function.num_vars() == n.fanins.size(),
+                          "logic arity mismatch");
+        break;
+    }
+  }
+  for (const Output& o : outputs_)
+    DAGMAP_ASSERT_MSG(o.node < nodes_.size(), "PO out of range");
+  (void)topo_order();  // throws on combinational cycles
+}
+
+std::pair<Network, std::vector<NodeId>> Network::cleaned_copy() const {
+  std::vector<bool> live(nodes_.size(), false);
+  std::vector<NodeId> stack;
+  auto mark = [&](NodeId id) {
+    if (!live[id]) {
+      live[id] = true;
+      stack.push_back(id);
+    }
+  };
+  for (const Output& o : outputs_) mark(o.node);
+  for (NodeId l : latches_) mark(l);
+  while (!stack.empty()) {
+    NodeId id = stack.back();
+    stack.pop_back();
+    for (NodeId f : nodes_[id].fanins) mark(f);
+  }
+  // Keep all primary inputs so the interface is preserved.
+  for (NodeId pi : inputs_) live[pi] = true;
+
+  Network out(name_);
+  std::vector<NodeId> remap(nodes_.size(), kNullNode);
+  for (NodeId id : topo_order()) {
+    if (!live[id]) continue;
+    const Node& n = nodes_[id];
+    Node copy = n;
+    copy.fanins.clear();
+    if (n.kind != NodeKind::Latch) {
+      for (NodeId f : n.fanins) {
+        DAGMAP_ASSERT(remap[f] != kNullNode);
+        copy.fanins.push_back(remap[f]);
+      }
+    }
+    NodeId nid = out.add_node(std::move(copy));
+    remap[id] = nid;
+    if (n.kind == NodeKind::PrimaryInput) out.inputs_.push_back(nid);
+    if (n.kind == NodeKind::Latch) out.latches_.push_back(nid);
+  }
+  // Latch D inputs may close cycles; connect them once everything exists.
+  for (NodeId id : latches_) {
+    if (!live[id] || nodes_[id].fanins.empty()) continue;
+    NodeId d = nodes_[id].fanins[0];
+    DAGMAP_ASSERT(remap[d] != kNullNode);
+    out.connect_latch(remap[id], remap[d]);
+  }
+  for (const Output& o : outputs_) out.add_output(remap[o.node], o.name);
+  return {std::move(out), std::move(remap)};
+}
+
+}  // namespace dagmap

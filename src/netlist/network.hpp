@@ -1,0 +1,204 @@
+// The Boolean network: the single graph representation used throughout the
+// library.
+//
+// A `Network` is a directed graph of logic nodes.  Three usage profiles
+// share the class:
+//   * generic technology-independent networks (kind `Logic`, each node
+//     carries a truth table over its fanins) — what circuit generators and
+//     the BLIF reader produce;
+//   * *subject graphs* in the paper's sense: every internal node is a
+//     two-input NAND (`Nand2`) or an inverter (`Inv`) — what technology
+//     decomposition produces and what the mappers consume;
+//   * sequential circuits: `Latch` nodes are single-fanin, edge-triggered
+//     storage elements; their output is treated as a combinational source.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/truth_table.hpp"
+
+namespace dagmap {
+
+/// Index of a node inside its `Network`.  Stable across node additions
+/// (nodes are never removed; dead logic is dropped by `cleaned_copy`).
+using NodeId = std::uint32_t;
+
+/// Sentinel "no node" value.
+inline constexpr NodeId kNullNode = std::numeric_limits<NodeId>::max();
+
+/// Discriminates the node types a `Network` can hold.
+enum class NodeKind : std::uint8_t {
+  PrimaryInput,  ///< external input; no fanins
+  Const0,        ///< constant 0; no fanins
+  Const1,        ///< constant 1; no fanins
+  Inv,           ///< inverter; exactly one fanin
+  Nand2,         ///< two-input NAND; exactly two fanins
+  Logic,         ///< generic node; truth table over its fanins (<= 16)
+  Latch,         ///< edge-triggered latch; one fanin (D); output = Q
+};
+
+/// Human-readable name of a node kind ("nand2", "pi", ...).
+const char* to_string(NodeKind kind);
+
+/// One node of a `Network`.  Plain data; invariants (fanin counts per
+/// kind, acyclicity) are maintained by the `Network` builder methods.
+struct Node {
+  NodeKind kind = NodeKind::Logic;
+  std::vector<NodeId> fanins;
+  /// Local function over `fanins` (meaningful for `Logic` nodes only;
+  /// the function of Nand2/Inv is implied by the kind).
+  TruthTable function;
+  /// Optional name (always set for primary inputs and latches).
+  std::string name;
+};
+
+/// A named primary output: a reference to the node that drives it.
+struct Output {
+  NodeId node = kNullNode;
+  std::string name;
+};
+
+/// Directed acyclic Boolean network (combinational cycles are rejected;
+/// cycles through latches are allowed).
+class Network {
+ public:
+  Network() = default;
+  explicit Network(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // ---- construction -----------------------------------------------------
+
+  /// Adds a primary input named `name` (names must be unique among PIs).
+  NodeId add_input(std::string name);
+
+  /// Adds a constant node.
+  NodeId add_constant(bool value);
+
+  /// Adds an inverter driven by `a`.
+  NodeId add_inv(NodeId a, std::string name = {});
+
+  /// Adds a two-input NAND driven by `a` and `b`.
+  NodeId add_nand2(NodeId a, NodeId b, std::string name = {});
+
+  /// Adds a generic logic node computing `function` over `fanins`
+  /// (function arity must equal the fanin count; at most 16 fanins).
+  NodeId add_logic(std::vector<NodeId> fanins, TruthTable function,
+                   std::string name = {});
+
+  /// Adds an edge-triggered latch with data input `d` (initial value 0).
+  NodeId add_latch(NodeId d, std::string name = {});
+
+  /// Adds a latch whose data input is not known yet (feedback through the
+  /// latch); it must be connected with `connect_latch` before `check()`.
+  NodeId add_latch_placeholder(std::string name = {});
+
+  /// Connects the D input of a placeholder latch.
+  void connect_latch(NodeId latch, NodeId d);
+
+  /// Declares `node` as the primary output named `name`.
+  void add_output(NodeId node, std::string name);
+
+  /// Re-points an existing primary output at `node` (used by
+  /// choice-based mapping to select among equivalent decompositions).
+  void redirect_output(std::size_t output_index, NodeId node);
+
+  /// Re-points a latch's D input at `node` (same use as
+  /// `redirect_output`; the latch must already be connected).
+  void redirect_latch_input(NodeId latch, NodeId d);
+
+  // Convenience builders on top of add_logic (named AND/OR/XOR/... are the
+  // vocabulary of the circuit generators).
+  NodeId add_and(NodeId a, NodeId b, std::string name = {});
+  NodeId add_or(NodeId a, NodeId b, std::string name = {});
+  NodeId add_xor(NodeId a, NodeId b, std::string name = {});
+  NodeId add_and(std::span<const NodeId> ins, std::string name = {});
+  NodeId add_or(std::span<const NodeId> ins, std::string name = {});
+  NodeId add_mux(NodeId sel, NodeId then_in, NodeId else_in,
+                 std::string name = {});
+  NodeId add_maj3(NodeId a, NodeId b, NodeId c, std::string name = {});
+
+  // ---- access -----------------------------------------------------------
+
+  std::size_t size() const { return nodes_.size(); }
+  const Node& node(NodeId id) const;
+  NodeKind kind(NodeId id) const { return node(id).kind; }
+  std::span<const NodeId> fanins(NodeId id) const { return node(id).fanins; }
+
+  std::span<const NodeId> inputs() const { return inputs_; }
+  std::span<const NodeId> latches() const { return latches_; }
+  std::span<const Output> outputs() const { return outputs_; }
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+  std::size_t num_latches() const { return latches_.size(); }
+
+  /// True for kinds that act as combinational sources (PI, constant,
+  /// latch output).
+  bool is_source(NodeId id) const;
+
+  /// Number of internal (non-source) nodes.
+  std::size_t num_internal() const;
+
+  /// Count of nodes of the given kind.
+  std::size_t count_kind(NodeKind kind) const;
+
+  /// The local function of any node re-expressed as a truth table over
+  /// its fanins (works for all kinds; sources have arity 0... except that
+  /// PIs/latches have no local function and are rejected).
+  TruthTable local_function(NodeId id) const;
+
+  // ---- graph queries ------------------------------------------------------
+
+  /// Nodes in a topological order of the combinational graph: every
+  /// non-source node appears after all of its fanins; sources (PIs,
+  /// constants, latch outputs) appear first.
+  std::vector<NodeId> topo_order() const;
+
+  /// Number of combinational fanouts of each node (edges to internal
+  /// nodes, latch D-inputs, plus one per primary-output reference).
+  std::vector<std::uint32_t> fanout_counts() const;
+
+  /// Full fanout adjacency (latch D edges included, PO refs excluded).
+  std::vector<std::vector<NodeId>> fanout_lists() const;
+
+  /// All nodes in the transitive fanin of `root` (root included),
+  /// stopping at sources.
+  std::vector<NodeId> transitive_fanin(NodeId root) const;
+
+  /// True if every internal node is Nand2 or Inv (the paper's subject
+  /// graph discipline).
+  bool is_subject_graph() const;
+
+  /// True if every node has at most `k` fanins.
+  bool is_k_bounded(unsigned k) const;
+
+  /// Longest path length (in nodes' unit delays) from any source to any
+  /// output — the "depth" used by FlowMap discussions.
+  unsigned depth() const;
+
+  /// Structural sanity check: fanin counts match kinds, references are in
+  /// range, the combinational graph is acyclic, PO references valid.
+  /// Throws ContractError describing the first violation.
+  void check() const;
+
+  /// Copy with dead nodes (not reachable from any output or latch)
+  /// removed; returns the copy and the old->new id map (kNullNode for
+  /// dropped nodes).
+  std::pair<Network, std::vector<NodeId>> cleaned_copy() const;
+
+ private:
+  NodeId add_node(Node n);
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> latches_;
+  std::vector<Output> outputs_;
+};
+
+}  // namespace dagmap

@@ -1,0 +1,438 @@
+#include "seq/pan_liu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <map>
+
+#include "netlist/assert.hpp"
+#include "seq/retiming.hpp"
+
+namespace dagmap {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using SeqCut = std::vector<SeqCutLeaf>;  // sorted
+
+// Resolved combinational fanin: driver node + register count.
+struct SeqFanin {
+  NodeId driver;
+  std::uint32_t registers;
+};
+
+std::vector<std::vector<SeqFanin>> resolve_fanins(const Network& net) {
+  std::vector<std::vector<SeqFanin>> fanins(net.size());
+  auto resolve = [&](NodeId n) {
+    std::uint32_t w = 0;
+    while (net.kind(n) == NodeKind::Latch) {
+      ++w;
+      n = net.fanins(n)[0];
+    }
+    return SeqFanin{n, w};
+  };
+  for (NodeId v = 0; v < net.size(); ++v) {
+    if (net.is_source(v) || net.kind(v) == NodeKind::Latch) continue;
+    for (NodeId f : net.fanins(v)) fanins[v].push_back(resolve(f));
+  }
+  return fanins;
+}
+
+bool seq_is_subset(const SeqCut& small, const SeqCut& big) {
+  std::size_t j = 0;
+  for (const SeqCutLeaf& x : small) {
+    while (j < big.size() && big[j] < x) ++j;
+    if (j == big.size() || !(big[j] == x)) return false;
+    ++j;
+  }
+  return true;
+}
+
+void seq_add_cut(std::vector<SeqCut>& cuts, SeqCut c, std::size_t cap) {
+  for (const SeqCut& e : cuts)
+    if (seq_is_subset(e, c)) return;
+  std::erase_if(cuts, [&](const SeqCut& e) { return seq_is_subset(c, e); });
+  if (cuts.size() >= cap) return;  // priority-cut style truncation
+  cuts.push_back(std::move(c));
+}
+
+bool seq_merge(const SeqCut& a, const SeqCut& b, unsigned k, SeqCut& out) {
+  out.clear();
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    SeqCutLeaf next;
+    if (j >= b.size() || (i < a.size() && a[i] < b[j]))
+      next = a[i++];
+    else if (i >= a.size() || b[j] < a[i])
+      next = b[j++];
+    else {
+      next = a[i];
+      ++i;
+      ++j;
+    }
+    if (out.size() == k) return false;
+    out.push_back(next);
+  }
+  return true;
+}
+
+// Expanded cut enumeration: cuts[v] holds the k-feasible cuts of (v, 0)
+// with leaf register offsets bounded by options.max_registers.
+std::vector<std::vector<SeqCut>> enumerate_expanded_cuts(
+    const Network& net, const std::vector<std::vector<SeqFanin>>& fanins,
+    const SeqLutOptions& options) {
+  const unsigned J = options.max_registers;
+  // Generous truncation bound: dominance-pruned k<=6 cut sets of
+  // 2-bounded graphs stay far below this, so enumeration is exact in
+  // practice; the cap only guards pathological blowup.
+  constexpr std::size_t kCutCap = 1024;
+
+  // table[v][j]: cuts of (v, j), j <= J.
+  std::vector<std::vector<std::vector<SeqCut>>> table(
+      net.size(), std::vector<std::vector<SeqCut>>(J + 1));
+
+  auto topo = net.topo_order();
+  // Process offsets high-to-low; within one offset, original topological
+  // order (expanded edges never decrease the offset).
+  for (unsigned j = J + 1; j-- > 0;) {
+    for (NodeId v : topo) {
+      if (net.kind(v) == NodeKind::Latch) continue;
+      auto& cuts = table[v][j];
+      SeqCutLeaf self{v, j};
+      if (net.is_source(v)) {
+        cuts = {{self}};
+        continue;
+      }
+      // Merge fanin cut sets; a fanin whose expanded offset exceeds J can
+      // only be a leaf.
+      std::vector<SeqCut> acc{{}};  // start: the empty cut
+      SeqCut merged;
+      for (const SeqFanin& f : fanins[v]) {
+        unsigned fj = j + f.registers;
+        std::vector<SeqCut> next;
+        const std::vector<SeqCut>* fanin_cuts = nullptr;
+        std::vector<SeqCut> leaf_only;
+        if (fj <= J) {
+          fanin_cuts = &table[f.driver][fj];
+        } else {
+          leaf_only = {{SeqCutLeaf{f.driver, fj}}};
+          fanin_cuts = &leaf_only;
+        }
+        for (const SeqCut& a : acc)
+          for (const SeqCut& b : *fanin_cuts)
+            if (seq_merge(a, b, options.k, merged))
+              seq_add_cut(next, merged, kCutCap);
+        acc = std::move(next);
+        if (acc.empty()) break;
+      }
+      for (SeqCut& c : acc) seq_add_cut(cuts, std::move(c), kCutCap);
+      seq_add_cut(cuts, {self}, kCutCap + 1);  // trivial cut always kept
+    }
+  }
+
+  std::vector<std::vector<SeqCut>> result(net.size());
+  for (NodeId v = 0; v < net.size(); ++v) result[v] = std::move(table[v][0]);
+  return result;
+}
+
+}  // namespace
+
+bool seq_lut_period_feasible(const Network& net, unsigned phi,
+                             const SeqLutOptions& options,
+                             SeqLutResult* result) {
+  DAGMAP_ASSERT(phi >= 1);
+  DAGMAP_ASSERT_MSG(net.is_k_bounded(options.k), "network not k-bounded");
+  auto fanins = resolve_fanins(net);
+  auto cuts = enumerate_expanded_cuts(net, fanins, options);
+
+  // Value iteration (Bellman–Ford over the min-max label algebra).
+  // Start from 0 everywhere; labels rise monotonically per round.  If the
+  // system has a finite fixpoint the iteration reaches it within a
+  // divergence bound; unbounded growth means some cycle packs more LUT
+  // levels than phi * registers — infeasible.
+  std::vector<double> l(net.size(), 0.0);
+  const double bound = (static_cast<double>(net.num_internal()) + 2) *
+                           static_cast<double>(phi) +
+                       1.0;
+  auto topo = net.topo_order();
+  std::size_t max_rounds = 4 * net.size() + 16;
+
+  bool changed = true;
+  for (std::size_t round = 0; round < max_rounds && changed; ++round) {
+    changed = false;
+    for (NodeId v : topo) {
+      if (net.is_source(v) || net.kind(v) == NodeKind::Latch) continue;
+      double best = kInf;
+      for (const SeqCut& c : cuts[v]) {
+        if (c.size() == 1 && c[0].node == v && c[0].registers == 0)
+          continue;  // trivial cut
+        double worst = -kInf;
+        for (const SeqCutLeaf& leaf : c)
+          worst = std::max(worst, l[leaf.node] -
+                                      static_cast<double>(leaf.registers) *
+                                          static_cast<double>(phi));
+        best = std::min(best, worst + 1.0);
+      }
+      DAGMAP_ASSERT_MSG(best != kInf, "node has no non-trivial cut");
+      if (best > l[v] + 1e-9) {
+        l[v] = best;
+        changed = true;
+        if (l[v] > bound) return false;  // diverging: phi infeasible
+      }
+    }
+  }
+  if (changed) return false;  // did not stabilize
+
+  // Endpoint condition: a primary output behind w registers tolerates a
+  // driver lag of at most w (l(drv) <= (w+1)*phi).  Internal registers
+  // carry *no* condition — they are retimable, which is exactly what the
+  // expanded-cut algebra models (this is where Pan–Liu beats
+  // map-then-retime).
+  for (const Output& o : net.outputs()) {
+    NodeId drv = o.node;
+    unsigned w = 0;
+    while (net.kind(drv) == NodeKind::Latch) {
+      ++w;
+      drv = net.fanins(drv)[0];
+    }
+    if (l[drv] > (w + 1.0) * phi + 1e-9) return false;
+  }
+
+  if (result) {
+    result->feasible = true;
+    result->period = phi;
+    result->label = l;
+    result->cut.assign(net.size(), {});
+    for (NodeId v = 0; v < net.size(); ++v) {
+      if (net.is_source(v) || net.kind(v) == NodeKind::Latch) continue;
+      // Record one optimal cut (first achieving the label).
+      for (const SeqCut& c : cuts[v]) {
+        if (c.size() == 1 && c[0].node == v && c[0].registers == 0) continue;
+        double worst = -kInf;
+        for (const SeqCutLeaf& leaf : c)
+          worst = std::max(worst, l[leaf.node] -
+                                      static_cast<double>(leaf.registers) *
+                                          static_cast<double>(phi));
+        if (worst + 1.0 <= l[v] + 1e-9) {
+          result->cut[v] = c;
+          break;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+SeqLutResult optimal_period_lut_map(const Network& net,
+                                    const SeqLutOptions& options) {
+  SeqLutResult best;
+  // Upper bound: the map-only period (FlowMap labels with latch outputs
+  // as sources) is always feasible, and is at most the unit-delay depth.
+  unsigned hi = std::max(1u, net.depth());
+  unsigned lo = 1;
+  // Find the smallest feasible phi by binary search; feasibility is
+  // monotone in phi (a feasible labeling for phi is feasible for phi+1).
+  SeqLutResult probe;
+  if (!seq_lut_period_feasible(net, hi, options, &probe)) {
+    // Extremely conservative fallback (should not happen: depth is
+    // always feasible); widen until feasible.
+    while (hi < 4 * net.size() &&
+           !seq_lut_period_feasible(net, hi, options, &probe))
+      hi *= 2;
+    DAGMAP_ASSERT_MSG(probe.feasible, "no feasible clock period found");
+  }
+  best = probe;
+  while (lo < hi) {
+    unsigned mid = lo + (hi - lo) / 2;
+    SeqLutResult r;
+    if (seq_lut_period_feasible(net, mid, options, &r)) {
+      best = r;
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  best.period = hi;
+  best.feasible = true;
+  return best;
+}
+
+
+namespace {
+
+// Function of node v over the leaves of an expanded cut: evaluation over
+// (node, offset) pairs, resolving latch chains as offset increments.
+TruthTable expanded_cone_function(const Network& net, NodeId v,
+                                  const std::vector<SeqCutLeaf>& cut) {
+  unsigned nv = static_cast<unsigned>(cut.size());
+  std::map<std::pair<NodeId, std::uint32_t>, TruthTable> value;
+  for (unsigned i = 0; i < nv; ++i)
+    value.emplace(std::pair{cut[i].node, cut[i].registers},
+                  TruthTable::variable(i, nv));
+
+  std::function<const TruthTable&(NodeId, std::uint32_t)> eval =
+      [&](NodeId n, std::uint32_t j) -> const TruthTable& {
+    auto key = std::pair{n, j};
+    auto it = value.find(key);
+    if (it != value.end()) return it->second;
+    DAGMAP_ASSERT_MSG(!net.is_source(n) && net.kind(n) != NodeKind::Latch,
+                      "expanded cone escapes its cut");
+    std::vector<TruthTable> args;
+    for (NodeId f : net.fanins(n)) {
+      NodeId drv = f;
+      std::uint32_t w = j;
+      while (net.kind(drv) == NodeKind::Latch) {
+        ++w;
+        drv = net.fanins(drv)[0];
+      }
+      args.push_back(eval(drv, w));
+    }
+    return value.emplace(key, net.local_function(n).compose(args))
+        .first->second;
+  };
+  return eval(v, 0);
+}
+
+}  // namespace
+
+SeqLutMapping optimal_period_lut_map_construct(const Network& net,
+                                               const SeqLutOptions& options) {
+  SeqLutMapping out;
+  out.summary = optimal_period_lut_map(net, options);
+  DAGMAP_ASSERT(out.summary.feasible);
+  const double phi = out.summary.period;
+  const std::vector<double>& l = out.summary.label;
+
+  out.lag.assign(net.size(), 0);
+  for (NodeId v = 0; v < net.size(); ++v) {
+    if (net.is_source(v) || net.kind(v) == NodeKind::Latch) continue;
+    out.lag[v] = static_cast<std::int32_t>(std::ceil(l[v] / phi - 1e-9)) - 1;
+    if (out.lag[v] < 0) out.lag[v] = 0;
+  }
+
+  auto resolve = [&](NodeId n) {
+    std::uint32_t w = 0;
+    while (net.kind(n) == NodeKind::Latch) {
+      ++w;
+      n = net.fanins(n)[0];
+    }
+    return std::pair<NodeId, std::uint32_t>{n, w};
+  };
+  auto edge_registers = [&](NodeId v, const SeqCutLeaf& leaf) {
+    std::int64_t regs =
+        static_cast<std::int64_t>(leaf.registers) + out.lag[v] -
+        (net.is_source(leaf.node) ? 0 : out.lag[leaf.node]);
+    DAGMAP_ASSERT_MSG(regs >= 0, "negative register count in realization");
+    return static_cast<std::uint32_t>(regs);
+  };
+
+  // Needed set (fixpoint; register edges may close cycles).
+  std::vector<bool> needed(net.size(), false);
+  std::vector<NodeId> work;
+  std::vector<std::pair<NodeId, std::uint32_t>> po_edges;
+  auto need = [&](NodeId n) {
+    if (!needed[n] && !net.is_source(n)) {
+      needed[n] = true;
+      work.push_back(n);
+    }
+  };
+  for (const Output& o : net.outputs()) {
+    auto [drv, w] = resolve(o.node);
+    po_edges.push_back({drv, w});
+    need(drv);
+  }
+  while (!work.empty()) {
+    NodeId v = work.back();
+    work.pop_back();
+    for (const SeqCutLeaf& leaf : out.summary.cut[v]) need(leaf.node);
+  }
+
+  // Topological order over zero-register realized edges.
+  std::vector<NodeId> luts;
+  for (NodeId v = 0; v < net.size(); ++v)
+    if (needed[v]) luts.push_back(v);
+  std::vector<std::uint32_t> local(net.size(), 0);
+  for (std::size_t i = 0; i < luts.size(); ++i) local[luts[i]] = i;
+  std::vector<std::uint32_t> pending(luts.size(), 0);
+  std::vector<std::vector<std::uint32_t>> zero_out(luts.size());
+  for (std::size_t i = 0; i < luts.size(); ++i)
+    for (const SeqCutLeaf& leaf : out.summary.cut[luts[i]]) {
+      if (net.is_source(leaf.node)) continue;
+      if (edge_registers(luts[i], leaf) == 0) {
+        zero_out[local[leaf.node]].push_back(static_cast<std::uint32_t>(i));
+        ++pending[i];
+      }
+    }
+  std::vector<std::uint32_t> order;
+  for (std::size_t i = 0; i < luts.size(); ++i)
+    if (pending[i] == 0) order.push_back(static_cast<std::uint32_t>(i));
+  for (std::size_t head = 0; head < order.size(); ++head)
+    for (std::uint32_t o : zero_out[order[head]])
+      if (--pending[o] == 0) order.push_back(o);
+  DAGMAP_ASSERT_MSG(order.size() == luts.size(),
+                    "combinational cycle in the LUT realization");
+
+  Network& res = out.netlist;
+  res = Network(net.name());
+  std::vector<NodeId> inst(net.size(), kNullNode);
+  for (NodeId pi : net.inputs()) inst[pi] = res.add_input(net.node(pi).name);
+
+  std::map<std::pair<NodeId, std::uint32_t>, NodeId> chain_cache;
+  std::vector<std::pair<NodeId, NodeId>> chain_roots;  // (latch, driver)
+  auto through_registers = [&](NodeId driver, std::uint32_t count) -> NodeId {
+    NodeId last = kNullNode;
+    for (std::uint32_t d = 1; d <= count; ++d) {
+      auto [it, inserted] =
+          chain_cache.try_emplace(std::pair{driver, d}, kNullNode);
+      if (inserted) {
+        it->second = res.add_latch_placeholder();
+        if (d == 1)
+          chain_roots.push_back({it->second, driver});
+        else
+          res.connect_latch(it->second, chain_cache.at(std::pair{driver, d - 1}));
+      }
+      last = it->second;
+    }
+    return last;
+  };
+
+  for (std::uint32_t idx : order) {
+    NodeId v = luts[idx];
+    const auto& cut = out.summary.cut[v];
+    DAGMAP_ASSERT(!cut.empty());
+    std::vector<NodeId> fanins;
+    for (const SeqCutLeaf& leaf : cut) {
+      std::uint32_t regs = edge_registers(v, leaf);
+      if (regs == 0) {
+        DAGMAP_ASSERT(inst[leaf.node] != kNullNode);
+        fanins.push_back(inst[leaf.node]);
+      } else {
+        fanins.push_back(through_registers(leaf.node, regs));
+      }
+    }
+    inst[v] = res.add_logic(std::move(fanins),
+                            expanded_cone_function(net, v, cut),
+                            net.node(v).name);
+  }
+  for (std::size_t i = 0; i < po_edges.size(); ++i) {
+    auto [drv, w] = po_edges[i];
+    std::int64_t regs = static_cast<std::int64_t>(w) -
+                        (net.is_source(drv) ? 0 : out.lag[drv]);
+    DAGMAP_ASSERT_MSG(regs >= 0, "negative PO register count");
+    NodeId d = regs == 0
+                   ? inst[drv]
+                   : through_registers(drv, static_cast<std::uint32_t>(regs));
+    res.add_output(d, net.outputs()[i].name);
+  }
+  for (auto [latch, driver] : chain_roots) {
+    DAGMAP_ASSERT(inst[driver] != kNullNode);
+    res.connect_latch(latch, inst[driver]);
+  }
+  res.check();
+  out.realized_period = static_period(retiming_graph_of(res));
+  return out;
+}
+
+}  // namespace dagmap

@@ -1,0 +1,98 @@
+// Pan–Liu optimal clock-period sequential LUT mapping (§4 of the paper).
+//
+// Pan & Liu (DAC'96) compute, in polynomial time, the minimum clock
+// period achievable by ANY combination of retiming and depth-optimal
+// k-LUT mapping of a sequential circuit — not just the map-then-retime
+// pipeline.  The paper's §4 adapts exactly this machinery to
+// library-based mapping ("this step of examining all k cuts can be
+// replaced by pattern matching").
+//
+// Core idea, as implemented here for unit-delay k-LUTs:
+//   * Work on the *expanded* cone of each node: vertices (u, j) are
+//     "signal u, j registers back in time"; an edge u -> v with w
+//     registers connects (u, j + w) to (v, j).
+//   * For a candidate period phi, seek labels l(v) satisfying
+//       l(v) = min over k-feasible cuts X of the expanded cone of
+//              max_{(u,j) in X} ( l(u) - j * phi ) + 1
+//     with l fixed at 0 on primary inputs.  Labels are computed by a
+//     Bellman–Ford-style descending fixpoint; if it fails to converge
+//     within |V| rounds (a "negative cycle" in the label algebra), phi is
+//     infeasible.
+//   * The minimum feasible phi is found by binary search over integers
+//     (unit LUT delays make the optimum integral).
+//
+// A feasible labeling also certifies realizability: registers are
+// redistributed by retiming so that every selected cut becomes
+// combinational (lag r(v) = ceil(l(v)/phi) - 1).
+// `optimal_period_lut_map_construct` builds that realization; under unit
+// delays its register-to-register LUT depth equals the optimum exactly
+// (integrality — no time borrowing is needed), which tests assert.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+/// One leaf of an expanded cut: subject node plus its temporal offset
+/// (how many registers separate it from the cut root).
+struct SeqCutLeaf {
+  NodeId node = kNullNode;
+  std::uint32_t registers = 0;
+  bool operator==(const SeqCutLeaf&) const = default;
+  auto operator<=>(const SeqCutLeaf&) const = default;
+};
+
+/// Options for the Pan–Liu procedure.
+struct SeqLutOptions {
+  unsigned k = 4;
+  /// Bound on the temporal depth of expanded cuts (registers a single
+  /// LUT's cone may span).  The optimum rarely needs more than 2-3;
+  /// raising it can only improve the reported period.
+  unsigned max_registers = 3;
+};
+
+/// Result of the optimal-period computation.
+struct SeqLutResult {
+  bool feasible = false;
+  /// Minimum clock period (LUT levels per cycle) over all
+  /// retiming+mapping combinations representable within `max_registers`.
+  unsigned period = 0;
+  /// Final l-values at the optimum (indexed by node id; sources 0).
+  std::vector<double> label;
+  /// Selected expanded cut per internal node at the optimum.
+  std::vector<std::vector<SeqCutLeaf>> cut;
+};
+
+/// Computes the Pan–Liu optimal clock period of a k-bounded sequential
+/// network under unit LUT delays.  Combinational networks yield the
+/// FlowMap depth.
+SeqLutResult optimal_period_lut_map(const Network& net,
+                                    const SeqLutOptions& options = {});
+
+/// Decision procedure: is clock period `phi` achievable?  Exposed for
+/// tests; fills labels/cuts on success.
+bool seq_lut_period_feasible(const Network& net, unsigned phi,
+                             const SeqLutOptions& options,
+                             SeqLutResult* result);
+
+/// Constructive form: the LUT network (with registers moved by the
+/// implied retiming) realizing the optimal period.  Exact for the
+/// unit-delay model: the realization's register-to-register LUT depth
+/// equals the computed optimum.
+struct SeqLutMapping {
+  SeqLutResult summary;
+  /// LUT network: Logic nodes of <= k inputs plus latches.
+  Network netlist;
+  /// Retiming lag per original node (LUT roots only).
+  std::vector<std::int32_t> lag;
+  /// Unit-delay clock period of the realization (== summary.period).
+  double realized_period = 0.0;
+};
+
+SeqLutMapping optimal_period_lut_map_construct(
+    const Network& net, const SeqLutOptions& options = {});
+
+}  // namespace dagmap

@@ -1,0 +1,77 @@
+// Retiming (Leiserson–Saxe) — the substrate for the paper's §4 extension
+// (optimal cycle time by mapping + retiming).
+//
+// A sequential circuit is abstracted as a retiming graph: one vertex per
+// combinational block (with its propagation delay), one distinguished
+// host vertex for the environment, and edges weighted by the number of
+// registers between blocks.  Minimum-period retiming binary-searches the
+// clock period, using the FEAS iterative feasibility test; the resulting
+// lags r(v) move registers across vertices while preserving I/O latency
+// (r(host) = 0).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapnet/mapped_netlist.hpp"
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+/// Abstract retiming graph.  Vertex 0 is the host (delay 0).
+struct RetimingGraph {
+  struct Edge {
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    std::int32_t weight = 0;  ///< register count, >= 0
+  };
+
+  std::vector<double> delay;  ///< per-vertex propagation delay
+  std::vector<Edge> edges;
+
+  std::size_t num_vertices() const { return delay.size(); }
+};
+
+/// Result of a retiming computation.
+struct RetimingResult {
+  bool feasible = false;
+  double period = 0.0;           ///< achieved clock period
+  std::vector<std::int32_t> lag;  ///< r(v); r(host) == 0
+};
+
+/// Tests whether clock period `target` is retimable (FEAS).  On success
+/// fills `lag`.
+RetimingResult feasible_period(const RetimingGraph& g, double target);
+
+/// Minimum achievable clock period over all retimings (binary search over
+/// FEAS), within `epsilon`.
+RetimingResult min_period_retiming(const RetimingGraph& g,
+                                   double epsilon = 1e-6);
+
+/// The clock period of the graph as-is (longest register-free path).
+double static_period(const RetimingGraph& g);
+
+// ---- circuit adapters ---------------------------------------------------
+
+/// Extracts the retiming graph of a sequential `Network`.  Vertices are
+/// the non-latch nodes (internal nodes carry unit delay, sources zero);
+/// latch chains become edge weights; PIs/POs anchor to the host.
+/// `vertex_of` (optional out) maps NodeId -> vertex.
+RetimingGraph retiming_graph_of(const Network& net,
+                                std::vector<std::uint32_t>* vertex_of = nullptr);
+
+/// Same for a mapped netlist: gate instances carry their worst pin delay.
+RetimingGraph retiming_graph_of(const MappedNetlist& net,
+                                std::vector<std::uint32_t>* vertex_of = nullptr);
+
+/// Applies a min-period retiming to a sequential network, rebuilding it
+/// with registers moved (initial states are not tracked; see DESIGN.md).
+/// Returns the retimed network; `achieved` (optional) receives the new
+/// period under the unit-delay model.
+Network retime_min_period(const Network& net, double* achieved = nullptr);
+
+/// Same for mapped netlists under the load-independent gate delay model.
+MappedNetlist retime_min_period(const MappedNetlist& net,
+                                double* achieved = nullptr);
+
+}  // namespace dagmap

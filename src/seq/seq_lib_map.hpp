@@ -1,0 +1,100 @@
+// Optimal clock-period sequential *library* mapping — the paper's §4
+// proposal, verbatim:
+//
+//   "The core of this decision procedure is again a labeling scheme quite
+//    similar to the one used in FlowMap.  All k-cuts at each intermediate
+//    node are explored by considering retiming possibility. [...]  This
+//    step of examining all k cuts can be replaced by pattern matching as
+//    was done for combinational mapping.  All the other theories hold
+//    without any modification."
+//
+// Implementation: the subject graph is expanded over register offsets —
+// vertex (v, j) is "signal v, j registers back"; latch chains become
+// offset increments.  The *structural matcher* (the same one dag_map
+// uses) runs on this expanded graph, so a match may reach through
+// registers; a leaf is a pair (node, offset).  For a candidate period
+// phi, labels satisfy
+//
+//   l(v) = min over expanded matches M at (v,0) of
+//          max over leaves (u,j) of M  ( l(u) - j*phi + pin_delay )
+//
+// computed by the same ascending value iteration as the LUT variant
+// (seq/pan_liu.hpp), with divergence detection for infeasibility and the
+// PO endpoint condition l(po) <= phi.  Binary search over real phi gives
+// the minimum clock period over all retiming+mapping combinations
+// expressible within the register bound.
+//
+// Semantics note: with *general* gate delays this l(u) - j*phi algebra is
+// the CONTINUOUS-RETIMING optimum (Pan, ICCAD'97): registers may latch
+// mid-cycle, i.e. time borrowing across register boundaries is allowed
+// (level-sensitive latches or skewed clocks realize it exactly).  A
+// strictly edge-triggered realization can exceed it by at most one pin
+// delay per register crossing; `optimal_period_lib_map_construct` builds
+// the edge-triggered netlist and reports its realized period alongside
+// the continuous bound.  For unit delays (the LUT case) the two coincide
+// by integrality, which is why Pan–Liu's original result is exact.
+#pragma once
+
+#include <vector>
+
+#include "library/gate_library.hpp"
+#include "mapnet/mapped_netlist.hpp"
+#include "match/matcher.hpp"
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+/// Options for sequential library mapping.
+struct SeqLibOptions {
+  MatchClass match_class = MatchClass::Standard;
+  /// Registers a single match may reach through (temporal depth bound).
+  unsigned max_registers = 3;
+  /// Binary-search resolution on the clock period.
+  double epsilon = 1e-6;
+};
+
+/// Result of the optimal-period computation.
+struct SeqLibResult {
+  bool feasible = false;
+  double period = 0.0;
+  /// Final l-values at the optimum (original subject node ids).
+  std::vector<double> label;
+  /// Statistics: expanded matches enumerated.
+  std::uint64_t matches_enumerated = 0;
+};
+
+/// Constructive form: the mapped **and retimed** netlist realizing the
+/// optimal period.  Each selected expanded match becomes one gate; its
+/// retiming lag is r(v) = ceil(l(v)/phi) - 1, and a leaf (u, j) connects
+/// through j + r(u) - r(v) registers (non-negative by the Pan–Liu
+/// feasibility argument).  Initial register states are not tracked (as
+/// with `retime_min_period`; see DESIGN.md).
+struct SeqLibMapping {
+  SeqLibResult summary;
+  MappedNetlist netlist;
+  /// Retiming lag per original subject node (match roots only).
+  std::vector<std::int32_t> lag;
+  /// Edge-triggered clock period of the realization: at most
+  /// summary.period + the library's worst pin delay (time borrowing
+  /// collapsed onto cycle boundaries).
+  double realized_period = 0.0;
+};
+
+/// Computes the optimum and builds the realizing netlist.
+SeqLibMapping optimal_period_lib_map_construct(
+    const Network& subject, const GateLibrary& lib,
+    const SeqLibOptions& options = {});
+
+/// Minimum clock period of `subject` (NAND2/INV, sequential) over
+/// retiming + delay-optimal DAG covering with `lib`, under the paper's
+/// load-independent model.
+SeqLibResult optimal_period_lib_map(const Network& subject,
+                                    const GateLibrary& lib,
+                                    const SeqLibOptions& options = {});
+
+/// Decision procedure for a single period (exposed for tests).
+bool seq_lib_period_feasible(const Network& subject, const GateLibrary& lib,
+                             double phi, const SeqLibOptions& options,
+                             SeqLibResult* result);
+
+}  // namespace dagmap

@@ -1,0 +1,48 @@
+#include "seq/seq_map.hpp"
+
+#include "timing/timing.hpp"
+
+namespace dagmap {
+
+SeqMapResult map_with_retiming(const Network& subject, const GateLibrary& lib,
+                               const SeqMapOptions& options) {
+  SeqMapResult result;
+  result.period_unmapped = static_period(retiming_graph_of(subject));
+
+  // Step 1: retime the subject graph so register-to-register NAND/INV
+  // cones are balanced before the mapper sees them.
+  Network working = subject;
+  if (options.pre_retime && subject.num_latches() > 0)
+    working = retime_min_period(subject);
+
+  // Step 2: delay-optimal DAG covering of the combinational portion
+  // (latch outputs are mapping sources, latch D inputs are endpoints).
+  MapResult mapped = dag_map(working, lib, options.map);
+  result.period_mapped = analyze_timing(mapped.netlist).delay;
+
+  // Step 3: min-period retiming of the mapped circuit under the
+  // load-independent gate delay model.
+  if (mapped.netlist.latches().size() > 0) {
+    result.netlist = retime_min_period(mapped.netlist, &result.period_final);
+  } else {
+    result.netlist = std::move(mapped.netlist);
+    result.period_final = result.period_mapped;
+  }
+  return result;
+}
+
+SeqLutMapResult lut_map_with_retiming(const Network& input,
+                                      const LutMapOptions& options) {
+  SeqLutMapResult result;
+  LutMapResult mapped = flowmap(input, options);
+  result.period_mapped = static_period(retiming_graph_of(mapped.netlist));
+  if (mapped.netlist.num_latches() > 0) {
+    result.netlist = retime_min_period(mapped.netlist, &result.period_final);
+  } else {
+    result.netlist = std::move(mapped.netlist);
+    result.period_final = result.period_mapped;
+  }
+  return result;
+}
+
+}  // namespace dagmap

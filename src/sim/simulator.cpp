@@ -1,0 +1,171 @@
+#include "sim/simulator.hpp"
+
+#include <bit>
+
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+namespace {
+
+// xorshift128+ — fast deterministic vector source.
+struct Rng {
+  std::uint64_t s0, s1;
+  explicit Rng(std::uint64_t seed)
+      : s0(seed ^ 0x9E3779B97F4A7C15ull), s1(seed * 2685821657736338717ull + 1) {}
+  std::uint64_t next() {
+    std::uint64_t x = s0, y = s1;
+    s0 = y;
+    x ^= x << 23;
+    s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1 + y;
+  }
+};
+
+// Generic word evaluation of a logic node's truth table.
+std::uint64_t eval_logic(const TruthTable& f,
+                         std::span<const std::uint64_t> fanin_words) {
+  std::uint64_t out = 0;
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    std::size_t m = 0;
+    for (std::size_t i = 0; i < fanin_words.size(); ++i)
+      if ((fanin_words[i] >> lane) & 1) m |= std::size_t{1} << i;
+    if (f.bit(m)) out |= std::uint64_t{1} << lane;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> simulate64(
+    const Network& net, std::span<const std::uint64_t> source_words) {
+  std::size_t num_sources = net.num_inputs() + net.num_latches();
+  DAGMAP_ASSERT_MSG(source_words.size() == num_sources,
+                    "simulate64: wrong number of source words");
+
+  std::vector<std::uint64_t> value(net.size(), 0);
+  for (std::size_t i = 0; i < net.num_inputs(); ++i)
+    value[net.inputs()[i]] = source_words[i];
+  for (std::size_t i = 0; i < net.num_latches(); ++i)
+    value[net.latches()[i]] = source_words[net.num_inputs() + i];
+
+  std::vector<std::uint64_t> fanin_words;
+  for (NodeId id : net.topo_order()) {
+    const Node& n = net.node(id);
+    switch (n.kind) {
+      case NodeKind::PrimaryInput:
+      case NodeKind::Latch:
+        break;  // already seeded
+      case NodeKind::Const0: value[id] = 0; break;
+      case NodeKind::Const1: value[id] = ~std::uint64_t{0}; break;
+      case NodeKind::Inv: value[id] = ~value[n.fanins[0]]; break;
+      case NodeKind::Nand2:
+        value[id] = ~(value[n.fanins[0]] & value[n.fanins[1]]);
+        break;
+      case NodeKind::Logic: {
+        fanin_words.clear();
+        for (NodeId f : n.fanins) fanin_words.push_back(value[f]);
+        value[id] = eval_logic(n.function, fanin_words);
+        break;
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> out;
+  out.reserve(net.num_outputs() + net.num_latches());
+  for (const Output& o : net.outputs()) out.push_back(value[o.node]);
+  for (NodeId l : net.latches()) out.push_back(value[net.fanins(l)[0]]);
+  return out;
+}
+
+EquivalenceResult check_equivalence(const Network& a, const Network& b,
+                                    unsigned exhaustive_limit,
+                                    unsigned random_rounds,
+                                    std::uint64_t seed) {
+  DAGMAP_ASSERT_MSG(a.num_inputs() == b.num_inputs() &&
+                        a.num_outputs() == b.num_outputs() &&
+                        a.num_latches() == b.num_latches(),
+                    "interface mismatch");
+  for (std::size_t i = 0; i < a.num_inputs(); ++i)
+    DAGMAP_ASSERT_MSG(
+        a.node(a.inputs()[i]).name == b.node(b.inputs()[i]).name,
+        "PI name mismatch at index " + std::to_string(i));
+  for (std::size_t i = 0; i < a.num_outputs(); ++i)
+    DAGMAP_ASSERT_MSG(a.outputs()[i].name == b.outputs()[i].name,
+                      "PO name mismatch at index " + std::to_string(i));
+
+  std::size_t num_sources = a.num_inputs() + a.num_latches();
+  std::vector<std::uint64_t> words(num_sources, 0);
+
+  auto compare_round = [&](std::uint64_t lane_mask) -> EquivalenceResult {
+    auto oa = simulate64(a, words);
+    auto ob = simulate64(b, words);
+    for (std::size_t i = 0; i < oa.size(); ++i) {
+      std::uint64_t diff = (oa[i] ^ ob[i]) & lane_mask;
+      if (diff) {
+        unsigned lane = static_cast<unsigned>(std::countr_zero(diff));
+        std::uint64_t cex = 0;
+        for (std::size_t s = 0; s < num_sources; ++s)
+          if ((words[s] >> lane) & 1) cex |= std::uint64_t{1} << s;
+        return {false, cex, i};
+      }
+    }
+    return {};
+  };
+
+  if (num_sources <= exhaustive_limit) {
+    // Enumerate all assignments, 64 per round: sources 0..5 cycle within a
+    // word (counter pattern), the rest come from the block index.
+    std::size_t total = std::size_t{1} << num_sources;
+    std::size_t lanes_per_block = std::min<std::size_t>(64, total);
+    for (std::size_t base = 0; base < total; base += lanes_per_block) {
+      // Counter pattern: lane L encodes assignment (base + L).
+      for (std::size_t s = 0; s < num_sources; ++s) {
+        std::uint64_t w = 0;
+        for (std::size_t lane = 0; lane < lanes_per_block; ++lane)
+          if (((base + lane) >> s) & 1) w |= std::uint64_t{1} << lane;
+        words[s] = w;
+      }
+      std::uint64_t lane_mask =
+          lanes_per_block == 64 ? ~std::uint64_t{0}
+                                : (std::uint64_t{1} << lanes_per_block) - 1;
+      EquivalenceResult r = compare_round(lane_mask);
+      if (!r.equivalent) return r;
+    }
+    return {};
+  }
+
+  Rng rng(seed);
+  for (unsigned round = 0; round < random_rounds; ++round) {
+    for (auto& w : words) w = rng.next();
+    EquivalenceResult r = compare_round(~std::uint64_t{0});
+    if (!r.equivalent) return r;
+  }
+  return {};
+}
+
+TruthTable output_truth_table(const Network& net, std::size_t output_index) {
+  DAGMAP_ASSERT_MSG(net.num_latches() == 0, "combinational networks only");
+  DAGMAP_ASSERT_MSG(net.num_inputs() <= TruthTable::kMaxVars,
+                    "too many PIs for a truth table");
+  DAGMAP_ASSERT(output_index < net.num_outputs());
+  unsigned nv = static_cast<unsigned>(net.num_inputs());
+  TruthTable t(nv);
+  std::size_t total = std::size_t{1} << nv;
+  std::vector<std::uint64_t> words(nv);
+  std::size_t lanes_per_block = std::min<std::size_t>(64, total);
+  for (std::size_t base = 0; base < total; base += lanes_per_block) {
+    for (unsigned s = 0; s < nv; ++s) {
+      std::uint64_t w = 0;
+      for (std::size_t lane = 0; lane < lanes_per_block; ++lane)
+        if (((base + lane) >> s) & 1) w |= std::uint64_t{1} << lane;
+      words[s] = w;
+    }
+    auto out = simulate64(net, words);
+    for (std::size_t lane = 0; lane < lanes_per_block; ++lane)
+      if ((out[output_index] >> lane) & 1) t.set_bit(base + lane, true);
+  }
+  return t;
+}
+
+}  // namespace dagmap

@@ -1,0 +1,52 @@
+// Bit-parallel simulation and combinational equivalence checking.
+//
+// Every mapping step in this library is validated by simulation: a mapped
+// netlist must behave exactly like its subject graph, and a subject graph
+// like the network it decomposes.  Simulation is 64-way bit-parallel;
+// equivalence checking is exhaustive up to 16 primary inputs and uses
+// seeded random vectors beyond that.
+//
+// Sequential circuits are checked combinationally: latch outputs are
+// treated as extra inputs and latch D signals as extra outputs, which is
+// exactly the transformation under which mapping must preserve behaviour.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+/// One 64-vector simulation pass.  `source_words[i]` drives the i-th
+/// combinational source in order: first all primary inputs, then all latch
+/// outputs.  Returns the words of all primary outputs followed by all
+/// latch D inputs.
+std::vector<std::uint64_t> simulate64(const Network& net,
+                                      std::span<const std::uint64_t> source_words);
+
+/// Result of an equivalence check; `counterexample` is meaningful only
+/// when `equivalent` is false (one bit per source, same order as
+/// simulate64's inputs).
+struct EquivalenceResult {
+  bool equivalent = true;
+  std::uint64_t counterexample = 0;  ///< source assignment (bit i = source i)
+  std::size_t failing_output = 0;    ///< index in the simulate64 output order
+};
+
+/// Checks combinational equivalence of two networks with identical
+/// interfaces (same number/order of PIs, POs and latches; names must
+/// match for PIs and POs).  Exhaustive when the number of sources is at
+/// most `exhaustive_limit`, otherwise `random_rounds` rounds of 64 random
+/// vectors each (seeded, deterministic).
+EquivalenceResult check_equivalence(const Network& a, const Network& b,
+                                    unsigned exhaustive_limit = 14,
+                                    unsigned random_rounds = 64,
+                                    std::uint64_t seed = 0x5EEDF00Dull);
+
+/// Truth table of output `output_index` over the primary inputs (requires
+/// a combinational network with at most 16 PIs).
+TruthTable output_truth_table(const Network& net, std::size_t output_index);
+
+}  // namespace dagmap

@@ -1,0 +1,96 @@
+#include "timing/timing.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+TimingReport analyze_timing(const MappedNetlist& net, double target_delay) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  TimingReport r;
+  r.arrival.assign(net.size(), 0.0);
+
+  auto order = net.topo_order();
+
+  // Forward pass: arrivals.
+  for (InstId id : order) {
+    const Instance& inst = net.instance(id);
+    if (inst.kind != Instance::Kind::GateInst) continue;
+    double a = 0.0;
+    for (std::size_t pin = 0; pin < inst.fanins.size(); ++pin)
+      a = std::max(a,
+                   r.arrival[inst.fanins[pin]] + inst.gate->pins[pin].delay());
+    r.arrival[id] = a;
+  }
+
+  // Circuit delay: worst over POs and latch D inputs.
+  InstId worst_endpoint = kNullInst;
+  for (const Output& o : net.outputs()) {
+    if (r.arrival[o.node] >= r.delay || worst_endpoint == kNullInst) {
+      r.delay = r.arrival[o.node];
+      worst_endpoint = o.node;
+    }
+  }
+  for (InstId l : net.latches()) {
+    InstId d = net.instance(l).fanins.at(0);
+    if (r.arrival[d] > r.delay || worst_endpoint == kNullInst) {
+      r.delay = r.arrival[d];
+      worst_endpoint = d;
+    }
+  }
+
+  // Backward pass: required times against the target.
+  r.target = target_delay > 0.0 ? target_delay : r.delay;
+  r.required.assign(net.size(), kInf);
+  for (const Output& o : net.outputs())
+    r.required[o.node] = std::min(r.required[o.node], r.target);
+  for (InstId l : net.latches()) {
+    InstId d = net.instance(l).fanins.at(0);
+    r.required[d] = std::min(r.required[d], r.target);
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Instance& inst = net.instance(*it);
+    if (inst.kind != Instance::Kind::GateInst) continue;
+    if (r.required[*it] == kInf) continue;
+    for (std::size_t pin = 0; pin < inst.fanins.size(); ++pin) {
+      double req = r.required[*it] - inst.gate->pins[pin].delay();
+      r.required[inst.fanins[pin]] =
+          std::min(r.required[inst.fanins[pin]], req);
+    }
+  }
+
+  r.slack.assign(net.size(), kInf);
+  for (InstId id = 0; id < net.size(); ++id)
+    if (r.required[id] != kInf) r.slack[id] = r.required[id] - r.arrival[id];
+
+  // Critical path: walk back from the worst endpoint through the worst
+  // pin at each step.
+  if (worst_endpoint != kNullInst) {
+    InstId cur = worst_endpoint;
+    std::vector<InstId> rev{cur};
+    while (net.instance(cur).kind == Instance::Kind::GateInst) {
+      const Instance& inst = net.instance(cur);
+      InstId worst_fanin = inst.fanins[0];
+      double worst_a = -kInf;
+      for (std::size_t pin = 0; pin < inst.fanins.size(); ++pin) {
+        double a = r.arrival[inst.fanins[pin]] + inst.gate->pins[pin].delay();
+        if (a > worst_a) {
+          worst_a = a;
+          worst_fanin = inst.fanins[pin];
+        }
+      }
+      cur = worst_fanin;
+      rev.push_back(cur);
+    }
+    r.critical_path.assign(rev.rbegin(), rev.rend());
+  }
+  return r;
+}
+
+double circuit_delay(const MappedNetlist& net) {
+  return analyze_timing(net).delay;
+}
+
+}  // namespace dagmap

@@ -1,0 +1,46 @@
+// Static timing analysis over mapped netlists under the paper's
+// load-independent delay model.
+//
+// Arrival times: sources (PIs, latch outputs, constants) arrive at t = 0;
+// a gate instance's output arrives at max over pins of (fanin arrival +
+// pin intrinsic delay).  The circuit delay — the "Delay" column of the
+// paper's tables — is the worst arrival over primary outputs and latch D
+// inputs.  Required times and slacks support the area-recovery extension
+// (§6): a node's slack is how much it can slow down without degrading the
+// critical path.
+#pragma once
+
+#include <vector>
+
+#include "mapnet/mapped_netlist.hpp"
+
+namespace dagmap {
+
+/// Full forward/backward timing annotation of a mapped netlist.
+struct TimingReport {
+  /// Output arrival time of every instance (0 for sources).
+  std::vector<double> arrival;
+  /// Required time of every instance against `target` (+inf where
+  /// unconstrained).
+  std::vector<double> required;
+  /// `required - arrival`, per instance.
+  std::vector<double> slack;
+  /// Worst arrival over POs and latch D inputs — the circuit delay.
+  double delay = 0.0;
+  /// The target the required times were computed against (== `delay`
+  /// unless overridden).
+  double target = 0.0;
+  /// Critical path from a source to the worst output, in instance ids
+  /// (source first).
+  std::vector<InstId> critical_path;
+};
+
+/// Analyzes `net`; required times are computed against `target_delay` if
+/// positive, else against the measured delay (zero-slack critical path).
+TimingReport analyze_timing(const MappedNetlist& net,
+                            double target_delay = -1.0);
+
+/// Convenience: just the circuit delay.
+double circuit_delay(const MappedNetlist& net);
+
+}  // namespace dagmap

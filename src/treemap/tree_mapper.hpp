@@ -1,0 +1,40 @@
+// Conventional tree mapping — the paper's baseline (§1, §3.5).
+//
+// Keutzer/Rudell dynamic programming restricted to *exact* matches: a
+// match may not cover a multi-fanout subject node internally, so the
+// subject DAG is implicitly partitioned into trees at its multi-fanout
+// points and each tree is covered optimally.  No logic is ever
+// duplicated; every multi-fanout point of the subject graph survives into
+// the mapped circuit — exactly the limitation DAG covering removes.
+//
+// Two cost modes:
+//   * Delay — min arrival per node under the load-independent model (the
+//     baseline columns of Tables 1-3);
+//   * Area  — Keutzer's classic minimum-area tree covering (gate area +
+//     area of covered single-fanout fanin cones; multi-fanout leaves are
+//     charged once, at their own tree).
+#pragma once
+
+#include "core/dag_mapper.hpp"  // MapResult
+#include "library/gate_library.hpp"
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+/// Cost objective for tree mapping.
+enum class TreeMapObjective : std::uint8_t { Delay, Area };
+
+/// Options for the baseline tree mapper.
+struct TreeMapOptions {
+  TreeMapObjective objective = TreeMapObjective::Delay;
+  double epsilon = 1e-9;
+};
+
+/// Maps `subject` with optimal-per-tree covering.  The returned
+/// `MapResult::label` holds the DP cost of each node under the chosen
+/// objective; `optimal_delay` is the worst endpoint *arrival* (even in
+/// area mode, so results are comparable with dag_map).
+MapResult tree_map(const Network& subject, const GateLibrary& lib,
+                   const TreeMapOptions& options = {});
+
+}  // namespace dagmap

@@ -1,0 +1,105 @@
+// Tests for NPN canonicalization.
+#include "boolmatch/npn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dagmap {
+namespace {
+
+std::uint16_t tt_of(const char* expr_vars2) {
+  // Tiny helper for 2-var functions padded to 4 vars.
+  TruthTable a = TruthTable::variable(0, 2), b = TruthTable::variable(1, 2);
+  std::string s = expr_vars2;
+  TruthTable f = s == "and"    ? a & b
+                 : s == "or"   ? a | b
+                 : s == "xor"  ? a ^ b
+                 : s == "nand" ? ~(a & b)
+                 : s == "nor"  ? ~(a | b)
+                               : ~(a ^ b);
+  return pack_tt4(f);
+}
+
+TEST(Npn, IdentityTransformIsNoop) {
+  NpnTransform id;
+  for (std::uint16_t tt : {0x8888, 0x6666, 0x1234, 0xFFFE})
+    EXPECT_EQ(npn_apply(tt, id), tt);
+}
+
+TEST(Npn, ApplyComposeConsistency) {
+  std::uint64_t s = 12345;
+  for (int trial = 0; trial < 50; ++trial) {
+    auto rnd = [&] {
+      s = s * 6364136223846793005ull + 1442695040888963407ull;
+      return s;
+    };
+    NpnTransform a, b;
+    std::array<std::uint8_t, 4> pa{0, 1, 2, 3}, pb{0, 1, 2, 3};
+    for (int i = 3; i > 0; --i) {
+      std::swap(pa[i], pa[rnd() % (i + 1)]);
+      std::swap(pb[i], pb[rnd() % (i + 1)]);
+    }
+    a.perm = pa;
+    b.perm = pb;
+    a.input_negate = rnd() & 15;
+    b.input_negate = rnd() & 15;
+    a.output_negate = rnd() & 1;
+    b.output_negate = rnd() & 1;
+    std::uint16_t tt = static_cast<std::uint16_t>(rnd());
+    EXPECT_EQ(npn_apply(npn_apply(tt, a), b), npn_apply(tt, npn_compose(a, b)));
+    EXPECT_EQ(npn_apply(npn_apply(tt, a), npn_inverse(a)), tt);
+  }
+}
+
+TEST(Npn, CanonicalIsInvariantUnderTransforms) {
+  std::uint16_t xor_tt = tt_of("xor");
+  NpnTransform t;
+  t.perm = {1, 0, 2, 3};
+  t.input_negate = 0b0001;
+  t.output_negate = true;
+  std::uint16_t moved = npn_apply(xor_tt, t);
+  EXPECT_EQ(npn_canonical(xor_tt), npn_canonical(moved));
+}
+
+TEST(Npn, NandAndNorShareAClassButNotXor) {
+  // AND/OR/NAND/NOR are one NPN class; XOR/XNOR another.
+  std::uint16_t c_and = npn_canonical(tt_of("and"));
+  EXPECT_EQ(c_and, npn_canonical(tt_of("or")));
+  EXPECT_EQ(c_and, npn_canonical(tt_of("nand")));
+  EXPECT_EQ(c_and, npn_canonical(tt_of("nor")));
+  std::uint16_t c_xor = npn_canonical(tt_of("xor"));
+  EXPECT_EQ(c_xor, npn_canonical(tt_of("xnor")));
+  EXPECT_NE(c_and, c_xor);
+}
+
+TEST(Npn, ReportedTransformAchievesCanonical) {
+  std::uint64_t s = 777;
+  for (int trial = 0; trial < 100; ++trial) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint16_t tt = static_cast<std::uint16_t>(s >> 17);
+    NpnTransform t;
+    std::uint16_t canon = npn_canonical(tt, &t);
+    EXPECT_EQ(npn_apply(tt, t), canon);
+  }
+}
+
+TEST(Npn, ClassCountIsPlausible) {
+  // All 2^16 functions of 4 vars fall into exactly 222 NPN classes.
+  std::set<std::uint16_t> classes;
+  for (unsigned tt = 0; tt < 65536; tt += 7)  // sample densely
+    classes.insert(npn_canonical(static_cast<std::uint16_t>(tt)));
+  EXPECT_LE(classes.size(), 222u);
+  EXPECT_GE(classes.size(), 150u);  // dense sample hits most classes
+}
+
+TEST(Npn, PackHandlesNarrowFunctions) {
+  TruthTable inv = ~TruthTable::variable(0, 1);
+  std::uint16_t tt = pack_tt4(inv);
+  // Padded inverter: bit m = !(m & 1).
+  for (unsigned m = 0; m < 16; ++m)
+    EXPECT_EQ((tt >> m) & 1u, (m & 1u) ? 0u : 1u);
+}
+
+}  // namespace
+}  // namespace dagmap

@@ -1,0 +1,99 @@
+// Unit + property tests for the Minato–Morreale ISOP extraction.
+#include "decomp/isop.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dagmap {
+namespace {
+
+TEST(Isop, Constants) {
+  EXPECT_TRUE(compute_isop(TruthTable::constant(false, 3)).empty());
+  auto c1 = compute_isop(TruthTable::constant(true, 3));
+  ASSERT_EQ(c1.size(), 1u);
+  EXPECT_EQ(c1[0].num_literals(), 0u);
+}
+
+TEST(Isop, SingleVariable) {
+  auto cover = compute_isop(TruthTable::variable(0, 1));
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].pos_mask, 1u);
+  EXPECT_EQ(cover[0].neg_mask, 0u);
+  auto cover_n = compute_isop(~TruthTable::variable(0, 1));
+  ASSERT_EQ(cover_n.size(), 1u);
+  EXPECT_EQ(cover_n[0].neg_mask, 1u);
+}
+
+TEST(Isop, AndOrXor) {
+  TruthTable a = TruthTable::variable(0, 2), b = TruthTable::variable(1, 2);
+  EXPECT_EQ(compute_isop(a & b).size(), 1u);
+  EXPECT_EQ(compute_isop(a | b).size(), 2u);
+  EXPECT_EQ(compute_isop(a ^ b).size(), 2u);
+}
+
+TEST(Isop, MajorityHasThreeCubes) {
+  TruthTable a = TruthTable::variable(0, 3), b = TruthTable::variable(1, 3),
+             c = TruthTable::variable(2, 3);
+  TruthTable maj = (a & b) | (b & c) | (a & c);
+  auto cover = compute_isop(maj);
+  EXPECT_EQ(cover.size(), 3u);
+  EXPECT_EQ(cover_to_truth_table(cover, 3), maj);
+}
+
+TEST(Isop, CoverToExprMatches) {
+  TruthTable f = TruthTable::from_bits(0b0110'1001, 3);  // XNOR3-ish
+  auto cover = compute_isop(f);
+  Expr e = cover_to_expr(cover, {"a", "b", "c"});
+  EXPECT_EQ(expr_truth_table(e, {"a", "b", "c"}), f);
+}
+
+TEST(Isop, EmptyCoverIsConst0Expr) {
+  Expr e = cover_to_expr({}, {"a"});
+  EXPECT_EQ(e.op, Expr::Op::Const0);
+}
+
+// Property: for pseudo-random functions across widths, the ISOP cover
+// reproduces the function exactly and contains no duplicate cubes.
+class IsopProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IsopProperty, CoverEqualsFunction) {
+  unsigned nv = GetParam();
+  std::uint64_t state = 0xC0FFEE ^ (nv * 7919);
+  for (int trial = 0; trial < 20; ++trial) {
+    TruthTable f(nv);
+    for (std::size_t m = 0; m < f.num_minterms(); ++m) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      f.set_bit(m, (state >> 61) & 1);
+    }
+    auto cover = compute_isop(f);
+    EXPECT_EQ(cover_to_truth_table(cover, nv), f) << "nv=" << nv;
+    for (std::size_t i = 0; i < cover.size(); ++i) {
+      EXPECT_EQ(cover[i].pos_mask & cover[i].neg_mask, 0u);
+      for (std::size_t j = i + 1; j < cover.size(); ++j)
+        EXPECT_FALSE(cover[i] == cover[j]) << "duplicate cube";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, IsopProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 10u));
+
+TEST(Isop, WideSparseFunction) {
+  // A 12-var function with a handful of minterms stays a small cover.
+  TruthTable f(12);
+  f.set_bit(0x0FF, true);
+  f.set_bit(0xABC, true);
+  f.set_bit(0x123, true);
+  auto cover = compute_isop(f);
+  EXPECT_LE(cover.size(), 3u);
+  EXPECT_EQ(cover_to_truth_table(cover, 12), f);
+}
+
+TEST(Isop, TruthTableToExprRoundTrip) {
+  TruthTable f = TruthTable::from_bits(0b1101'0110'0010'1011, 4);
+  std::vector<std::string> vars{"p", "q", "r", "s"};
+  Expr e = truth_table_to_expr(f, vars);
+  EXPECT_EQ(expr_truth_table(e, vars), f);
+}
+
+}  // namespace
+}  // namespace dagmap

@@ -1,0 +1,158 @@
+// Tests for load-aware timing and buffer-tree construction.
+#include "fanout/buffering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dag_mapper.hpp"
+#include "decomp/tech_decomp.hpp"
+#include "gen/circuits.hpp"
+#include "library/standard_libs.hpp"
+#include "netlist/assert.hpp"
+#include "sim/simulator.hpp"
+#include "timing/timing.hpp"
+
+namespace dagmap {
+namespace {
+
+const Gate* find_gate(const GateLibrary& lib, const std::string& name) {
+  for (const Gate& g : lib.gates())
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+TEST(LoadTiming, LinearModelFormula) {
+  GateLibrary lib = make_lib2_library();
+  const Gate* inv = find_gate(lib, "inv");  // block 1.0, slope 0.2, load 1
+  MappedNetlist net("t");
+  InstId a = net.add_input("a");
+  InstId g = net.add_gate(inv, {a});
+  net.add_output(g, "o");
+  LoadModel model;
+  model.wire_load_per_fanout = 0.5;
+  model.primary_output_load = 2.0;
+  LoadTimingReport r = analyze_timing_loaded(net, model);
+  // g drives one PO: load = 2.0; delay = 1.0 + 0.2*2.0.
+  EXPECT_NEAR(r.net_load[g], 2.0, 1e-12);
+  EXPECT_NEAR(r.delay, 1.0 + 0.2 * 2.0, 1e-12);
+  // a drives one inv pin: load = 1 (pin) + 0.5 (wire).
+  EXPECT_NEAR(r.net_load[a], 1.5, 1e-12);
+}
+
+TEST(LoadTiming, FanoutIncreasesDelay) {
+  GateLibrary lib = make_lib2_library();
+  const Gate* inv = find_gate(lib, "inv");
+  for (int fanout : {1, 4, 16}) {
+    MappedNetlist net("t");
+    InstId a = net.add_input("a");
+    InstId g = net.add_gate(inv, {a});
+    std::vector<InstId> sinks;
+    for (int i = 0; i < fanout; ++i)
+      sinks.push_back(net.add_gate(inv, {g}));
+    for (int i = 0; i < fanout; ++i)
+      net.add_output(sinks[i], "o" + std::to_string(i));
+    double loaded = circuit_delay_loaded(net);
+    double unloaded = circuit_delay(net);
+    EXPECT_GT(loaded, unloaded);
+    // Load-aware delay grows with fanout.
+    static double prev = 0;
+    if (fanout > 1) {
+      EXPECT_GT(loaded, prev);
+    }
+    prev = loaded;
+  }
+}
+
+TEST(Buffering, HighFanoutNetGetsTree) {
+  GateLibrary lib = make_lib2_library();
+  const Gate* inv = find_gate(lib, "inv");
+  MappedNetlist net("t");
+  InstId a = net.add_input("a");
+  InstId g = net.add_gate(inv, {a});
+  for (int i = 0; i < 32; ++i)
+    net.add_output(net.add_gate(inv, {g}), "o" + std::to_string(i));
+  BufferOptions opt;
+  opt.max_branch = 4;
+  BufferResult r = buffer_fanouts(net, lib, opt);
+  EXPECT_GT(r.buffers_inserted, 0u);
+  EXPECT_LT(r.delay_after, r.delay_before);
+  // Every net in the result obeys the branching bound (count fanouts).
+  std::vector<unsigned> fanout(r.netlist.size(), 0);
+  for (InstId id = 0; id < r.netlist.size(); ++id)
+    for (InstId f : r.netlist.instance(id).fanins) ++fanout[f];
+  for (const Output& o : r.netlist.outputs()) ++fanout[o.node];
+  for (InstId id = 0; id < r.netlist.size(); ++id)
+    EXPECT_LE(fanout[id], opt.max_branch) << "instance " << id;
+}
+
+TEST(Buffering, PreservesFunction) {
+  GateLibrary lib = make_lib2_library();
+  Network sg = tech_decompose(make_comparator(8));
+  MapResult m = dag_map(sg, lib);
+  BufferOptions opt;
+  opt.max_branch = 3;
+  BufferResult r = buffer_fanouts(m.netlist, lib, opt);
+  r.netlist.check();
+  EXPECT_TRUE(check_equivalence(sg, r.netlist.to_network()).equivalent);
+}
+
+TEST(Buffering, LowFanoutNetsUntouched) {
+  GateLibrary lib = make_lib2_library();
+  const Gate* nand2 = find_gate(lib, "nand2");
+  MappedNetlist net("t");
+  InstId a = net.add_input("a");
+  InstId b = net.add_input("b");
+  InstId g = net.add_gate(nand2, {a, b});
+  net.add_output(g, "o");
+  BufferResult r = buffer_fanouts(net, lib);
+  EXPECT_EQ(r.buffers_inserted, 0u);
+  EXPECT_EQ(r.netlist.num_gates(), 1u);
+}
+
+TEST(Buffering, CriticalConsumersStayShallow) {
+  // The most critical consumer must not sit under more buffers than the
+  // least critical one.
+  GateLibrary lib = make_lib2_library();
+  const Gate* inv = find_gate(lib, "inv");
+  const Gate* nand2 = find_gate(lib, "nand2");
+  MappedNetlist net("t");
+  InstId a = net.add_input("a");
+  InstId g = net.add_gate(inv, {a});
+  // One deep (critical) consumer chain and many shallow ones.
+  InstId chain = g;
+  for (int i = 0; i < 6; ++i) chain = net.add_gate(inv, {chain});
+  net.add_output(chain, "critical");
+  for (int i = 0; i < 12; ++i) {
+    InstId x = net.add_gate(nand2, {g, a});
+    net.add_output(x, "nc" + std::to_string(i));
+  }
+  BufferOptions opt;
+  opt.max_branch = 4;
+  BufferResult r = buffer_fanouts(net, lib, opt);
+  // Functional check plus: delay after buffering should beat before
+  // (driver g was overloaded with 13 consumers).
+  EXPECT_GT(r.buffers_inserted, 0u);
+  EXPECT_LT(r.delay_after, r.delay_before + 1e-9);
+}
+
+TEST(Buffering, SequentialNetsBuffered) {
+  GateLibrary lib = make_lib2_library();
+  Network sg = tech_decompose(make_sequential_pipeline(3, 12, 77));
+  MapResult m = dag_map(sg, lib);
+  BufferOptions opt;
+  opt.max_branch = 2;
+  BufferResult r = buffer_fanouts(m.netlist, lib, opt);
+  r.netlist.check();
+  EXPECT_EQ(r.netlist.latches().size(), m.netlist.latches().size());
+  EXPECT_TRUE(check_equivalence(sg, r.netlist.to_network()).equivalent);
+}
+
+TEST(Buffering, RequiresBufferGate) {
+  GateLibrary lib = make_minimal_library();  // no buffer
+  MappedNetlist net("t");
+  InstId a = net.add_input("a");
+  net.add_output(a, "o");
+  EXPECT_THROW(buffer_fanouts(net, lib), ContractError);
+}
+
+}  // namespace
+}  // namespace dagmap

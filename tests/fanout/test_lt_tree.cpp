@@ -1,0 +1,107 @@
+// Tests for LT-tree (Touati) fanout optimization.
+#include "fanout/lt_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dag_mapper.hpp"
+#include "decomp/tech_decomp.hpp"
+#include "fanout/buffering.hpp"
+#include "fanout/sizing.hpp"
+#include "gen/circuits.hpp"
+#include "library/standard_libs.hpp"
+#include "netlist/assert.hpp"
+#include "sim/simulator.hpp"
+
+namespace dagmap {
+namespace {
+
+const Gate* find_gate(const GateLibrary& lib, const std::string& name) {
+  for (const Gate& g : lib.gates())
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+TEST(LtTree, PreservesFunction) {
+  GateLibrary lib = make_lib2_library();
+  Network sg = tech_decompose(make_comparator(8));
+  MappedNetlist m = dag_map(sg, lib).netlist;
+  LtTreeResult r = buffer_fanouts_lt_tree(m, lib, LtTreeOptions{{}, 2});
+  r.netlist.check();
+  EXPECT_TRUE(check_equivalence(sg, r.netlist.to_network()).equivalent);
+}
+
+TEST(LtTree, ImprovesOverloadedDriver) {
+  GateLibrary lib = make_lib2_library();
+  const Gate* inv = find_gate(lib, "inv");
+  MappedNetlist net("t");
+  InstId a = net.add_input("a");
+  InstId d = net.add_gate(inv, {a});
+  for (int i = 0; i < 32; ++i)
+    net.add_output(net.add_gate(inv, {d}), "o" + std::to_string(i));
+  LtTreeResult r = buffer_fanouts_lt_tree(net, lib);
+  EXPECT_GT(r.buffers_inserted, 0u);
+  EXPECT_LT(r.delay_after, r.delay_before);
+}
+
+TEST(LtTree, CriticalSinkRidesAheadOfSlackySinks) {
+  // One deep consumer (critical) + many shallow ones.  The critical
+  // consumer must see at most as many buffers as the shallow ones.
+  GateLibrary lib = make_lib2_library();
+  const Gate* inv = find_gate(lib, "inv");
+  const Gate* nand2 = find_gate(lib, "nand2");
+  MappedNetlist net("t");
+  InstId a = net.add_input("a");
+  InstId d = net.add_gate(inv, {a});
+  InstId chain = d;
+  for (int i = 0; i < 8; ++i) chain = net.add_gate(inv, {chain});
+  net.add_output(chain, "critical");
+  for (int i = 0; i < 16; ++i)
+    net.add_output(net.add_gate(nand2, {d, a}), "nc" + std::to_string(i));
+  LtTreeResult r = buffer_fanouts_lt_tree(net, lib);
+  r.netlist.check();
+  EXPECT_LE(r.delay_after, r.delay_before + 1e-9);
+}
+
+TEST(LtTree, BeatsOrMatchesBalancedTreesWithSizes) {
+  // With a sized buffer ladder the timing-driven chain should not lose
+  // to structurally balanced trees on the suite (load-aware delay).
+  GateLibrary sized = make_sized_library(lib2_genlib_text(), {1, 2, 4},
+                                         "lib2-sized");
+  GateLibrary base = make_lib2_library();
+  int better_or_equal = 0, total = 0;
+  for (const auto& b : make_small_suite()) {
+    Network sg = tech_decompose(b.network);
+    MappedNetlist m = dag_map(sg, base).netlist;
+    BufferOptions bal_opt;
+    bal_opt.max_branch = 4;
+    BufferResult bal = buffer_fanouts(m, base, bal_opt);
+    LtTreeResult lt = buffer_fanouts_lt_tree(m, sized);
+    ++total;
+    if (lt.delay_after <= bal.delay_after + 1e-9) ++better_or_equal;
+    EXPECT_TRUE(check_equivalence(sg, lt.netlist.to_network()).equivalent)
+        << b.name;
+  }
+  // Not a theorem, but the DP should win on most circuits.
+  EXPECT_GE(better_or_equal * 2, total);
+}
+
+TEST(LtTree, RequiresBufferGate) {
+  GateLibrary lib = make_minimal_library();
+  MappedNetlist net("t");
+  InstId a = net.add_input("a");
+  net.add_output(a, "o");
+  EXPECT_THROW(buffer_fanouts_lt_tree(net, lib), ContractError);
+}
+
+TEST(LtTree, SequentialNetsSupported) {
+  GateLibrary lib = make_lib2_library();
+  Network sg = tech_decompose(make_sequential_pipeline(3, 10, 3));
+  MappedNetlist m = dag_map(sg, lib).netlist;
+  LtTreeResult r = buffer_fanouts_lt_tree(m, lib, LtTreeOptions{{}, 2});
+  r.netlist.check();
+  EXPECT_EQ(r.netlist.latches().size(), m.latches().size());
+  EXPECT_TRUE(check_equivalence(sg, r.netlist.to_network()).equivalent);
+}
+
+}  // namespace
+}  // namespace dagmap

@@ -1,0 +1,113 @@
+// Tests for sized libraries and the post-mapping sizing pass.
+#include "fanout/sizing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dag_mapper.hpp"
+#include "decomp/tech_decomp.hpp"
+#include "gen/circuits.hpp"
+#include "library/standard_libs.hpp"
+#include "sim/simulator.hpp"
+
+namespace dagmap {
+namespace {
+
+TEST(SizedLibrary, ReplicatesGatesWithScaledParameters) {
+  auto base = parse_genlib(lib2_genlib_text());
+  auto sized = make_sized_genlib(base, {1, 2, 4});
+  EXPECT_EQ(sized.size(), base.size() * 3);
+  // Find inv and inv_x4.
+  const GenlibGate *x1 = nullptr, *x4 = nullptr;
+  for (const auto& g : sized) {
+    if (g.name == "inv") x1 = &g;
+    if (g.name == "inv_x4") x4 = &g;
+  }
+  ASSERT_TRUE(x1 && x4);
+  EXPECT_DOUBLE_EQ(x4->area, 4 * x1->area);
+  EXPECT_DOUBLE_EQ(x4->pins[0].input_load, 4 * x1->pins[0].input_load);
+  EXPECT_DOUBLE_EQ(x4->pins[0].rise_fanout, x1->pins[0].rise_fanout / 4);
+  EXPECT_DOUBLE_EQ(x4->pins[0].rise_block, x1->pins[0].rise_block);
+}
+
+TEST(SizedLibrary, BuildsAndStaysComplete) {
+  GateLibrary lib = make_sized_library(lib2_genlib_text(), {1, 2, 4});
+  EXPECT_TRUE(lib.is_complete_for_mapping());
+  EXPECT_EQ(lib.size(), 28u * 3);
+  // The minimum-area inverter is the x1.
+  EXPECT_EQ(lib.inverter()->name, "inv");
+}
+
+TEST(Sizing, UpsizesOverloadedCriticalDriver) {
+  GateLibrary base = make_lib2_library();
+  GateLibrary sized = make_sized_library(lib2_genlib_text(), {1, 2, 4});
+  const Gate* inv = nullptr;
+  for (const Gate& g : base.gates())
+    if (g.name == "inv") inv = &g;
+  ASSERT_TRUE(inv);
+
+  // A chain driving a big fanout: the overloaded driver is critical.
+  MappedNetlist net("t");
+  InstId a = net.add_input("a");
+  InstId d = net.add_gate(inv, {a});
+  for (int i = 0; i < 24; ++i)
+    net.add_output(net.add_gate(inv, {d}), "o" + std::to_string(i));
+  SizingResult r = size_gates(net, sized);
+  EXPECT_GT(r.resized, 0u);
+  EXPECT_LT(r.delay_after, r.delay_before);
+  r.netlist.check();
+}
+
+TEST(Sizing, PreservesFunction) {
+  GateLibrary base = make_lib2_library();
+  GateLibrary sized = make_sized_library(lib2_genlib_text(), {1, 2, 4});
+  Network sg = tech_decompose(make_comparator(8));
+  MapResult m = dag_map(sg, base);
+  SizingResult r = size_gates(m.netlist, sized);
+  EXPECT_TRUE(check_equivalence(sg, r.netlist.to_network()).equivalent);
+  EXPECT_LE(r.delay_after, r.delay_before + 1e-9);
+}
+
+TEST(Sizing, NonCriticalGatesNotBlindlyUpsized) {
+  GateLibrary base = make_lib2_library();
+  GateLibrary sized = make_sized_library(lib2_genlib_text(), {1, 2, 4});
+  const Gate* inv = nullptr;
+  const Gate* nand2 = nullptr;
+  for (const Gate& g : base.gates()) {
+    if (g.name == "inv") inv = &g;
+    if (g.name == "nand2") nand2 = &g;
+  }
+  // A long critical inverter chain plus independent single-gate cones
+  // with huge slack: the slack-rich gates must stay at x1.
+  MappedNetlist net("t");
+  InstId a = net.add_input("a");
+  InstId b = net.add_input("b");
+  InstId chain = a;
+  for (int i = 0; i < 12; ++i) chain = net.add_gate(inv, {chain});
+  net.add_output(chain, "crit");
+  std::vector<InstId> lazy;
+  for (int i = 0; i < 10; ++i) {
+    lazy.push_back(net.add_gate(nand2, {a, b}));
+    net.add_output(lazy.back(), "lazy" + std::to_string(i));
+  }
+  SizingResult r = size_gates(net, sized);
+  // None of the slack-rich nand2 cones may be upsized.
+  for (InstId id : lazy)
+    EXPECT_EQ(r.netlist.instance(id).gate->name, "nand2") << id;
+  EXPECT_LE(r.delay_after, r.delay_before + 1e-9);
+}
+
+TEST(Sizing, LoadTimingSlackConsistency) {
+  GateLibrary base = make_lib2_library();
+  Network sg = tech_decompose(make_alu(4));
+  MapResult m = dag_map(sg, base);
+  LoadTimingReport t = analyze_timing_loaded(m.netlist);
+  // Somewhere the slack is (near) zero — the critical path; slack is
+  // never significantly negative against the measured delay.
+  double min_slack = 1e300;
+  for (InstId id = 0; id < m.netlist.size(); ++id)
+    if (t.slack[id] < min_slack) min_slack = t.slack[id];
+  EXPECT_NEAR(min_slack, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dagmap

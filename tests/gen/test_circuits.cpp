@@ -1,0 +1,322 @@
+// Functional tests for the benchmark circuit generators: each arithmetic
+// generator is simulated against integer arithmetic.
+#include "gen/circuits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace dagmap {
+namespace {
+
+// Evaluates the network on one scalar input assignment: `values[i]`
+// drives PI i.  Returns PO bits.
+std::vector<bool> eval(const Network& n, const std::vector<bool>& values) {
+  std::vector<std::uint64_t> words(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    words[i] = values[i] ? ~std::uint64_t{0} : 0;
+  auto out = simulate64(n, words);
+  std::vector<bool> bits(n.num_outputs());
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = out[i] & 1;
+  return bits;
+}
+
+std::uint64_t bits_to_int(const std::vector<bool>& bits, std::size_t from,
+                          std::size_t count) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < count; ++i)
+    if (bits[from + i]) v |= std::uint64_t{1} << i;
+  return v;
+}
+
+std::vector<bool> int_to_bits(std::uint64_t v, unsigned count) {
+  std::vector<bool> bits(count);
+  for (unsigned i = 0; i < count; ++i) bits[i] = (v >> i) & 1;
+  return bits;
+}
+
+class AdderParam : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AdderParam, RippleCarryAddsCorrectly) {
+  unsigned bits = GetParam();
+  Network n = make_ripple_carry_adder(bits);
+  n.check();
+  std::uint64_t mask = (bits == 64) ? ~0ull : ((1ull << bits) - 1);
+  std::uint64_t state = 12345 + bits;
+  for (int trial = 0; trial < 30; ++trial) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t a = (state >> 10) & mask;
+    std::uint64_t b = (state >> 30) & mask;
+    bool cin = state & 1;
+    std::vector<bool> in = int_to_bits(a, bits);
+    auto bb = int_to_bits(b, bits);
+    in.insert(in.end(), bb.begin(), bb.end());
+    in.push_back(cin);
+    auto out = eval(n, in);
+    std::uint64_t sum = bits_to_int(out, 0, bits);
+    bool cout = out[bits];
+    std::uint64_t want = a + b + cin;
+    EXPECT_EQ(sum, want & mask);
+    EXPECT_EQ(cout, (want >> bits) & 1);
+  }
+}
+
+TEST_P(AdderParam, CarryLookaheadMatchesRipple) {
+  unsigned bits = GetParam();
+  Network cla = make_carry_lookahead_adder(bits);
+  Network rca = make_ripple_carry_adder(bits);
+  cla.check();
+  EXPECT_TRUE(check_equivalence(cla, rca).equivalent) << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderParam,
+                         ::testing::Values(1u, 3u, 4u, 5u, 8u, 13u, 16u));
+
+class MultParam : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MultParam, ArrayMultiplierMultipliesCorrectly) {
+  unsigned bits = GetParam();
+  Network n = make_array_multiplier(bits);
+  n.check();
+  EXPECT_EQ(n.num_outputs(), 2 * bits);
+  std::uint64_t mask = (1ull << bits) - 1;
+  std::uint64_t state = 777 + bits;
+  for (int trial = 0; trial < 40; ++trial) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t a = (state >> 7) & mask;
+    std::uint64_t b = (state >> 33) & mask;
+    std::vector<bool> in = int_to_bits(a, bits);
+    auto bb = int_to_bits(b, bits);
+    in.insert(in.end(), bb.begin(), bb.end());
+    auto out = eval(n, in);
+    EXPECT_EQ(bits_to_int(out, 0, 2 * bits), a * b)
+        << bits << "-bit " << a << "*" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MultParam,
+                         ::testing::Values(2u, 3u, 4u, 6u, 8u, 16u));
+
+TEST(Circuits, AluComputesAllOps) {
+  unsigned bits = 8;
+  Network n = make_alu(bits);
+  n.check();
+  std::uint64_t mask = (1ull << bits) - 1;
+  std::uint64_t state = 99;
+  for (int trial = 0; trial < 20; ++trial) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t a = (state >> 5) & mask;
+    std::uint64_t b = (state >> 25) & mask;
+    for (unsigned op = 0; op < 4; ++op) {
+      std::vector<bool> in = int_to_bits(a, bits);
+      auto bb = int_to_bits(b, bits);
+      in.insert(in.end(), bb.begin(), bb.end());
+      in.push_back(op & 1);         // op0
+      in.push_back((op >> 1) & 1);  // op1
+      in.push_back(false);          // cin
+      auto out = eval(n, in);
+      std::uint64_t y = bits_to_int(out, 0, bits);
+      std::uint64_t want = op == 0   ? (a + b) & mask
+                           : op == 1 ? (a & b)
+                           : op == 2 ? (a | b)
+                                     : (a ^ b);
+      EXPECT_EQ(y, want) << "op=" << op;
+    }
+  }
+}
+
+TEST(Circuits, ParityTree) {
+  Network n = make_parity_tree(16);
+  for (std::uint64_t v : {0ull, 1ull, 0xFFFFull, 0xA5C3ull, 0x8001ull}) {
+    auto out = eval(n, int_to_bits(v, 16));
+    EXPECT_EQ(out[0], (std::popcount(v) & 1) == 1) << v;
+  }
+}
+
+TEST(Circuits, Comparator) {
+  Network n = make_comparator(8);
+  std::uint64_t state = 5;
+  for (int trial = 0; trial < 40; ++trial) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t a = (state >> 8) & 0xFF;
+    std::uint64_t b = (state >> 40) & 0xFF;
+    std::vector<bool> in = int_to_bits(a, 8);
+    auto bb = int_to_bits(b, 8);
+    in.insert(in.end(), bb.begin(), bb.end());
+    auto out = eval(n, in);
+    EXPECT_EQ(out[0], a < b);
+    EXPECT_EQ(out[1], a == b);
+    EXPECT_EQ(out[2], a > b);
+  }
+}
+
+TEST(Circuits, PriorityEncoder) {
+  Network n = make_priority_encoder(8);
+  for (unsigned v = 0; v < 256; ++v) {
+    auto out = eval(n, int_to_bits(v, 8));
+    bool valid = out.back();
+    EXPECT_EQ(valid, v != 0);
+    if (v) {
+      unsigned expect = 31 - std::countl_zero(std::uint32_t{v});
+      unsigned got = static_cast<unsigned>(bits_to_int(out, 0, 3));
+      EXPECT_EQ(got, expect) << v;
+    }
+  }
+}
+
+TEST(Circuits, Decoder) {
+  Network n = make_decoder(4);
+  n.check();
+  EXPECT_EQ(n.num_outputs(), 16u);
+  for (unsigned addr = 0; addr < 16; ++addr) {
+    auto out = eval(n, int_to_bits(addr, 4));
+    for (unsigned j = 0; j < 16; ++j)
+      EXPECT_EQ(out[j], j == addr) << "addr=" << addr << " j=" << j;
+  }
+}
+
+TEST(Circuits, BarrelShifter) {
+  Network n = make_barrel_shifter(8);
+  n.check();
+  std::uint64_t state = 17;
+  for (int trial = 0; trial < 30; ++trial) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t data = state & 0xFF;
+    unsigned amount = (state >> 20) & 7;
+    std::vector<bool> in = int_to_bits(data, 8);
+    auto sb = int_to_bits(amount, 3);
+    in.insert(in.end(), sb.begin(), sb.end());
+    auto out = eval(n, in);
+    EXPECT_EQ(bits_to_int(out, 0, 8), (data << amount) & 0xFF)
+        << data << "<<" << amount;
+  }
+}
+
+TEST(Circuits, MuxTree) {
+  Network n = make_mux_tree(3);
+  std::uint64_t state = 31;
+  for (int trial = 0; trial < 30; ++trial) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t data = state & 0xFF;
+    unsigned sel = (state >> 20) & 7;
+    std::vector<bool> in = int_to_bits(data, 8);
+    auto sb = int_to_bits(sel, 3);
+    in.insert(in.end(), sb.begin(), sb.end());
+    auto out = eval(n, in);
+    EXPECT_EQ(out[0], (data >> sel) & 1) << "sel=" << sel;
+  }
+}
+
+TEST(Circuits, HammingDecoderCorrectsSingleErrors) {
+  unsigned data_bits = 8;
+  Network n = make_hamming_decoder(data_bits);
+  n.check();
+  unsigned p = 2;
+  while ((1u << p) < data_bits + p + 1) ++p;
+  unsigned len = data_bits + p;
+
+  // Software Hamming encoder: place data at non-power-of-2 positions,
+  // then set parity bits so each syndrome bit is even.
+  auto encode = [&](std::uint64_t data) {
+    std::vector<bool> code(len + 1, false);
+    unsigned di = 0;
+    for (unsigned i = 1; i <= len; ++i)
+      if ((i & (i - 1)) != 0) code[i] = (data >> di++) & 1;
+    for (unsigned k = 0; k < p; ++k) {
+      bool parity = false;
+      for (unsigned i = 1; i <= len; ++i)
+        if (((i >> k) & 1) && (i & (i - 1)) != 0) parity ^= code[i];
+      code[1u << k] = parity;
+    }
+    return code;
+  };
+
+  std::uint64_t state = 321;
+  for (int trial = 0; trial < 20; ++trial) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    std::uint64_t data = (state >> 13) & ((1u << data_bits) - 1);
+    for (unsigned flip = 0; flip <= len; ++flip) {  // 0 = no error
+      auto code = encode(data);
+      if (flip) code[flip] = !code[flip];
+      std::vector<bool> in(code.begin() + 1, code.end());
+      auto out = eval(n, in);
+      EXPECT_EQ(out[0], flip != 0) << "error flag, flip=" << flip;
+      // Corrected data must equal the original regardless of the flip.
+      std::uint64_t got = 0;
+      unsigned di = 0, oi = 1;
+      for (unsigned i = 1; i <= len; ++i) {
+        if ((i & (i - 1)) == 0) continue;
+        if (out[oi++]) got |= 1ull << di;
+        ++di;
+      }
+      EXPECT_EQ(got, data) << "flip=" << flip;
+    }
+  }
+}
+
+TEST(Circuits, InterruptControllerGrantsHighestEnabled) {
+  Network n = make_interrupt_controller(8);
+  n.check();
+  std::uint64_t state = 55;
+  for (int trial = 0; trial < 40; ++trial) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    unsigned req = state & 0xFF;
+    unsigned en = (state >> 20) & 0xFF;
+    bool master = (state >> 40) & 1;
+    std::vector<bool> in = int_to_bits(req, 8);
+    auto eb = int_to_bits(en, 8);
+    in.insert(in.end(), eb.begin(), eb.end());
+    in.push_back(master);
+    auto out = eval(n, in);
+    unsigned masked = master ? (req & en) : 0;
+    int winner = -1;
+    for (int i = 7; i >= 0; --i)
+      if ((masked >> i) & 1) {
+        winner = i;
+        break;
+      }
+    for (unsigned i = 0; i < 8; ++i)
+      EXPECT_EQ(out[i], static_cast<int>(i) == winner) << "grant " << i;
+    // vec outputs follow grants; "active" output is the last one.
+    EXPECT_EQ(out.back(), winner >= 0);
+  }
+}
+
+TEST(Circuits, RandomDagIsDeterministic) {
+  Network n1 = make_random_dag(16, 200, 8, 42);
+  Network n2 = make_random_dag(16, 200, 8, 42);
+  EXPECT_TRUE(check_equivalence(n1, n2).equivalent);
+  Network n3 = make_random_dag(16, 200, 8, 43);
+  EXPECT_EQ(n3.size(), n1.size());
+  n3.check();
+}
+
+TEST(Circuits, SequentialPipelineShape) {
+  Network n = make_sequential_pipeline(4, 8, 7);
+  n.check();
+  // 8 feedback latches + 3 inter-stage banks of 8.
+  EXPECT_EQ(n.num_latches(), 8u + 3 * 8u);
+  EXPECT_EQ(n.num_outputs(), 8u);
+}
+
+TEST(Circuits, Iscas85LikeSuiteScale) {
+  auto suite = make_iscas85_like_suite();
+  ASSERT_EQ(suite.size(), 9u);
+  for (const auto& b : suite) {
+    b.network.check();
+    EXPECT_GT(b.network.num_internal(), 100u) << b.name;
+    EXPECT_FALSE(b.note.empty());
+  }
+  // c6288-like is the multiplier: biggest internal node count share.
+  EXPECT_EQ(suite[7].name, "c6288-like");
+}
+
+TEST(Circuits, SmallSuiteIsSane) {
+  for (const auto& b : make_small_suite()) {
+    b.network.check();
+    EXPECT_GT(b.network.num_internal(), 10u) << b.name;
+  }
+}
+
+}  // namespace
+}  // namespace dagmap

@@ -1,0 +1,127 @@
+// Unit tests for the GENLIB expression parser.
+#include "io/expr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dagmap {
+namespace {
+
+TruthTable tt_of(const std::string& text) {
+  Expr e = parse_expression(text);
+  return expr_truth_table(e, expr_variables(e));
+}
+
+TEST(Expr, ParsesSimpleAnd) {
+  Expr e = parse_expression("a*b");
+  EXPECT_EQ(e.op, Expr::Op::And);
+  ASSERT_EQ(e.operands.size(), 2u);
+  EXPECT_EQ(e.operands[0].var, "a");
+  EXPECT_EQ(e.operands[1].var, "b");
+}
+
+TEST(Expr, PrecedenceAndOverOr) {
+  EXPECT_EQ(tt_of("a*b+c"),
+            (TruthTable::variable(0, 3) & TruthTable::variable(1, 3)) |
+                TruthTable::variable(2, 3));
+}
+
+TEST(Expr, ParenthesesOverridePrecedence) {
+  EXPECT_EQ(tt_of("a*(b+c)"),
+            TruthTable::variable(0, 3) &
+                (TruthTable::variable(1, 3) | TruthTable::variable(2, 3)));
+}
+
+TEST(Expr, PrefixAndPostfixNegation) {
+  EXPECT_EQ(tt_of("!a"), ~TruthTable::variable(0, 1));
+  EXPECT_EQ(tt_of("a'"), ~TruthTable::variable(0, 1));
+  EXPECT_EQ(tt_of("!(a*b)"),
+            ~(TruthTable::variable(0, 2) & TruthTable::variable(1, 2)));
+}
+
+TEST(Expr, DoubleNegationCollapses) {
+  Expr e = parse_expression("!!a");
+  EXPECT_EQ(e.op, Expr::Op::Var);
+  EXPECT_EQ(e.var, "a");
+}
+
+TEST(Expr, JuxtapositionIsAnd) {
+  EXPECT_EQ(tt_of("a b"), tt_of("a*b"));
+  EXPECT_EQ(tt_of("a b + c d"), tt_of("a*b + c*d"));
+}
+
+TEST(Expr, AlternativeOperators) {
+  EXPECT_EQ(tt_of("a&b"), tt_of("a*b"));
+  EXPECT_EQ(tt_of("a|b"), tt_of("a+b"));
+}
+
+TEST(Expr, Constants) {
+  EXPECT_TRUE(tt_of("CONST0").is_const0());
+  EXPECT_TRUE(tt_of("CONST1").is_const1());
+}
+
+TEST(Expr, NaryFlattening) {
+  Expr e = parse_expression("a*b*c*d");
+  EXPECT_EQ(e.op, Expr::Op::And);
+  EXPECT_EQ(e.operands.size(), 4u);
+  Expr o = parse_expression("a+b+c");
+  EXPECT_EQ(o.operands.size(), 3u);
+}
+
+TEST(Expr, VariablesInFirstOccurrenceOrder) {
+  Expr e = parse_expression("c*a + b*a");
+  auto vars = expr_variables(e);
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(vars[0], "c");
+  EXPECT_EQ(vars[1], "a");
+  EXPECT_EQ(vars[2], "b");
+}
+
+TEST(Expr, RepeatedVariableSharedInTruthTable) {
+  // XOR written with shared literals: a*!b + !a*b.
+  TruthTable x = tt_of("a*!b + !a*b");
+  EXPECT_EQ(x, TruthTable::variable(0, 2) ^ TruthTable::variable(1, 2));
+}
+
+TEST(Expr, RoundTripThroughToString) {
+  for (const char* s :
+       {"a*b+c", "!(a*b)", "a*(b+c)", "!(a*(b+c)+d)", "!(!(a*b)*!(c*d))"}) {
+    Expr e = parse_expression(s);
+    Expr e2 = parse_expression(to_string(e));
+    EXPECT_EQ(expr_truth_table(e, expr_variables(e)),
+              expr_truth_table(e2, expr_variables(e2)))
+        << s;
+  }
+}
+
+TEST(Expr, SizeCountsNodes) {
+  EXPECT_EQ(parse_expression("a").size(), 1u);
+  EXPECT_EQ(parse_expression("!a").size(), 2u);
+  EXPECT_EQ(parse_expression("a*b").size(), 3u);
+}
+
+TEST(Expr, ComplexGateFunction) {
+  // AOI22: !(a*b + c*d)
+  TruthTable t = tt_of("!(a*b+c*d)");
+  TruthTable want = ~((TruthTable::variable(0, 4) & TruthTable::variable(1, 4)) |
+                      (TruthTable::variable(2, 4) & TruthTable::variable(3, 4)));
+  EXPECT_EQ(t, want);
+}
+
+TEST(Expr, ErrorsOnMalformedInput) {
+  EXPECT_THROW(parse_expression(""), ParseError);
+  EXPECT_THROW(parse_expression("a*"), ParseError);
+  EXPECT_THROW(parse_expression("(a+b"), ParseError);
+  EXPECT_THROW(parse_expression("a)b"), ParseError);
+  EXPECT_THROW(parse_expression("*a"), ParseError);
+}
+
+TEST(Expr, BracketedIdentifiers) {
+  Expr e = parse_expression("in[3]*data<1>");
+  auto vars = expr_variables(e);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], "in[3]");
+  EXPECT_EQ(vars[1], "data<1>");
+}
+
+}  // namespace
+}  // namespace dagmap

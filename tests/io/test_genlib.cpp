@@ -1,0 +1,99 @@
+// Unit tests for the GENLIB reader/writer.
+#include "io/genlib.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dagmap {
+namespace {
+
+const char* kSmallLib = R"(
+# a tiny library
+GATE inv 1.0 O=!a;
+  PIN a INV 1 999 1.0 0.2 1.0 0.2
+GATE nand2 2.0 O=!(a*b);
+  PIN * INV 1 999 1.5 0.2 1.5 0.2
+GATE aoi21 3.0 O=!(a*b+c);
+  PIN a INV 1 999 2.1 0.3 2.0 0.3
+  PIN b INV 1 999 2.1 0.3 2.0 0.3
+  PIN c INV 1 999 1.6 0.3 1.6 0.3
+)";
+
+TEST(Genlib, ParsesGatesAndPins) {
+  auto gates = parse_genlib(kSmallLib);
+  ASSERT_EQ(gates.size(), 3u);
+  EXPECT_EQ(gates[0].name, "inv");
+  EXPECT_DOUBLE_EQ(gates[0].area, 1.0);
+  EXPECT_EQ(gates[0].output_name, "O");
+  EXPECT_EQ(gates[0].pins.size(), 1u);
+  EXPECT_EQ(gates[1].pins[0].name, "*");
+  EXPECT_DOUBLE_EQ(gates[1].pins[0].rise_block, 1.5);
+  EXPECT_EQ(gates[2].pins.size(), 3u);
+  EXPECT_DOUBLE_EQ(gates[2].pins[2].rise_block, 1.6);
+}
+
+TEST(Genlib, FunctionParsesToExpectedTruthTable) {
+  auto gates = parse_genlib(kSmallLib);
+  const Expr& aoi = gates[2].function;
+  auto vars = expr_variables(aoi);
+  ASSERT_EQ(vars.size(), 3u);
+  TruthTable t = expr_truth_table(aoi, vars);
+  TruthTable want = ~((TruthTable::variable(0, 3) & TruthTable::variable(1, 3)) |
+                      TruthTable::variable(2, 3));
+  EXPECT_EQ(t, want);
+}
+
+TEST(Genlib, RoundTripsThroughWriter) {
+  auto gates = parse_genlib(kSmallLib);
+  std::string text = write_genlib(gates);
+  auto gates2 = parse_genlib(text);
+  ASSERT_EQ(gates2.size(), gates.size());
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    EXPECT_EQ(gates2[i].name, gates[i].name);
+    EXPECT_DOUBLE_EQ(gates2[i].area, gates[i].area);
+    ASSERT_EQ(gates2[i].pins.size(), gates[i].pins.size());
+    for (std::size_t p = 0; p < gates[i].pins.size(); ++p) {
+      EXPECT_EQ(gates2[i].pins[p].name, gates[i].pins[p].name);
+      EXPECT_DOUBLE_EQ(gates2[i].pins[p].rise_block,
+                       gates[i].pins[p].rise_block);
+    }
+    auto v1 = expr_variables(gates[i].function);
+    auto v2 = expr_variables(gates2[i].function);
+    EXPECT_EQ(expr_truth_table(gates[i].function, v1),
+              expr_truth_table(gates2[i].function, v2));
+  }
+}
+
+TEST(Genlib, FunctionMaySpanSpaces) {
+  auto gates = parse_genlib("GATE or2 2 O = a + b;\n PIN * NONINV 1 999 1 0 1 0\n");
+  ASSERT_EQ(gates.size(), 1u);
+  auto vars = expr_variables(gates[0].function);
+  EXPECT_EQ(expr_truth_table(gates[0].function, vars),
+            TruthTable::variable(0, 2) | TruthTable::variable(1, 2));
+}
+
+TEST(Genlib, CommentsIgnoredAnywhere) {
+  auto gates = parse_genlib(
+      "# header\nGATE buf 1 O=a; # trailing\n PIN a NONINV 1 999 1 0 1 0\n");
+  ASSERT_EQ(gates.size(), 1u);
+}
+
+TEST(Genlib, ErrorsOnMalformedFiles) {
+  EXPECT_THROW(parse_genlib("PIN a INV 1 999 1 0 1 0\n"), ParseError);
+  EXPECT_THROW(parse_genlib("GATE x 1 O=a\n"), ParseError);  // missing ';'
+  EXPECT_THROW(parse_genlib("GATE x 1 a;\n"), ParseError);   // missing '='
+  EXPECT_THROW(parse_genlib("FROB x\n"), ParseError);
+  EXPECT_THROW(parse_genlib("GATE x notanumber O=a;\n"), ParseError);
+  EXPECT_THROW(
+      parse_genlib("GATE x 1 O=a;\n PIN a SIDEWAYS 1 999 1 0 1 0\n"),
+      ParseError);
+}
+
+TEST(Genlib, ConstantGates) {
+  auto gates = parse_genlib("GATE zero 0 O=CONST0;\nGATE one 0 O=CONST1;\n");
+  ASSERT_EQ(gates.size(), 2u);
+  EXPECT_EQ(gates[0].function.op, Expr::Op::Const0);
+  EXPECT_EQ(gates[1].function.op, Expr::Op::Const1);
+}
+
+}  // namespace
+}  // namespace dagmap

@@ -1,0 +1,144 @@
+// Tests for GateLibrary construction and the built-in library families.
+#include "library/gate_library.hpp"
+
+#include <gtest/gtest.h>
+
+#include "library/standard_libs.hpp"
+
+namespace dagmap {
+namespace {
+
+TEST(GateLibrary, FromGenlibResolvesPins) {
+  GateLibrary lib = GateLibrary::from_genlib_text(
+      "GATE aoi21 3 O=!(a*b+c);\n"
+      " PIN a INV 1 999 2.0 0 1.8 0\n"
+      " PIN b INV 1 999 2.0 0 1.8 0\n"
+      " PIN c INV 1 999 1.4 0 1.2 0\n");
+  ASSERT_EQ(lib.size(), 1u);
+  const Gate& g = lib.gates()[0];
+  ASSERT_EQ(g.num_inputs(), 3u);
+  EXPECT_EQ(g.pins[0].name, "a");
+  EXPECT_DOUBLE_EQ(g.pins[0].delay(), 2.0);  // max(rise, fall)
+  EXPECT_DOUBLE_EQ(g.pins[2].delay(), 1.4);
+  EXPECT_DOUBLE_EQ(g.max_pin_delay(), 2.0);
+}
+
+TEST(GateLibrary, WildcardPinAppliesToAll) {
+  GateLibrary lib = GateLibrary::from_genlib_text(
+      "GATE nand3 3 O=!(a*b*c);\n PIN * INV 1 999 1.5 0 1.3 0\n");
+  const Gate& g = lib.gates()[0];
+  for (const GatePin& p : g.pins) EXPECT_DOUBLE_EQ(p.delay(), 1.5);
+}
+
+TEST(GateLibrary, BaseGatesIdentified) {
+  GateLibrary lib = make_minimal_library();
+  ASSERT_TRUE(lib.is_complete_for_mapping());
+  EXPECT_EQ(lib.inverter()->name, "inv");
+  EXPECT_EQ(lib.nand2()->name, "nand2");
+}
+
+TEST(GateLibrary, MinAreaBaseGateWins) {
+  GateLibrary lib = GateLibrary::from_genlib_text(
+      "GATE inv_big 4 O=!a;\n PIN a INV 1 999 0.5 0 0.5 0\n"
+      "GATE inv_small 1 O=!a;\n PIN a INV 1 999 1.0 0 1.0 0\n"
+      "GATE nand2 2 O=!(a*b);\n PIN * INV 1 999 1.2 0 1.2 0\n");
+  EXPECT_EQ(lib.inverter()->name, "inv_small");
+}
+
+TEST(GateLibrary, IncompleteLibraryDetected) {
+  GateLibrary lib = GateLibrary::from_genlib_text(
+      "GATE inv 1 O=!a;\n PIN a INV 1 999 1.0 0 1.0 0\n");
+  EXPECT_FALSE(lib.is_complete_for_mapping());
+}
+
+TEST(GateLibrary, FunctionTruthTables) {
+  GateLibrary lib = make_lib2_library();
+  for (const Gate& g : lib.gates()) {
+    EXPECT_EQ(g.function.num_vars(), g.num_inputs()) << g.name;
+    // All lib2 gates depend on all their pins.
+    for (unsigned v = 0; v < g.num_inputs(); ++v)
+      EXPECT_TRUE(g.function.depends_on(v)) << g.name << " pin " << v;
+  }
+}
+
+TEST(GateLibrary, Lib2IsCompleteAndSized) {
+  GateLibrary lib = make_lib2_library();
+  EXPECT_TRUE(lib.is_complete_for_mapping());
+  EXPECT_GE(lib.size(), 25u);
+  EXPECT_GT(lib.total_patterns(), lib.size() / 2);
+  EXPECT_EQ(lib.max_gate_inputs(), 6u);
+}
+
+TEST(GateLibrary, FortyFourOneHasSevenGates) {
+  GateLibrary lib = make_44_library(1);
+  EXPECT_EQ(lib.size(), 7u);
+  EXPECT_TRUE(lib.is_complete_for_mapping());
+  EXPECT_EQ(lib.max_gate_inputs(), 4u);
+}
+
+TEST(GateLibrary, FortyFourThreeHas625GatesUpTo16Inputs) {
+  GateLibrary lib = make_44_library(3);
+  EXPECT_EQ(lib.size(), 625u);  // the paper's gate count
+  EXPECT_TRUE(lib.is_complete_for_mapping());
+  EXPECT_EQ(lib.max_gate_inputs(), 16u);  // the paper's largest gate
+}
+
+TEST(GateLibrary, FortyFourThreeIsSupersetOfFortyFourOne) {
+  GateLibrary l1 = make_44_library(1);
+  GateLibrary l3 = make_44_library(3);
+  // Every 44-1 function appears in 44-3 (by truth table).
+  for (const Gate& g1 : l1.gates()) {
+    bool found = false;
+    for (const Gate& g3 : l3.gates())
+      if (g3.function == g1.function) {
+        found = true;
+        break;
+      }
+    EXPECT_TRUE(found) << g1.name;
+  }
+}
+
+TEST(GateLibrary, EveryNonTrivialGateHasPatterns) {
+  for (int level : {1, 2, 3}) {
+    GateLibrary lib = make_44_library(level);
+    for (const Gate& g : lib.gates())
+      EXPECT_FALSE(g.patterns.empty()) << lib.name() << "/" << g.name;
+  }
+}
+
+TEST(GateLibrary, PatternLeavesMatchPinCount) {
+  GateLibrary lib = make_lib2_library();
+  for (const Gate& g : lib.gates())
+    for (const PatternGraph& p : g.patterns) {
+      EXPECT_EQ(p.num_leaves(), g.num_inputs()) << g.name;
+      for (const PatternNode& n : p.nodes)
+        if (n.kind == PatternNode::Kind::Leaf) {
+          EXPECT_GE(n.pin, 0);
+          EXPECT_LT(n.pin, static_cast<int>(g.num_inputs()));
+        }
+    }
+}
+
+TEST(GateLibrary, TotalPatternNodesIsTheComplexityConstant) {
+  GateLibrary small = make_44_library(1);
+  GateLibrary big = make_44_library(3);
+  EXPECT_GT(big.total_pattern_nodes(), 10 * small.total_pattern_nodes());
+}
+
+TEST(GateLibrary, RicherGatesBeatNandTreesInDelay) {
+  // The 16-input AOI-4444 gate must be faster than 4+ levels of NAND2.
+  GateLibrary lib = make_44_library(3);
+  const Gate* aoi4444 = nullptr;
+  for (const Gate& g : lib.gates())
+    if (g.num_inputs() == 16) aoi4444 = &g;
+  ASSERT_NE(aoi4444, nullptr);
+  double nand2_delay = 0;
+  for (const Gate& g : lib.gates())
+    if (g.function ==
+        ~(TruthTable::variable(0, 2) & TruthTable::variable(1, 2)))
+      nand2_delay = g.max_pin_delay();
+  EXPECT_LT(aoi4444->max_pin_delay(), 4 * nand2_delay);
+}
+
+}  // namespace
+}  // namespace dagmap

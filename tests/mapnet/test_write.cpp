@@ -1,0 +1,132 @@
+// Tests for mapped-netlist writers (mapped BLIF and structural Verilog).
+#include "mapnet/write.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/dag_mapper.hpp"
+#include "decomp/tech_decomp.hpp"
+#include "gen/circuits.hpp"
+#include "library/standard_libs.hpp"
+#include "sim/simulator.hpp"
+#include "io/expr.hpp"
+
+namespace dagmap {
+namespace {
+
+MappedNetlist sample_mapping() {
+  Network sg = tech_decompose(make_comparator(4));
+  static GateLibrary lib = make_lib2_library();
+  return dag_map(sg, lib).netlist;
+}
+
+TEST(MappedWrite, BlifContainsGateLines) {
+  MappedNetlist m = sample_mapping();
+  std::string text = write_mapped_blif(m);
+  EXPECT_NE(text.find(".model"), std::string::npos);
+  EXPECT_NE(text.find(".gate"), std::string::npos);
+  EXPECT_NE(text.find(".end"), std::string::npos);
+  // One .gate line per gate instance.
+  std::size_t count = 0, pos = 0;
+  while ((pos = text.find(".gate", pos)) != std::string::npos) {
+    ++count;
+    pos += 5;
+  }
+  EXPECT_EQ(count, m.num_gates());
+}
+
+TEST(MappedWrite, BlifListsInterface) {
+  MappedNetlist m = sample_mapping();
+  std::string text = write_mapped_blif(m);
+  for (InstId pi : m.inputs())
+    EXPECT_NE(text.find(m.instance(pi).name), std::string::npos);
+  for (const Output& o : m.outputs())
+    EXPECT_NE(text.find(o.name), std::string::npos);
+}
+
+TEST(MappedWrite, VerilogIsWellFormed) {
+  MappedNetlist m = sample_mapping();
+  std::string text = write_mapped_verilog(m);
+  EXPECT_NE(text.find("module"), std::string::npos);
+  EXPECT_NE(text.find("endmodule"), std::string::npos);
+  // Every gate instantiated once.
+  std::size_t count = 0, pos = 0;
+  while ((pos = text.find("(.", pos)) != std::string::npos) {
+    ++count;
+    pos += 2;
+  }
+  EXPECT_GE(count, m.num_gates());
+  // Identifiers are sanitized: no '[' outside comments.
+  std::size_t body = text.find("module");
+  EXPECT_EQ(text.find('[', body), std::string::npos);
+}
+
+TEST(MappedWrite, VerilogLatchesUseDff) {
+  GateLibrary lib = make_lib2_library();
+  Network sg = tech_decompose(make_sequential_pipeline(2, 4, 5));
+  MappedNetlist m = dag_map(sg, lib).netlist;
+  std::string text = write_mapped_verilog(m);
+  EXPECT_NE(text.find("dff"), std::string::npos);
+  std::string blif = write_mapped_blif(m);
+  EXPECT_NE(blif.find(".latch"), std::string::npos);
+}
+
+TEST(MappedWrite, DeterministicOutput) {
+  MappedNetlist m = sample_mapping();
+  EXPECT_EQ(write_mapped_blif(m), write_mapped_blif(m));
+  EXPECT_EQ(write_mapped_verilog(m), write_mapped_verilog(m));
+}
+
+TEST(MappedWrite, MappedBlifRoundTrip) {
+  GateLibrary lib = make_lib2_library();
+  Network sg = tech_decompose(make_comparator(4));
+  MappedNetlist m = dag_map(sg, lib).netlist;
+  MappedNetlist back = parse_mapped_blif(write_mapped_blif(m), lib);
+  back.check();
+  EXPECT_EQ(back.num_gates(), m.num_gates());
+  EXPECT_DOUBLE_EQ(back.total_area(), m.total_area());
+  EXPECT_EQ(back.gate_histogram(), m.gate_histogram());
+  // Function preserved (same PI/PO interface through to_network).
+  EXPECT_TRUE(
+      check_equivalence(m.to_network(), back.to_network()).equivalent);
+}
+
+TEST(MappedWrite, MappedBlifSequentialRoundTrip) {
+  GateLibrary lib = make_lib2_library();
+  Network sg = tech_decompose(make_sequential_pipeline(2, 4, 9));
+  MappedNetlist m = dag_map(sg, lib).netlist;
+  MappedNetlist back = parse_mapped_blif(write_mapped_blif(m), lib);
+  back.check();
+  EXPECT_EQ(back.latches().size(), m.latches().size());
+  EXPECT_TRUE(
+      check_equivalence(m.to_network(), back.to_network()).equivalent);
+}
+
+TEST(MappedWrite, MappedBlifRejectsUnknownCells) {
+  GateLibrary lib = make_minimal_library();
+  EXPECT_THROW(parse_mapped_blif(".model m\n.inputs a\n.outputs o\n"
+                                 ".gate frobnicator a=a O=o\n.end\n",
+                                 lib),
+               ParseError);
+  EXPECT_THROW(parse_mapped_blif(".model m\n.inputs a\n.outputs o\n"
+                                 ".gate nand2 a=a O=o\n.end\n",
+                                 lib),
+               ParseError);  // unconnected pin b
+}
+
+TEST(MappedWrite, FileDispatchOnExtension) {
+  MappedNetlist m = sample_mapping();
+  write_mapped_file(m, "/tmp/dagmap_write_test.v");
+  write_mapped_file(m, "/tmp/dagmap_write_test.blif");
+  std::ifstream v("/tmp/dagmap_write_test.v");
+  std::string first;
+  std::getline(v, first);
+  EXPECT_NE(first.find("//"), std::string::npos);
+  std::ifstream b("/tmp/dagmap_write_test.blif");
+  std::getline(b, first);
+  EXPECT_EQ(first.rfind(".model", 0), 0u);
+}
+
+}  // namespace
+}  // namespace dagmap

@@ -1,0 +1,236 @@
+// Unit tests for dagmap::Network.
+#include "netlist/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+namespace {
+
+// Builds the tiny subject graph used in several tests:
+//   f = NAND(a, b); g = INV(f); POs: g.
+Network tiny_subject() {
+  Network n("tiny");
+  NodeId a = n.add_input("a");
+  NodeId b = n.add_input("b");
+  NodeId f = n.add_nand2(a, b);
+  NodeId g = n.add_inv(f);
+  n.add_output(g, "out");
+  return n;
+}
+
+TEST(Network, BasicConstruction) {
+  Network n = tiny_subject();
+  EXPECT_EQ(n.size(), 4u);
+  EXPECT_EQ(n.num_inputs(), 2u);
+  EXPECT_EQ(n.num_outputs(), 1u);
+  EXPECT_EQ(n.num_internal(), 2u);
+  EXPECT_TRUE(n.is_subject_graph());
+  EXPECT_TRUE(n.is_k_bounded(2));
+  n.check();
+}
+
+TEST(Network, TopoOrderRespectsEdges) {
+  Network n("t");
+  NodeId a = n.add_input("a");
+  NodeId b = n.add_input("b");
+  NodeId c = n.add_nand2(a, b);
+  NodeId d = n.add_inv(c);
+  NodeId e = n.add_nand2(c, d);
+  n.add_output(e, "o");
+  auto order = n.topo_order();
+  ASSERT_EQ(order.size(), n.size());
+  std::vector<std::size_t> pos(n.size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NodeId id = 0; id < n.size(); ++id)
+    for (NodeId f : n.fanins(id))
+      if (n.kind(id) != NodeKind::Latch) {
+        EXPECT_LT(pos[f], pos[id]);
+      }
+}
+
+TEST(Network, FanoutCountsIncludePOs) {
+  Network n = tiny_subject();
+  auto counts = n.fanout_counts();
+  EXPECT_EQ(counts[0], 1u);  // a -> nand
+  EXPECT_EQ(counts[1], 1u);  // b -> nand
+  EXPECT_EQ(counts[2], 1u);  // nand -> inv
+  EXPECT_EQ(counts[3], 1u);  // inv -> PO
+}
+
+TEST(Network, LocalFunctionOfPrimitives) {
+  Network n = tiny_subject();
+  EXPECT_EQ(n.local_function(2).to_hex(), "7");  // NAND2
+  EXPECT_EQ(n.local_function(3).to_hex(), "1");  // INV
+  EXPECT_THROW(n.local_function(0), ContractError);
+}
+
+TEST(Network, GenericGatesComputeExpectedFunctions) {
+  Network n("g");
+  NodeId a = n.add_input("a");
+  NodeId b = n.add_input("b");
+  NodeId c = n.add_input("c");
+  EXPECT_EQ(n.local_function(n.add_and(a, b)).to_hex(), "8");
+  EXPECT_EQ(n.local_function(n.add_or(a, b)).to_hex(), "e");
+  EXPECT_EQ(n.local_function(n.add_xor(a, b)).to_hex(), "6");
+  EXPECT_EQ(n.local_function(n.add_maj3(a, b, c)).to_hex(), "e8");
+  // MUX: sel ? then : else with vars (sel, then, else).
+  TruthTable mux = n.local_function(n.add_mux(a, b, c));
+  for (unsigned m = 0; m < 8; ++m) {
+    bool sel = m & 1, t = (m >> 1) & 1, e = (m >> 2) & 1;
+    EXPECT_EQ(mux.bit(m), sel ? t : e);
+  }
+}
+
+TEST(Network, WideAndOrBuilders) {
+  Network n("w");
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 5; ++i) ins.push_back(n.add_input("i" + std::to_string(i)));
+  TruthTable f_and = n.local_function(n.add_and(ins));
+  TruthTable f_or = n.local_function(n.add_or(ins));
+  EXPECT_EQ(f_and.count_ones(), 1u);
+  EXPECT_TRUE(f_and.bit(31));
+  EXPECT_EQ(f_or.count_ones(), 31u);
+  EXPECT_FALSE(f_or.bit(0));
+}
+
+TEST(Network, IsSubjectGraphRejectsGenericNodes) {
+  Network n("g");
+  NodeId a = n.add_input("a");
+  NodeId b = n.add_input("b");
+  NodeId x = n.add_xor(a, b);
+  n.add_output(x, "o");
+  EXPECT_FALSE(n.is_subject_graph());
+}
+
+TEST(Network, DepthOfChain) {
+  Network n("chain");
+  NodeId cur = n.add_input("a");
+  for (int i = 0; i < 7; ++i) cur = n.add_inv(cur);
+  n.add_output(cur, "o");
+  EXPECT_EQ(n.depth(), 7u);
+}
+
+TEST(Network, TransitiveFaninStopsAtSources) {
+  Network n = tiny_subject();
+  auto cone = n.transitive_fanin(3);
+  EXPECT_EQ(cone.size(), 4u);
+  auto cone2 = n.transitive_fanin(2);
+  EXPECT_EQ(cone2.size(), 3u);
+}
+
+TEST(Network, LatchesActAsSources) {
+  // Cycles through latches are legal; latch outputs act as combinational
+  // sources, so topological ordering succeeds.
+  Network m("ring");
+  NodeId x = m.add_input("x");
+  // l1 feeds g, g feeds l2, l2 feeds h, h feeds... a combinational ring is
+  // not allowed but a ring through latches is.  Construct in two phases is
+  // not supported; emulate by: l1's D = x (simple), g = nand(l1, x).
+  NodeId l1 = m.add_latch(x, "l1");
+  NodeId g = m.add_nand2(l1, x);
+  NodeId l2 = m.add_latch(g, "l2");
+  NodeId h = m.add_inv(l2);
+  m.add_output(h, "o");
+  EXPECT_EQ(m.num_latches(), 2u);
+  auto order = m.topo_order();
+  EXPECT_EQ(order.size(), m.size());
+  m.check();
+}
+
+TEST(Network, CheckRejectsCombinationalCycle) {
+  // A cycle cannot be constructed through the public builders (fanins
+  // must already exist), so acyclicity is structural by construction.
+  // Verify instead that check() runs clean on a DAG with reconvergence.
+  Network n("reconv");
+  NodeId a = n.add_input("a");
+  NodeId i1 = n.add_inv(a);
+  NodeId i2 = n.add_inv(a);
+  NodeId g = n.add_nand2(i1, i2);
+  n.add_output(g, "o");
+  EXPECT_NO_THROW(n.check());
+}
+
+TEST(Network, CleanedCopyDropsDeadNodes) {
+  Network n("dead");
+  NodeId a = n.add_input("a");
+  NodeId b = n.add_input("b");
+  NodeId live = n.add_nand2(a, b);
+  NodeId dead = n.add_inv(a);
+  (void)dead;
+  NodeId dead2 = n.add_nand2(dead, b);
+  (void)dead2;
+  n.add_output(live, "o");
+  auto [clean, remap] = n.cleaned_copy();
+  EXPECT_EQ(clean.size(), 3u);            // a, b, nand
+  EXPECT_EQ(clean.num_inputs(), 2u);      // PIs preserved
+  EXPECT_EQ(remap[dead], kNullNode);
+  EXPECT_NE(remap[live], kNullNode);
+  EXPECT_EQ(clean.outputs()[0].name, "o");
+  clean.check();
+}
+
+TEST(Network, CountKind) {
+  Network n = tiny_subject();
+  EXPECT_EQ(n.count_kind(NodeKind::Nand2), 1u);
+  EXPECT_EQ(n.count_kind(NodeKind::Inv), 1u);
+  EXPECT_EQ(n.count_kind(NodeKind::PrimaryInput), 2u);
+}
+
+TEST(Network, RedirectOutput) {
+  Network n("r");
+  NodeId a = n.add_input("a");
+  NodeId g = n.add_inv(a);
+  NodeId h = n.add_inv(a);
+  n.add_output(g, "o");
+  n.redirect_output(0, h);
+  EXPECT_EQ(n.outputs()[0].node, h);
+  EXPECT_EQ(n.outputs()[0].name, "o");
+  EXPECT_THROW(n.redirect_output(1, h), ContractError);
+}
+
+TEST(Network, RedirectLatchInput) {
+  Network n("r");
+  NodeId a = n.add_input("a");
+  NodeId g = n.add_inv(a);
+  NodeId l = n.add_latch(a, "l");
+  n.add_output(l, "q");
+  n.redirect_latch_input(l, g);
+  EXPECT_EQ(n.fanins(l)[0], g);
+  EXPECT_THROW(n.redirect_latch_input(g, a), ContractError);  // not a latch
+  n.check();
+}
+
+TEST(Network, NamedPIsRequired) {
+  Network n("x");
+  EXPECT_THROW(n.add_input(""), ContractError);
+}
+
+TEST(Network, AddLogicArityMismatchRejected) {
+  Network n("x");
+  NodeId a = n.add_input("a");
+  EXPECT_THROW(n.add_logic({a}, TruthTable::from_bits(0b0110, 2)),
+               ContractError);
+}
+
+TEST(Network, FanoutListsMatchCounts) {
+  Network n("f");
+  NodeId a = n.add_input("a");
+  NodeId b = n.add_input("b");
+  NodeId g = n.add_nand2(a, b);
+  NodeId h = n.add_inv(g);
+  NodeId i = n.add_inv(g);
+  n.add_output(h, "h");
+  n.add_output(i, "i");
+  auto lists = n.fanout_lists();
+  EXPECT_EQ(lists[g].size(), 2u);
+  auto counts = n.fanout_counts();
+  EXPECT_EQ(counts[g], 2u);
+  EXPECT_EQ(counts[h], 1u);  // PO reference counts
+}
+
+}  // namespace
+}  // namespace dagmap

@@ -1,0 +1,162 @@
+// Unit tests for dagmap::TruthTable.
+#include "netlist/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+namespace {
+
+TEST(TruthTable, ConstantsHaveExpectedBits) {
+  EXPECT_TRUE(TruthTable::constant(false, 0).is_const0());
+  EXPECT_TRUE(TruthTable::constant(true, 0).is_const1());
+  EXPECT_TRUE(TruthTable::constant(false, 3).is_const0());
+  EXPECT_TRUE(TruthTable::constant(true, 3).is_const1());
+  EXPECT_EQ(TruthTable::constant(true, 3).count_ones(), 8u);
+  EXPECT_TRUE(TruthTable::constant(true, 10).is_const1());
+  EXPECT_EQ(TruthTable::constant(true, 10).count_ones(), 1024u);
+}
+
+TEST(TruthTable, VariableProjectionSmall) {
+  for (unsigned nv = 1; nv <= 6; ++nv) {
+    for (unsigned v = 0; v < nv; ++v) {
+      TruthTable t = TruthTable::variable(v, nv);
+      for (std::size_t m = 0; m < t.num_minterms(); ++m)
+        EXPECT_EQ(t.bit(m), static_cast<bool>((m >> v) & 1))
+            << "nv=" << nv << " v=" << v << " m=" << m;
+    }
+  }
+}
+
+TEST(TruthTable, VariableProjectionWide) {
+  for (unsigned v : {6u, 9u, 12u, 15u}) {
+    TruthTable t = TruthTable::variable(v, 16);
+    EXPECT_EQ(t.count_ones(), t.num_minterms() / 2);
+    EXPECT_TRUE(t.bit(std::size_t{1} << v));
+    EXPECT_FALSE(t.bit(0));
+    EXPECT_TRUE(t.depends_on(v));
+    EXPECT_FALSE(t.depends_on(v == 6 ? 7 : 6));
+  }
+}
+
+TEST(TruthTable, BooleanOperators) {
+  TruthTable a = TruthTable::variable(0, 2);
+  TruthTable b = TruthTable::variable(1, 2);
+  EXPECT_EQ((a & b).to_hex(), "8");
+  EXPECT_EQ((a | b).to_hex(), "e");
+  EXPECT_EQ((a ^ b).to_hex(), "6");
+  EXPECT_EQ((~(a & b)).to_hex(), "7");  // NAND2
+  EXPECT_EQ((~a).to_hex(), "5");
+}
+
+TEST(TruthTable, FromBinaryString) {
+  TruthTable x = TruthTable::from_binary_string("0110");
+  EXPECT_EQ(x, TruthTable::variable(0, 2) ^ TruthTable::variable(1, 2));
+  TruthTable m = TruthTable::from_binary_string("10001000");
+  EXPECT_EQ(m.num_vars(), 3u);
+}
+
+TEST(TruthTable, ExtendedToKeepsFunction) {
+  TruthTable a = TruthTable::variable(0, 1);
+  TruthTable wide = a.extended_to(8);
+  EXPECT_EQ(wide.num_vars(), 8u);
+  for (std::size_t m = 0; m < wide.num_minterms(); ++m)
+    EXPECT_EQ(wide.bit(m), static_cast<bool>(m & 1));
+  // Extending a wide table too.
+  TruthTable v7 = TruthTable::variable(7, 8).extended_to(11);
+  for (std::size_t m = 0; m < v7.num_minterms(); ++m)
+    EXPECT_EQ(v7.bit(m), static_cast<bool>((m >> 7) & 1));
+}
+
+TEST(TruthTable, PermutedSwapsVariables) {
+  // f = x0 & ~x1; swapping the variables gives ~x0 & x1.
+  TruthTable f = TruthTable::variable(0, 2) & ~TruthTable::variable(1, 2);
+  std::vector<unsigned> perm{1, 0};
+  TruthTable g = f.permuted(perm);
+  EXPECT_EQ(g, ~TruthTable::variable(0, 2) & TruthTable::variable(1, 2));
+}
+
+TEST(TruthTable, PermutedIsInvolutionForSwap) {
+  TruthTable f = TruthTable::from_bits(0b10010110, 3);
+  std::vector<unsigned> perm{2, 0, 1};      // cycle
+  std::vector<unsigned> inv_perm{1, 2, 0};  // inverse cycle
+  EXPECT_EQ(f.permuted(perm).permuted(inv_perm), f);
+}
+
+TEST(TruthTable, ComposeBuildsAoi) {
+  // Outer: 2-input OR; inner args: x0&x1 and x2.  Result: x0&x1 | x2.
+  TruthTable outer =
+      TruthTable::variable(0, 2) | TruthTable::variable(1, 2);
+  std::vector<TruthTable> args{
+      TruthTable::variable(0, 3) & TruthTable::variable(1, 3),
+      TruthTable::variable(2, 3)};
+  TruthTable got = outer.compose(args);
+  TruthTable want = (TruthTable::variable(0, 3) & TruthTable::variable(1, 3)) |
+                    TruthTable::variable(2, 3);
+  EXPECT_EQ(got, want);
+}
+
+TEST(TruthTable, DependsOn) {
+  TruthTable f = TruthTable::variable(0, 3) & TruthTable::variable(2, 3);
+  EXPECT_TRUE(f.depends_on(0));
+  EXPECT_FALSE(f.depends_on(1));
+  EXPECT_TRUE(f.depends_on(2));
+}
+
+TEST(TruthTable, HexOfXor2) {
+  TruthTable x = TruthTable::variable(0, 2) ^ TruthTable::variable(1, 2);
+  EXPECT_EQ(x.to_hex(), "6");
+  TruthTable x3 = TruthTable::variable(0, 3) ^ TruthTable::variable(1, 3) ^
+                  TruthTable::variable(2, 3);
+  EXPECT_EQ(x3.to_hex(), "96");
+}
+
+TEST(TruthTable, HashDistinguishesSimpleFunctions) {
+  TruthTable a = TruthTable::variable(0, 2);
+  TruthTable b = TruthTable::variable(1, 2);
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), TruthTable::variable(0, 2).hash());
+}
+
+TEST(TruthTable, RejectsTooManyVars) {
+  EXPECT_THROW(TruthTable(17), ContractError);
+}
+
+TEST(TruthTable, MixedWidthOperandsRejected) {
+  TruthTable a = TruthTable::variable(0, 2);
+  TruthTable b = TruthTable::variable(0, 3);
+  EXPECT_THROW((void)(a & b), ContractError);
+}
+
+// Property sweep: extended_to never changes evaluation on the original
+// variables, across widths crossing the 1-word boundary.
+class TruthTableExtendProperty
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(TruthTableExtendProperty, EvaluationPreserved) {
+  auto [from, to] = GetParam();
+  if (from > to) return;
+  // A pseudo-random but deterministic function of `from` vars.
+  TruthTable f(from);
+  std::uint64_t state = 0x1234567899ull + from * 977;
+  for (std::size_t m = 0; m < f.num_minterms(); ++m) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    f.set_bit(m, (state >> 62) & 1);
+  }
+  TruthTable g = f.extended_to(to);
+  std::size_t mask = (std::size_t{1} << from) - 1;
+  for (std::size_t m = 0; m < g.num_minterms();
+       m += 1 + (g.num_minterms() >> 10))
+    EXPECT_EQ(g.bit(m), f.bit(m & mask));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, TruthTableExtendProperty,
+    ::testing::Combine(::testing::Values(0u, 1u, 3u, 5u, 6u, 7u, 9u),
+                       ::testing::Values(1u, 4u, 6u, 7u, 10u, 13u)));
+
+}  // namespace
+}  // namespace dagmap

@@ -1,0 +1,139 @@
+// Tests for Leiserson–Saxe retiming and the §4 map-with-retiming flow.
+#include "seq/retiming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "decomp/tech_decomp.hpp"
+#include "gen/circuits.hpp"
+#include "library/standard_libs.hpp"
+#include "seq/seq_map.hpp"
+#include "timing/timing.hpp"
+
+namespace dagmap {
+namespace {
+
+// The classic retiming example: a 3-stage unit-delay ring with all
+// registers bunched on one edge retimes to period 1.
+TEST(Retiming, BalancesARing) {
+  RetimingGraph g;
+  g.delay = {0.0, 1.0, 1.0, 1.0};  // host + three gates
+  // host -> 1 -> 2 -> 3 -> host; 3 registers all between 3 and 1.
+  g.edges.push_back({1, 2, 0});
+  g.edges.push_back({2, 3, 0});
+  g.edges.push_back({3, 1, 3});
+  g.edges.push_back({0, 1, 0});
+  g.edges.push_back({3, 0, 0});
+  EXPECT_DOUBLE_EQ(static_period(g), 3.0);
+  RetimingResult r = min_period_retiming(g);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_LE(r.period, 3.0);
+}
+
+TEST(Retiming, FeasibilityMonotone) {
+  RetimingGraph g;
+  g.delay = {0.0, 2.0, 1.0, 1.0};
+  g.edges.push_back({0, 1, 0});
+  g.edges.push_back({1, 2, 0});
+  g.edges.push_back({2, 3, 1});
+  g.edges.push_back({3, 0, 0});
+  double base = static_period(g);
+  EXPECT_DOUBLE_EQ(base, 3.0);  // 2 + 1 through the register-free prefix
+  EXPECT_TRUE(feasible_period(g, base).feasible);
+  RetimingResult best = min_period_retiming(g);
+  EXPECT_LE(best.period, base);
+  // Anything below the max gate delay is impossible.
+  EXPECT_FALSE(feasible_period(g, 1.5).feasible);
+}
+
+TEST(Retiming, NetworkRoundTripPreservesInterface) {
+  Network n = tech_decompose(make_sequential_pipeline(4, 8, 3));
+  double achieved = 0;
+  Network rt = retime_min_period(n, &achieved);
+  rt.check();
+  EXPECT_EQ(rt.num_inputs(), n.num_inputs());
+  EXPECT_EQ(rt.num_outputs(), n.num_outputs());
+  EXPECT_GT(achieved, 0.0);
+  // Unit-delay period cannot exceed the original.
+  double before = static_period(retiming_graph_of(n));
+  EXPECT_LE(achieved, before + 1e-9);
+}
+
+TEST(Retiming, CycleRegisterCountInvariant) {
+  // Retiming never changes the number of registers around a cycle: for
+  // the pipeline's feedback loop, total latches may shift position but
+  // the graph must stay legal and acyclic combinationally (check()).
+  Network n = tech_decompose(make_sequential_pipeline(3, 6, 9));
+  Network rt = retime_min_period(n);
+  rt.check();
+  // Period strictly improves for this bunched pipeline.
+  double before = static_period(retiming_graph_of(n));
+  double after = static_period(retiming_graph_of(rt));
+  EXPECT_LE(after, before);
+}
+
+TEST(Retiming, ChainPipelineReachesBalance) {
+  // A chain of 9 unit-delay nodes with 2 registers at the end retimes to
+  // period ceil(9/3) = 3.
+  RetimingGraph g;
+  g.delay.assign(10, 1.0);
+  g.delay[0] = 0.0;  // host
+  for (std::uint32_t i = 1; i < 9; ++i) g.edges.push_back({i, i + 1, 0});
+  g.edges.push_back({0, 1, 0});
+  g.edges.push_back({9, 0, 2});
+  RetimingResult r = min_period_retiming(g);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_NEAR(r.period, 3.0, 1e-6);
+}
+
+TEST(Retiming, MappedNetlistRetimes) {
+  GateLibrary lib = make_lib2_library();
+  Network sg = tech_decompose(make_sequential_pipeline(4, 6, 17));
+  MapResult m = dag_map(sg, lib);
+  double before = analyze_timing(m.netlist).delay;
+  double after = 0;
+  MappedNetlist rt = retime_min_period(m.netlist, &after);
+  rt.check();
+  EXPECT_LE(after, before + 1e-9);
+  EXPECT_EQ(rt.num_gates(), m.netlist.num_gates());
+  EXPECT_DOUBLE_EQ(rt.total_area(), m.netlist.total_area());
+}
+
+TEST(SeqMap, PipelineImprovesPeriod) {
+  GateLibrary lib = make_lib2_library();
+  Network sg = tech_decompose(make_sequential_pipeline(5, 8, 23));
+  SeqMapResult r = map_with_retiming(sg, lib);
+  r.netlist.check();
+  EXPECT_LE(r.period_final, r.period_mapped + 1e-9);
+  EXPECT_GT(r.period_final, 0.0);
+}
+
+TEST(SeqMap, PreRetimingNeverHurtsFinalPeriod) {
+  GateLibrary lib = make_lib2_library();
+  Network sg = tech_decompose(make_sequential_pipeline(5, 6, 31));
+  SeqMapOptions with, without;
+  without.pre_retime = false;
+  SeqMapResult r1 = map_with_retiming(sg, lib, with);
+  SeqMapResult r2 = map_with_retiming(sg, lib, without);
+  // Not a theorem (mapping is shape-sensitive), but on bunched pipelines
+  // pre-retiming should not lose: allow a small tolerance.
+  EXPECT_LE(r1.period_final, r2.period_final * 1.5 + 1e-9);
+}
+
+TEST(SeqMap, CombinationalInputPassesThrough) {
+  GateLibrary lib = make_lib2_library();
+  Network sg = tech_decompose(make_ripple_carry_adder(4));
+  SeqMapResult r = map_with_retiming(sg, lib);
+  EXPECT_DOUBLE_EQ(r.period_final, r.period_mapped);
+  EXPECT_EQ(r.netlist.latches().size(), 0u);
+}
+
+TEST(SeqMap, LutVariantImprovesPeriod) {
+  Network sg = tech_decompose(make_sequential_pipeline(6, 6, 5));
+  SeqLutMapResult r = lut_map_with_retiming(sg, {.k = 4});
+  r.netlist.check();
+  EXPECT_LE(r.period_final, r.period_mapped + 1e-9);
+  EXPECT_TRUE(r.netlist.is_k_bounded(4));
+}
+
+}  // namespace
+}  // namespace dagmap

@@ -1,0 +1,103 @@
+// Tests for static timing analysis over mapped netlists.
+#include "timing/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "library/standard_libs.hpp"
+
+namespace dagmap {
+namespace {
+
+const Gate* find_gate(const GateLibrary& lib, const std::string& name) {
+  for (const Gate& g : lib.gates())
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+struct Fixture {
+  GateLibrary lib = make_lib2_library();
+  MappedNetlist net{"t"};
+  InstId a, b, c, g1, g2;
+
+  Fixture() {
+    a = net.add_input("a");
+    b = net.add_input("b");
+    c = net.add_input("c");
+    g1 = net.add_gate(find_gate(lib, "nand2"), {a, b});   // delay 1.2
+    g2 = net.add_gate(find_gate(lib, "nand2"), {g1, c});  // 1.2 + 1.2
+    net.add_output(g2, "o");
+  }
+};
+
+TEST(Timing, ArrivalTimesAccumulate) {
+  Fixture f;
+  TimingReport r = analyze_timing(f.net);
+  EXPECT_DOUBLE_EQ(r.arrival[f.a], 0.0);
+  EXPECT_DOUBLE_EQ(r.arrival[f.g1], 1.2);
+  EXPECT_DOUBLE_EQ(r.arrival[f.g2], 2.4);
+  EXPECT_DOUBLE_EQ(r.delay, 2.4);
+}
+
+TEST(Timing, CriticalPathEndsAtWorstOutput) {
+  Fixture f;
+  TimingReport r = analyze_timing(f.net);
+  ASSERT_GE(r.critical_path.size(), 2u);
+  EXPECT_EQ(r.critical_path.back(), f.g2);
+  // Path is source -> g1 -> g2 (a or b first).
+  EXPECT_EQ(r.critical_path[r.critical_path.size() - 2], f.g1);
+}
+
+TEST(Timing, SlackZeroOnCriticalPath) {
+  Fixture f;
+  TimingReport r = analyze_timing(f.net);
+  EXPECT_NEAR(r.slack[f.g2], 0.0, 1e-12);
+  EXPECT_NEAR(r.slack[f.g1], 0.0, 1e-12);
+  // Input c arrives at 0 but is only needed at 2.4 - 1.2.
+  EXPECT_NEAR(r.slack[f.c], 1.2, 1e-12);
+}
+
+TEST(Timing, TargetOverridesRequiredTimes) {
+  Fixture f;
+  TimingReport r = analyze_timing(f.net, 10.0);
+  EXPECT_NEAR(r.slack[f.g2], 7.6, 1e-12);
+  EXPECT_DOUBLE_EQ(r.delay, 2.4);  // measured delay unchanged
+}
+
+TEST(Timing, DifferentPinDelaysRespected) {
+  GateLibrary lib = GateLibrary::from_genlib_text(
+      "GATE inv 1 O=!a;\n PIN a INV 1 999 1 0 1 0\n"
+      "GATE nand2 2 O=!(a*b);\n"
+      " PIN a INV 1 999 3.0 0 3.0 0\n PIN b INV 1 999 1.0 0 1.0 0\n");
+  MappedNetlist net("t");
+  InstId a = net.add_input("a");
+  InstId b = net.add_input("b");
+  const Gate* nand2 = nullptr;
+  for (const Gate& g : lib.gates())
+    if (g.name == "nand2") nand2 = &g;
+  InstId g = net.add_gate(nand2, {a, b});
+  net.add_output(g, "o");
+  TimingReport r = analyze_timing(net);
+  EXPECT_DOUBLE_EQ(r.delay, 3.0);  // slow pin dominates
+}
+
+TEST(Timing, LatchDInputsAreEndpoints) {
+  GateLibrary lib = make_lib2_library();
+  MappedNetlist net("seq");
+  InstId x = net.add_input("x");
+  InstId q = net.add_latch_placeholder("q");
+  InstId d = net.add_gate(find_gate(lib, "xor2"), {x, q});
+  net.connect_latch(q, d);
+  net.add_output(q, "out");  // PO is the latch output (arrival 0)
+  TimingReport r = analyze_timing(net);
+  EXPECT_DOUBLE_EQ(r.delay, 2.2);  // xor2 delay into the latch D
+}
+
+TEST(Timing, EmptyNetlistHasZeroDelay) {
+  MappedNetlist net("empty");
+  InstId a = net.add_input("a");
+  net.add_output(a, "o");
+  EXPECT_DOUBLE_EQ(circuit_delay(net), 0.0);
+}
+
+}  // namespace
+}  // namespace dagmap

@@ -1,0 +1,227 @@
+// dagmap — command-line technology mapper.
+//
+// Usage:
+//   dagmap_cli [options] <circuit.blif>
+//
+// Options:
+//   --library <file.genlib>   gate library (default: built-in lib2-like)
+//   --lib44 <1|2|3>           use a built-in 44-family library instead
+//   --mapper <dag|tree|choice> covering algorithm   (default: dag)
+//   --match <standard|extended>                     (default: standard)
+//   --area-recovery           enable required-time area recovery
+//   --buffer <branch>         post-mapping balanced buffer trees (0 = off)
+//   --lt-buffer               post-mapping Touati LT-tree buffering
+//   --size                    post-mapping gate sizing (x1/x2/x4)
+//   --stats                   print duplication/fanout statistics
+//   --retime                  min-period retiming for sequential circuits
+//   --lut <k>                 FlowMap LUT mapping instead of library gates
+//   --out <file.blif|file.v>  write the mapped netlist
+//   --verify                  simulation equivalence check (default on)
+//   --no-verify               skip verification
+//
+// Prints a one-screen report: subject statistics, delay/area, gate
+// histogram, and the equivalence verdict.  Exits nonzero on any failure.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/choice_map.hpp"
+#include "core/stats.hpp"
+#include "dagmap/dagmap.hpp"
+#include "fanout/buffering.hpp"
+#include "fanout/lt_tree.hpp"
+#include "fanout/sizing.hpp"
+#include "mapnet/write.hpp"
+
+using namespace dagmap;
+
+namespace {
+
+struct CliOptions {
+  std::string circuit_path;
+  std::string library_path;
+  int lib44 = 0;
+  std::string mapper = "dag";
+  std::string match = "standard";
+  bool area_recovery = false;
+  unsigned buffer_branch = 0;
+  bool lt_buffer = false;
+  bool size = false;
+  bool stats = false;
+  bool retime = false;
+  unsigned lut_k = 0;
+  std::string out_path;
+  bool verify = true;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: dagmap_cli [--library F.genlib | --lib44 N] "
+               "[--mapper dag|tree|choice] [--match standard|extended] "
+               "[--area-recovery] [--buffer N] [--retime] [--lut K] "
+               "[--out F] [--no-verify] circuit.blif\n");
+  std::exit(2);
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions o;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage("missing argument value");
+      return argv[i];
+    };
+    if (a == "--library") o.library_path = next();
+    else if (a == "--lib44") o.lib44 = std::stoi(next());
+    else if (a == "--mapper") o.mapper = next();
+    else if (a == "--match") o.match = next();
+    else if (a == "--area-recovery") o.area_recovery = true;
+    else if (a == "--buffer") o.buffer_branch = std::stoul(next());
+    else if (a == "--lt-buffer") o.lt_buffer = true;
+    else if (a == "--size") o.size = true;
+    else if (a == "--stats") o.stats = true;
+    else if (a == "--retime") o.retime = true;
+    else if (a == "--lut") o.lut_k = std::stoul(next());
+    else if (a == "--out") o.out_path = next();
+    else if (a == "--verify") o.verify = true;
+    else if (a == "--no-verify") o.verify = false;
+    else if (a == "--help" || a == "-h") usage();
+    else if (!a.empty() && a[0] == '-') usage(("unknown option " + a).c_str());
+    else if (o.circuit_path.empty()) o.circuit_path = a;
+    else usage("multiple circuit files");
+  }
+  if (o.circuit_path.empty()) usage("no circuit file");
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  CliOptions opt = parse_args(argc, argv);
+
+  Network circuit = read_blif_file(opt.circuit_path);
+  std::printf("circuit %s: %zu PIs, %zu POs, %zu latches, %zu nodes\n",
+              circuit.name().c_str(), circuit.num_inputs(),
+              circuit.num_outputs(), circuit.num_latches(), circuit.size());
+
+  // ---- LUT flow ---------------------------------------------------------
+  if (opt.lut_k > 0) {
+    Network subject = tech_decompose(circuit);
+    LutMapResult r = flowmap(subject, {.k = opt.lut_k});
+    std::printf("flowmap k=%u: depth %u, %zu LUTs\n", opt.lut_k, r.depth,
+                r.num_luts);
+    if (opt.verify &&
+        !check_equivalence(subject, r.netlist).equivalent) {
+      std::fprintf(stderr, "VERIFICATION FAILED\n");
+      return 1;
+    }
+    if (!opt.out_path.empty()) write_blif_file(r.netlist, opt.out_path);
+    return 0;
+  }
+
+  // ---- library-based flow -------------------------------------------------
+  GateLibrary lib =
+      !opt.library_path.empty()
+          ? GateLibrary::from_genlib(read_genlib_file(opt.library_path),
+                                     opt.library_path)
+      : opt.lib44 > 0 ? make_44_library(opt.lib44)
+                      : make_lib2_library();
+  std::printf("library %s: %zu gates\n", lib.name().c_str(), lib.size());
+  if (!lib.is_complete_for_mapping()) usage("library lacks INV or NAND2");
+
+  DagMapOptions mopt;
+  mopt.area_recovery = opt.area_recovery;
+  if (opt.match == "extended") mopt.match_class = MatchClass::Extended;
+  else if (opt.match != "standard") usage("bad --match value");
+
+  MapResult result;
+  Network subject;
+  if (opt.mapper == "choice") {
+    ChoiceDecomposition c = tech_decompose_choices(circuit);
+    subject = c.subject;
+    result = dag_map_choices(c, lib, mopt);
+  } else {
+    subject = tech_decompose(circuit);
+    if (opt.mapper == "dag") result = dag_map(subject, lib, mopt);
+    else if (opt.mapper == "tree") result = tree_map(subject, lib);
+    else usage("bad --mapper value");
+  }
+  std::printf("subject graph: %zu internal nodes\n", subject.num_internal());
+  std::printf("%s mapping: delay %.3f, area %.1f, %zu gates (%.2fs)\n",
+              opt.mapper.c_str(), result.optimal_delay,
+              result.netlist.total_area(), result.netlist.num_gates(),
+              result.cpu_seconds);
+  if (opt.stats) {
+    MappingStats st = mapping_stats(subject, result.netlist);
+    std::printf("stats: %zu/%zu covered subject nodes duplicated; "
+                "multi-fanout %zu -> %zu; avg gate fan-in %.2f\n",
+                result.duplicated_nodes, result.covered_distinct,
+                st.subject_multi_fanout, st.mapped_multi_fanout,
+                st.average_gate_inputs());
+  }
+
+  MappedNetlist final_net = std::move(result.netlist);
+  if (opt.buffer_branch >= 2) {
+    BufferOptions bopt;
+    bopt.max_branch = opt.buffer_branch;
+    BufferResult br = buffer_fanouts(final_net, lib, bopt);
+    std::printf("buffering: %zu buffers, loaded delay %.3f -> %.3f\n",
+                br.buffers_inserted, br.delay_before, br.delay_after);
+    final_net = std::move(br.netlist);
+  }
+  if (opt.lt_buffer) {
+    LtTreeResult lr = buffer_fanouts_lt_tree(final_net, lib);
+    std::printf("lt-buffering: %zu buffers, loaded delay %.3f -> %.3f\n",
+                lr.buffers_inserted, lr.delay_before, lr.delay_after);
+    final_net = std::move(lr.netlist);
+  }
+  bool retimed = false;
+  if (opt.size) {
+    // Sized variants of the source library (x1/x2/x4).
+    std::string text = !opt.library_path.empty()
+                           ? write_genlib(read_genlib_file(opt.library_path))
+                       : opt.lib44 > 0 ? write_genlib(make_44_genlib(opt.lib44))
+                                       : lib2_genlib_text();
+    static GateLibrary sized =
+        make_sized_library(text, {1, 2, 4}, lib.name() + "-sized");
+    SizingResult sr = size_gates(final_net, sized);
+    std::printf("sizing: %zu resized, loaded delay %.3f -> %.3f\n",
+                sr.resized, sr.delay_before, sr.delay_after);
+    final_net = std::move(sr.netlist);
+  }
+  if (opt.retime && final_net.latches().size() > 0) {
+    double period = 0;
+    final_net = retime_min_period(final_net, &period);
+    std::printf("retiming: clock period %.3f\n", period);
+    retimed = true;
+  }
+
+  if (opt.verify && retimed) {
+    // Retiming moves state across logic; combinational equivalence no
+    // longer applies (sequential equivalence is out of scope here).
+    std::printf("verification: skipped (netlist was retimed)\n");
+  } else if (opt.verify) {
+    auto eq = check_equivalence(circuit, final_net.to_network());
+    std::printf("verification: %s\n", eq.equivalent ? "PASS" : "FAIL");
+    if (!eq.equivalent) return 1;
+  }
+  if (!opt.out_path.empty()) {
+    write_mapped_file(final_net, opt.out_path);
+    std::printf("wrote %s\n", opt.out_path.c_str());
+  }
+  std::printf("gate histogram:");
+  int shown = 0;
+  for (auto& [g, n] : final_net.gate_histogram()) {
+    if (shown++ == 8) {
+      std::printf(" ...");
+      break;
+    }
+    std::printf(" %s:%zu", g.c_str(), n);
+  }
+  std::printf("\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "dagmap_cli: %s\n", e.what());
+  return 1;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_boolmatch.dir/bench_boolmatch.cpp.o"
+  "CMakeFiles/bench_boolmatch.dir/bench_boolmatch.cpp.o.d"
+  "bench_boolmatch"
+  "bench_boolmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_boolmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_buffering.dir/bench_buffering.cpp.o"
+  "CMakeFiles/bench_buffering.dir/bench_buffering.cpp.o.d"
+  "bench_buffering"
+  "bench_buffering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_choices.dir/bench_choices.cpp.o"
+  "CMakeFiles/bench_choices.dir/bench_choices.cpp.o.d"
+  "bench_choices"
+  "bench_choices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_choices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_duplication.dir/bench_duplication.cpp.o"
+  "CMakeFiles/bench_duplication.dir/bench_duplication.cpp.o.d"
+  "bench_duplication"
+  "bench_duplication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_duplication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

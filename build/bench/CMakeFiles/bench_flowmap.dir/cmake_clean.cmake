@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flowmap.dir/bench_flowmap.cpp.o"
+  "CMakeFiles/bench_flowmap.dir/bench_flowmap.cpp.o.d"
+  "bench_flowmap"
+  "bench_flowmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flowmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_library_sweep.dir/bench_library_sweep.cpp.o"
+  "CMakeFiles/bench_library_sweep.dir/bench_library_sweep.cpp.o.d"
+  "bench_library_sweep"
+  "bench_library_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_library_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

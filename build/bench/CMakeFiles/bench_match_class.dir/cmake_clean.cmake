@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_match_class.dir/bench_match_class.cpp.o"
+  "CMakeFiles/bench_match_class.dir/bench_match_class.cpp.o.d"
+  "bench_match_class"
+  "bench_match_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_match_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_match_class.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagmap_bench_common.dir/common/table_runner.cpp.o"
+  "CMakeFiles/dagmap_bench_common.dir/common/table_runner.cpp.o.d"
+  "libdagmap_bench_common.a"
+  "libdagmap_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagmap_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

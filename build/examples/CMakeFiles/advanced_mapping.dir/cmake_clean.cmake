@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advanced_mapping.dir/advanced_mapping.cpp.o"
+  "CMakeFiles/advanced_mapping.dir/advanced_mapping.cpp.o.d"
+  "advanced_mapping"
+  "advanced_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advanced_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asic_mapping_flow.dir/asic_mapping_flow.cpp.o"
+  "CMakeFiles/asic_mapping_flow.dir/asic_mapping_flow.cpp.o.d"
+  "asic_mapping_flow"
+  "asic_mapping_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asic_mapping_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

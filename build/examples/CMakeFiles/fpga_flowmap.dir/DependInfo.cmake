@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fpga_flowmap.cpp" "examples/CMakeFiles/fpga_flowmap.dir/fpga_flowmap.cpp.o" "gcc" "examples/CMakeFiles/fpga_flowmap.dir/fpga_flowmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fanout/CMakeFiles/dagmap_fanout.dir/DependInfo.cmake"
+  "/root/repo/build/src/treemap/CMakeFiles/dagmap_treemap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dagmap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/dagmap_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/dagmap_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/dagmap_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/boolmatch/CMakeFiles/dagmap_boolmatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dagmap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapnet/CMakeFiles/dagmap_mapnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/dagmap_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/dagmap_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/dagmap_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dagmap_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/lutmap/CMakeFiles/dagmap_lutmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dagmap_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_flowmap.dir/fpga_flowmap.cpp.o"
+  "CMakeFiles/fpga_flowmap.dir/fpga_flowmap.cpp.o.d"
+  "fpga_flowmap"
+  "fpga_flowmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_flowmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequential_retiming.dir/sequential_retiming.cpp.o"
+  "CMakeFiles/sequential_retiming.dir/sequential_retiming.cpp.o.d"
+  "sequential_retiming"
+  "sequential_retiming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequential_retiming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("netlist")
+subdirs("io")
+subdirs("library")
+subdirs("decomp")
+subdirs("match")
+subdirs("mapnet")
+subdirs("timing")
+subdirs("fanout")
+subdirs("treemap")
+subdirs("core")
+subdirs("lutmap")
+subdirs("boolmatch")
+subdirs("sim")
+subdirs("gen")
+subdirs("seq")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/boolmatch/bool_mapper.cpp" "src/boolmatch/CMakeFiles/dagmap_boolmatch.dir/bool_mapper.cpp.o" "gcc" "src/boolmatch/CMakeFiles/dagmap_boolmatch.dir/bool_mapper.cpp.o.d"
+  "/root/repo/src/boolmatch/npn.cpp" "src/boolmatch/CMakeFiles/dagmap_boolmatch.dir/npn.cpp.o" "gcc" "src/boolmatch/CMakeFiles/dagmap_boolmatch.dir/npn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dagmap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lutmap/CMakeFiles/dagmap_lutmap.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapnet/CMakeFiles/dagmap_mapnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/dagmap_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/dagmap_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/dagmap_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dagmap_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dagmap_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagmap_boolmatch.dir/bool_mapper.cpp.o"
+  "CMakeFiles/dagmap_boolmatch.dir/bool_mapper.cpp.o.d"
+  "CMakeFiles/dagmap_boolmatch.dir/npn.cpp.o"
+  "CMakeFiles/dagmap_boolmatch.dir/npn.cpp.o.d"
+  "libdagmap_boolmatch.a"
+  "libdagmap_boolmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagmap_boolmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

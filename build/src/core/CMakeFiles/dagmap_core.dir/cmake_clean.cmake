@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagmap_core.dir/choice_map.cpp.o"
+  "CMakeFiles/dagmap_core.dir/choice_map.cpp.o.d"
+  "CMakeFiles/dagmap_core.dir/dag_mapper.cpp.o"
+  "CMakeFiles/dagmap_core.dir/dag_mapper.cpp.o.d"
+  "CMakeFiles/dagmap_core.dir/stats.cpp.o"
+  "CMakeFiles/dagmap_core.dir/stats.cpp.o.d"
+  "libdagmap_core.a"
+  "libdagmap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagmap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

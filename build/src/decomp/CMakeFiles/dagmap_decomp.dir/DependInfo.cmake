@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decomp/choices.cpp" "src/decomp/CMakeFiles/dagmap_decomp.dir/choices.cpp.o" "gcc" "src/decomp/CMakeFiles/dagmap_decomp.dir/choices.cpp.o.d"
+  "/root/repo/src/decomp/isop.cpp" "src/decomp/CMakeFiles/dagmap_decomp.dir/isop.cpp.o" "gcc" "src/decomp/CMakeFiles/dagmap_decomp.dir/isop.cpp.o.d"
+  "/root/repo/src/decomp/lowering.cpp" "src/decomp/CMakeFiles/dagmap_decomp.dir/lowering.cpp.o" "gcc" "src/decomp/CMakeFiles/dagmap_decomp.dir/lowering.cpp.o.d"
+  "/root/repo/src/decomp/tech_decomp.cpp" "src/decomp/CMakeFiles/dagmap_decomp.dir/tech_decomp.cpp.o" "gcc" "src/decomp/CMakeFiles/dagmap_decomp.dir/tech_decomp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dagmap_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dagmap_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

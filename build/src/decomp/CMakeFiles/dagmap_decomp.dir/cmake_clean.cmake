@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagmap_decomp.dir/choices.cpp.o"
+  "CMakeFiles/dagmap_decomp.dir/choices.cpp.o.d"
+  "CMakeFiles/dagmap_decomp.dir/isop.cpp.o"
+  "CMakeFiles/dagmap_decomp.dir/isop.cpp.o.d"
+  "CMakeFiles/dagmap_decomp.dir/lowering.cpp.o"
+  "CMakeFiles/dagmap_decomp.dir/lowering.cpp.o.d"
+  "CMakeFiles/dagmap_decomp.dir/tech_decomp.cpp.o"
+  "CMakeFiles/dagmap_decomp.dir/tech_decomp.cpp.o.d"
+  "libdagmap_decomp.a"
+  "libdagmap_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagmap_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

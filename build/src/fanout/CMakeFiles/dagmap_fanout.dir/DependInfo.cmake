@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fanout/buffering.cpp" "src/fanout/CMakeFiles/dagmap_fanout.dir/buffering.cpp.o" "gcc" "src/fanout/CMakeFiles/dagmap_fanout.dir/buffering.cpp.o.d"
+  "/root/repo/src/fanout/load_timing.cpp" "src/fanout/CMakeFiles/dagmap_fanout.dir/load_timing.cpp.o" "gcc" "src/fanout/CMakeFiles/dagmap_fanout.dir/load_timing.cpp.o.d"
+  "/root/repo/src/fanout/lt_tree.cpp" "src/fanout/CMakeFiles/dagmap_fanout.dir/lt_tree.cpp.o" "gcc" "src/fanout/CMakeFiles/dagmap_fanout.dir/lt_tree.cpp.o.d"
+  "/root/repo/src/fanout/sizing.cpp" "src/fanout/CMakeFiles/dagmap_fanout.dir/sizing.cpp.o" "gcc" "src/fanout/CMakeFiles/dagmap_fanout.dir/sizing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapnet/CMakeFiles/dagmap_mapnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/dagmap_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/dagmap_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/dagmap_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/dagmap_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dagmap_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dagmap_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

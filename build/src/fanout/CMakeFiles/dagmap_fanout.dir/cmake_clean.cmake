@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagmap_fanout.dir/buffering.cpp.o"
+  "CMakeFiles/dagmap_fanout.dir/buffering.cpp.o.d"
+  "CMakeFiles/dagmap_fanout.dir/load_timing.cpp.o"
+  "CMakeFiles/dagmap_fanout.dir/load_timing.cpp.o.d"
+  "CMakeFiles/dagmap_fanout.dir/lt_tree.cpp.o"
+  "CMakeFiles/dagmap_fanout.dir/lt_tree.cpp.o.d"
+  "CMakeFiles/dagmap_fanout.dir/sizing.cpp.o"
+  "CMakeFiles/dagmap_fanout.dir/sizing.cpp.o.d"
+  "libdagmap_fanout.a"
+  "libdagmap_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagmap_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

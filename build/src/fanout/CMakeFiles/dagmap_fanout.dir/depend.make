@@ -1,0 +1,2 @@
+# Empty dependencies file for dagmap_fanout.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagmap_gen.dir/circuits.cpp.o"
+  "CMakeFiles/dagmap_gen.dir/circuits.cpp.o.d"
+  "libdagmap_gen.a"
+  "libdagmap_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagmap_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

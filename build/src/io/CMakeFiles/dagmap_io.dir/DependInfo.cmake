@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/blif.cpp" "src/io/CMakeFiles/dagmap_io.dir/blif.cpp.o" "gcc" "src/io/CMakeFiles/dagmap_io.dir/blif.cpp.o.d"
+  "/root/repo/src/io/expr.cpp" "src/io/CMakeFiles/dagmap_io.dir/expr.cpp.o" "gcc" "src/io/CMakeFiles/dagmap_io.dir/expr.cpp.o.d"
+  "/root/repo/src/io/genlib.cpp" "src/io/CMakeFiles/dagmap_io.dir/genlib.cpp.o" "gcc" "src/io/CMakeFiles/dagmap_io.dir/genlib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dagmap_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagmap_io.dir/blif.cpp.o"
+  "CMakeFiles/dagmap_io.dir/blif.cpp.o.d"
+  "CMakeFiles/dagmap_io.dir/expr.cpp.o"
+  "CMakeFiles/dagmap_io.dir/expr.cpp.o.d"
+  "CMakeFiles/dagmap_io.dir/genlib.cpp.o"
+  "CMakeFiles/dagmap_io.dir/genlib.cpp.o.d"
+  "libdagmap_io.a"
+  "libdagmap_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagmap_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/library/gate_library.cpp" "src/library/CMakeFiles/dagmap_library.dir/gate_library.cpp.o" "gcc" "src/library/CMakeFiles/dagmap_library.dir/gate_library.cpp.o.d"
+  "/root/repo/src/library/pattern.cpp" "src/library/CMakeFiles/dagmap_library.dir/pattern.cpp.o" "gcc" "src/library/CMakeFiles/dagmap_library.dir/pattern.cpp.o.d"
+  "/root/repo/src/library/standard_libs.cpp" "src/library/CMakeFiles/dagmap_library.dir/standard_libs.cpp.o" "gcc" "src/library/CMakeFiles/dagmap_library.dir/standard_libs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dagmap_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dagmap_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/dagmap_decomp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

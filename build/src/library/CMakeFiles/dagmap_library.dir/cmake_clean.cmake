@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagmap_library.dir/gate_library.cpp.o"
+  "CMakeFiles/dagmap_library.dir/gate_library.cpp.o.d"
+  "CMakeFiles/dagmap_library.dir/pattern.cpp.o"
+  "CMakeFiles/dagmap_library.dir/pattern.cpp.o.d"
+  "CMakeFiles/dagmap_library.dir/standard_libs.cpp.o"
+  "CMakeFiles/dagmap_library.dir/standard_libs.cpp.o.d"
+  "libdagmap_library.a"
+  "libdagmap_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagmap_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

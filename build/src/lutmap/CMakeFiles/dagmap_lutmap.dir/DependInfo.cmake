@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lutmap/cuts.cpp" "src/lutmap/CMakeFiles/dagmap_lutmap.dir/cuts.cpp.o" "gcc" "src/lutmap/CMakeFiles/dagmap_lutmap.dir/cuts.cpp.o.d"
+  "/root/repo/src/lutmap/flowmap.cpp" "src/lutmap/CMakeFiles/dagmap_lutmap.dir/flowmap.cpp.o" "gcc" "src/lutmap/CMakeFiles/dagmap_lutmap.dir/flowmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dagmap_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

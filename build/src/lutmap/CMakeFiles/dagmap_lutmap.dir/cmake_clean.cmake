@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagmap_lutmap.dir/cuts.cpp.o"
+  "CMakeFiles/dagmap_lutmap.dir/cuts.cpp.o.d"
+  "CMakeFiles/dagmap_lutmap.dir/flowmap.cpp.o"
+  "CMakeFiles/dagmap_lutmap.dir/flowmap.cpp.o.d"
+  "libdagmap_lutmap.a"
+  "libdagmap_lutmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagmap_lutmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapnet/cover.cpp" "src/mapnet/CMakeFiles/dagmap_mapnet.dir/cover.cpp.o" "gcc" "src/mapnet/CMakeFiles/dagmap_mapnet.dir/cover.cpp.o.d"
+  "/root/repo/src/mapnet/mapped_netlist.cpp" "src/mapnet/CMakeFiles/dagmap_mapnet.dir/mapped_netlist.cpp.o" "gcc" "src/mapnet/CMakeFiles/dagmap_mapnet.dir/mapped_netlist.cpp.o.d"
+  "/root/repo/src/mapnet/write.cpp" "src/mapnet/CMakeFiles/dagmap_mapnet.dir/write.cpp.o" "gcc" "src/mapnet/CMakeFiles/dagmap_mapnet.dir/write.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/dagmap_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/dagmap_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/dagmap_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dagmap_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/dagmap_decomp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

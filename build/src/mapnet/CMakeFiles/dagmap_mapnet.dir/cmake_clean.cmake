@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagmap_mapnet.dir/cover.cpp.o"
+  "CMakeFiles/dagmap_mapnet.dir/cover.cpp.o.d"
+  "CMakeFiles/dagmap_mapnet.dir/mapped_netlist.cpp.o"
+  "CMakeFiles/dagmap_mapnet.dir/mapped_netlist.cpp.o.d"
+  "CMakeFiles/dagmap_mapnet.dir/write.cpp.o"
+  "CMakeFiles/dagmap_mapnet.dir/write.cpp.o.d"
+  "libdagmap_mapnet.a"
+  "libdagmap_mapnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagmap_mapnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

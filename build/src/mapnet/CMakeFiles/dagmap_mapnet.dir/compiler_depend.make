@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dagmap_mapnet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagmap_match.dir/matcher.cpp.o"
+  "CMakeFiles/dagmap_match.dir/matcher.cpp.o.d"
+  "libdagmap_match.a"
+  "libdagmap_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagmap_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

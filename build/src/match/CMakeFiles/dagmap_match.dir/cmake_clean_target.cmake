@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdagmap_match.a"
+)

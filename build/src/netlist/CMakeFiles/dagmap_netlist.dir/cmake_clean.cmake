@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagmap_netlist.dir/network.cpp.o"
+  "CMakeFiles/dagmap_netlist.dir/network.cpp.o.d"
+  "CMakeFiles/dagmap_netlist.dir/truth_table.cpp.o"
+  "CMakeFiles/dagmap_netlist.dir/truth_table.cpp.o.d"
+  "libdagmap_netlist.a"
+  "libdagmap_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagmap_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

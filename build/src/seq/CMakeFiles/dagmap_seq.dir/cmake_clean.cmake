@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagmap_seq.dir/pan_liu.cpp.o"
+  "CMakeFiles/dagmap_seq.dir/pan_liu.cpp.o.d"
+  "CMakeFiles/dagmap_seq.dir/retiming.cpp.o"
+  "CMakeFiles/dagmap_seq.dir/retiming.cpp.o.d"
+  "CMakeFiles/dagmap_seq.dir/seq_lib_map.cpp.o"
+  "CMakeFiles/dagmap_seq.dir/seq_lib_map.cpp.o.d"
+  "CMakeFiles/dagmap_seq.dir/seq_map.cpp.o"
+  "CMakeFiles/dagmap_seq.dir/seq_map.cpp.o.d"
+  "libdagmap_seq.a"
+  "libdagmap_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagmap_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

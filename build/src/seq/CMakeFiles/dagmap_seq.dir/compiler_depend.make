@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dagmap_seq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for dagmap_seq.
+# This may be replaced when dependencies are built.

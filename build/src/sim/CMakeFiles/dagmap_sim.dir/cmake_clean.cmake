@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagmap_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dagmap_sim.dir/simulator.cpp.o.d"
+  "libdagmap_sim.a"
+  "libdagmap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagmap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagmap_timing.dir/timing.cpp.o"
+  "CMakeFiles/dagmap_timing.dir/timing.cpp.o.d"
+  "libdagmap_timing.a"
+  "libdagmap_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagmap_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/treemap/tree_mapper.cpp" "src/treemap/CMakeFiles/dagmap_treemap.dir/tree_mapper.cpp.o" "gcc" "src/treemap/CMakeFiles/dagmap_treemap.dir/tree_mapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dagmap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapnet/CMakeFiles/dagmap_mapnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/dagmap_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/library/CMakeFiles/dagmap_library.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/dagmap_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dagmap_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/dagmap_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

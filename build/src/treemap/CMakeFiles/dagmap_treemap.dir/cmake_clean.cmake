@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagmap_treemap.dir/tree_mapper.cpp.o"
+  "CMakeFiles/dagmap_treemap.dir/tree_mapper.cpp.o.d"
+  "libdagmap_treemap.a"
+  "libdagmap_treemap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagmap_treemap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

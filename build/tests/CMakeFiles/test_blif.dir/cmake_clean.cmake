@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blif.dir/io/test_blif.cpp.o"
+  "CMakeFiles/test_blif.dir/io/test_blif.cpp.o.d"
+  "test_blif"
+  "test_blif.pdb"
+  "test_blif[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

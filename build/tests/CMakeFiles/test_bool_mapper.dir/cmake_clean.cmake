@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bool_mapper.dir/boolmatch/test_bool_mapper.cpp.o"
+  "CMakeFiles/test_bool_mapper.dir/boolmatch/test_bool_mapper.cpp.o.d"
+  "test_bool_mapper"
+  "test_bool_mapper.pdb"
+  "test_bool_mapper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bool_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

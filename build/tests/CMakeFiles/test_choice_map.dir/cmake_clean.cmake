@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_choice_map.dir/core/test_choice_map.cpp.o"
+  "CMakeFiles/test_choice_map.dir/core/test_choice_map.cpp.o.d"
+  "test_choice_map"
+  "test_choice_map.pdb"
+  "test_choice_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_choice_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

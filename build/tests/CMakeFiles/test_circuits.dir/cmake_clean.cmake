@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuits.dir/gen/test_circuits.cpp.o"
+  "CMakeFiles/test_circuits.dir/gen/test_circuits.cpp.o.d"
+  "test_circuits"
+  "test_circuits.pdb"
+  "test_circuits[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dag_mapper.dir/core/test_dag_mapper.cpp.o"
+  "CMakeFiles/test_dag_mapper.dir/core/test_dag_mapper.cpp.o.d"
+  "test_dag_mapper"
+  "test_dag_mapper.pdb"
+  "test_dag_mapper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dag_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

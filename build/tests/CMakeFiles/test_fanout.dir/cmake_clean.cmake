@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fanout.dir/fanout/test_fanout.cpp.o"
+  "CMakeFiles/test_fanout.dir/fanout/test_fanout.cpp.o.d"
+  "test_fanout"
+  "test_fanout.pdb"
+  "test_fanout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

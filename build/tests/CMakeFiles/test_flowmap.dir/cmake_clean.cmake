@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flowmap.dir/lutmap/test_flowmap.cpp.o"
+  "CMakeFiles/test_flowmap.dir/lutmap/test_flowmap.cpp.o.d"
+  "test_flowmap"
+  "test_flowmap.pdb"
+  "test_flowmap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flowmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_full_flow.dir/integration/test_full_flow.cpp.o"
+  "CMakeFiles/test_full_flow.dir/integration/test_full_flow.cpp.o.d"
+  "test_full_flow"
+  "test_full_flow.pdb"
+  "test_full_flow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_full_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

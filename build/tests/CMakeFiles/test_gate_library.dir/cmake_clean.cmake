@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gate_library.dir/library/test_gate_library.cpp.o"
+  "CMakeFiles/test_gate_library.dir/library/test_gate_library.cpp.o.d"
+  "test_gate_library"
+  "test_gate_library.pdb"
+  "test_gate_library[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gate_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gate_self_map.dir/integration/test_gate_self_map.cpp.o"
+  "CMakeFiles/test_gate_self_map.dir/integration/test_gate_self_map.cpp.o.d"
+  "test_gate_self_map"
+  "test_gate_self_map.pdb"
+  "test_gate_self_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gate_self_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_gate_self_map.
+# This may be replaced when dependencies are built.

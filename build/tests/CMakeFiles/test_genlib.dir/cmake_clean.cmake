@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_genlib.dir/io/test_genlib.cpp.o"
+  "CMakeFiles/test_genlib.dir/io/test_genlib.cpp.o.d"
+  "test_genlib"
+  "test_genlib.pdb"
+  "test_genlib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_genlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

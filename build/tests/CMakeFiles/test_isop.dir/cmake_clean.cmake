@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isop.dir/decomp/test_isop.cpp.o"
+  "CMakeFiles/test_isop.dir/decomp/test_isop.cpp.o.d"
+  "test_isop"
+  "test_isop.pdb"
+  "test_isop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lib_roundtrip.dir/library/test_lib_roundtrip.cpp.o"
+  "CMakeFiles/test_lib_roundtrip.dir/library/test_lib_roundtrip.cpp.o.d"
+  "test_lib_roundtrip"
+  "test_lib_roundtrip.pdb"
+  "test_lib_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lib_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

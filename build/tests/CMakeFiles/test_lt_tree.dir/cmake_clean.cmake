@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lt_tree.dir/fanout/test_lt_tree.cpp.o"
+  "CMakeFiles/test_lt_tree.dir/fanout/test_lt_tree.cpp.o.d"
+  "test_lt_tree"
+  "test_lt_tree.pdb"
+  "test_lt_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lt_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapped_netlist.dir/mapnet/test_mapped_netlist.cpp.o"
+  "CMakeFiles/test_mapped_netlist.dir/mapnet/test_mapped_netlist.cpp.o.d"
+  "test_mapped_netlist"
+  "test_mapped_netlist.pdb"
+  "test_mapped_netlist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapped_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

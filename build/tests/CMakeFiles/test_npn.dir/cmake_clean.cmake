@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npn.dir/boolmatch/test_npn.cpp.o"
+  "CMakeFiles/test_npn.dir/boolmatch/test_npn.cpp.o.d"
+  "test_npn"
+  "test_npn.pdb"
+  "test_npn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

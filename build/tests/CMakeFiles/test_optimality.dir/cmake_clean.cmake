@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimality.dir/core/test_optimality.cpp.o"
+  "CMakeFiles/test_optimality.dir/core/test_optimality.cpp.o.d"
+  "test_optimality"
+  "test_optimality.pdb"
+  "test_optimality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pan_liu.dir/seq/test_pan_liu.cpp.o"
+  "CMakeFiles/test_pan_liu.dir/seq/test_pan_liu.cpp.o.d"
+  "test_pan_liu"
+  "test_pan_liu.pdb"
+  "test_pan_liu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pan_liu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

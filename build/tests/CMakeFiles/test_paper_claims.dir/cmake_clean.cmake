@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_claims.dir/integration/test_paper_claims.cpp.o"
+  "CMakeFiles/test_paper_claims.dir/integration/test_paper_claims.cpp.o.d"
+  "test_paper_claims"
+  "test_paper_claims.pdb"
+  "test_paper_claims[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

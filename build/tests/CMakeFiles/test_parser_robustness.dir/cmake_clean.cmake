@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parser_robustness.dir/io/test_parser_robustness.cpp.o"
+  "CMakeFiles/test_parser_robustness.dir/io/test_parser_robustness.cpp.o.d"
+  "test_parser_robustness"
+  "test_parser_robustness.pdb"
+  "test_parser_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parser_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

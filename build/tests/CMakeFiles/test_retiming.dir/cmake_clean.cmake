@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retiming.dir/seq/test_retiming.cpp.o"
+  "CMakeFiles/test_retiming.dir/seq/test_retiming.cpp.o.d"
+  "test_retiming"
+  "test_retiming.pdb"
+  "test_retiming[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retiming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

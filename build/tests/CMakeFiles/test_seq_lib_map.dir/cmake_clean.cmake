@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seq_lib_map.dir/seq/test_seq_lib_map.cpp.o"
+  "CMakeFiles/test_seq_lib_map.dir/seq/test_seq_lib_map.cpp.o.d"
+  "test_seq_lib_map"
+  "test_seq_lib_map.pdb"
+  "test_seq_lib_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seq_lib_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_seq_lib_map.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sizing.dir/fanout/test_sizing.cpp.o"
+  "CMakeFiles/test_sizing.dir/fanout/test_sizing.cpp.o.d"
+  "test_sizing"
+  "test_sizing.pdb"
+  "test_sizing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

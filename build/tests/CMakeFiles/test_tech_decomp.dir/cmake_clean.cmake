@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech_decomp.dir/decomp/test_tech_decomp.cpp.o"
+  "CMakeFiles/test_tech_decomp.dir/decomp/test_tech_decomp.cpp.o.d"
+  "test_tech_decomp"
+  "test_tech_decomp.pdb"
+  "test_tech_decomp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing.dir/timing/test_timing.cpp.o"
+  "CMakeFiles/test_timing.dir/timing/test_timing.cpp.o.d"
+  "test_timing"
+  "test_timing.pdb"
+  "test_timing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_mapper.dir/treemap/test_tree_mapper.cpp.o"
+  "CMakeFiles/test_tree_mapper.dir/treemap/test_tree_mapper.cpp.o.d"
+  "test_tree_mapper"
+  "test_tree_mapper.pdb"
+  "test_tree_mapper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_truth_table.dir/netlist/test_truth_table.cpp.o"
+  "CMakeFiles/test_truth_table.dir/netlist/test_truth_table.cpp.o.d"
+  "test_truth_table"
+  "test_truth_table.pdb"
+  "test_truth_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_truth_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_write.dir/mapnet/test_write.cpp.o"
+  "CMakeFiles/test_write.dir/mapnet/test_write.cpp.o.d"
+  "test_write"
+  "test_write.pdb"
+  "test_write[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagmap_cli.dir/dagmap_cli.cpp.o"
+  "CMakeFiles/dagmap_cli.dir/dagmap_cli.cpp.o.d"
+  "dagmap_cli"
+  "dagmap_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagmap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagmap_export.dir/dagmap_export.cpp.o"
+  "CMakeFiles/dagmap_export.dir/dagmap_export.cpp.o.d"
+  "dagmap_export"
+  "dagmap_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagmap_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

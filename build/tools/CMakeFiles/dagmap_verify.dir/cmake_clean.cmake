@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagmap_verify.dir/dagmap_verify.cpp.o"
+  "CMakeFiles/dagmap_verify.dir/dagmap_verify.cpp.o.d"
+  "dagmap_verify"
+  "dagmap_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagmap_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

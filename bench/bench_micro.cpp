@@ -78,7 +78,7 @@ void BM_MatcherPerNode(benchmark::State& state) {
     for (NodeId n : order) {
       if (sg.is_source(n)) continue;
       matcher.for_each_match(n, MatchClass::Standard,
-                             [&](const Match&) { ++total; });
+                             [&](const MatchView&) { ++total; });
     }
     benchmark::DoNotOptimize(total);
   }

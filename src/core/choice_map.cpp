@@ -22,7 +22,8 @@ MapResult dag_map_choices(const ChoiceDecomposition& choices,
   DAGMAP_ASSERT_MSG(lib.is_complete_for_mapping(),
                     "library must contain INV and NAND2");
 
-  Matcher matcher(lib, subject);
+  Matcher matcher(lib, subject,
+                  {.use_signature_index = options.use_signature_index});
   MapResult result;
   result.label.assign(subject.size(), 0.0);
 
@@ -55,14 +56,14 @@ MapResult dag_map_choices(const ChoiceDecomposition& choices,
     }
     double best = kInf;
     double best_area = kInf;
-    matcher.for_each_match(n, options.match_class, [&](const Match& m) {
+    matcher.for_each_match(n, options.match_class, [&](const MatchView& m) {
       ++result.matches_enumerated;
       double a = match_arrival(m, leaf_arrival);
       if (a < best - options.epsilon ||
           (a < best + options.epsilon && m.gate->area < best_area)) {
         best = a;
         best_area = m.gate->area;
-        fastest[n] = m;
+        fastest[n] = Match(m);
       }
     });
     DAGMAP_ASSERT_MSG(fastest[n].has_value(), "unmatchable subject node");
@@ -103,6 +104,7 @@ MapResult dag_map_choices(const ChoiceDecomposition& choices,
 
   result.netlist = build_cover(covered, chosen);
   result.match_attempts = matcher.attempts();
+  result.match_prunes = matcher.pruned();
   result.truncations = matcher.truncations();
   result.cpu_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <limits>
 
+#include "core/parallel.hpp"
 #include "mapnet/cover.hpp"
 #include "netlist/assert.hpp"
 
@@ -21,7 +22,8 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
   DAGMAP_ASSERT_MSG(lib.is_complete_for_mapping(),
                     "library must contain INV and NAND2");
 
-  Matcher matcher(lib, subject);
+  Matcher matcher(lib, subject,
+                  {.use_signature_index = options.use_signature_index});
   MapResult result;
   result.label.assign(subject.size(), 0.0);
 
@@ -32,28 +34,69 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
   if (options.area_recovery) all_matches.resize(subject.size());
 
   auto order = subject.topo_order();
+
+  // Wavefront schedule: nodes grouped by depth level.  Every leaf of a
+  // match rooted at level L is a strict transitive fanin (level < L), so
+  // one level's nodes read only finished labels and label independently.
+  std::vector<std::uint32_t> level(subject.size(), 0);
+  std::uint32_t max_level = 0;
   for (NodeId n : order) {
-    if (subject.is_source(n)) continue;  // label 0
+    if (subject.is_source(n)) continue;
+    std::uint32_t l = 0;
+    for (NodeId f : subject.fanins(n)) l = std::max(l, level[f]);
+    level[n] = l + 1;
+    max_level = std::max(max_level, level[n]);
+  }
+  std::vector<std::vector<NodeId>> waves(max_level + 1);
+  for (NodeId n : order)
+    if (!subject.is_source(n)) waves[level[n]].push_back(n);
+
+  unsigned num_threads = resolve_num_threads(options.num_threads);
+  struct alignas(64) WorkerCounters {
+    std::uint64_t enumerated = 0;
+  };
+  std::vector<WorkerCounters> counters(num_threads);
+
+  auto label_node = [&](NodeId n, unsigned worker) {
     double best = kInf;
     double best_area = kInf;
-    matcher.for_each_match(n, options.match_class, [&](const Match& m) {
-      ++result.matches_enumerated;
+    const Gate* best_gate = nullptr;
+    matcher.for_each_match(n, options.match_class, [&](const MatchView& m) {
+      ++counters[worker].enumerated;
       double a = match_arrival(m, result.label);
       // Primary criterion: arrival.  Tie-break: gate area, so the
-      // delay-optimal mapping does not pick needlessly big gates.
-      if (a < best - options.epsilon ||
-          (a < best + options.epsilon && m.gate->area < best_area)) {
+      // delay-optimal mapping does not pick needlessly big gates; then
+      // gate name, so the selection is independent of enumeration order.
+      bool take = a < best - options.epsilon;
+      if (!take && a < best + options.epsilon) {
+        take = m.gate->area < best_area ||
+               (m.gate->area == best_area && best_gate != nullptr &&
+                m.gate->name < best_gate->name);
+      }
+      if (take) {
         best = a;
         best_area = m.gate->area;
-        fastest[n] = m;
+        best_gate = m.gate;
+        fastest[n] = Match(m);
       }
-      if (options.area_recovery) all_matches[n].push_back(m);
+      if (options.area_recovery) all_matches[n].push_back(Match(m));
     });
     DAGMAP_ASSERT_MSG(fastest[n].has_value(),
                       "no match at an internal subject node");
     result.label[n] = best;
+  };
+
+  {
+    ThreadPool pool(num_threads);
+    for (const std::vector<NodeId>& wave : waves)
+      pool.parallel_for(wave.size(), [&](std::size_t i, unsigned worker) {
+        label_node(wave[i], worker);
+      });
   }
+  for (const WorkerCounters& c : counters)
+    result.matches_enumerated += c.enumerated;
   result.match_attempts = matcher.attempts();
+  result.match_prunes = matcher.pruned();
   result.truncations = matcher.truncations();
 
   // Optimal circuit delay: worst label over endpoints.

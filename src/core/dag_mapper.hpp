@@ -18,6 +18,14 @@
 // structure (§3.5).  The whole algorithm is O(s * p): linear in subject
 // size for a fixed library.
 //
+// Labeling is scheduled as depth wavefronts: every leaf of a match rooted
+// at a node is a strict transitive fanin, hence at a strictly smaller
+// depth level, so all nodes of one level label independently and the
+// wavefront runs as a parallel-for (`DagMapOptions::num_threads`).  Tie
+// breaking among equal-arrival matches is by (gate area, gate name), not
+// enumeration order, so the labels, selected gates, and mapped netlist
+// are bit-identical for every thread count.
+//
 // The optional area-recovery pass (§6's sketched extension) keeps the
 // optimal delay but relaxes non-critical nodes: during cover construction
 // each needed node receives a required time, and the cheapest match
@@ -52,6 +60,15 @@ struct DagMapOptions {
   double target_delay = 0.0;
   /// Delay slack treated as equal when comparing arrivals.
   double epsilon = 1e-9;
+  /// Worker threads for the wavefront labeling phase: 1 = sequential,
+  /// 0 = all hardware threads, n = exactly n.  The result is
+  /// bit-identical for every value (nodes of one depth level label
+  /// independently, and ties break on (arrival, gate area, gate name)
+  /// rather than enumeration order).
+  unsigned num_threads = 1;
+  /// Consult the matcher's signature index before each pattern walk
+  /// (off reproduces the unpruned enumeration; for benchmarks/tests).
+  bool use_signature_index = true;
 };
 
 /// Result of a mapping run.
@@ -63,6 +80,7 @@ struct MapResult {
   double optimal_delay = 0.0;
   /// Statistics.
   std::uint64_t match_attempts = 0;
+  std::uint64_t match_prunes = 0;  ///< (root, pattern) pairs pruned O(1)
   std::uint64_t matches_enumerated = 0;
   std::uint64_t truncations = 0;
   double cpu_seconds = 0.0;

@@ -1,0 +1,113 @@
+#include "core/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+
+namespace dagmap {
+
+unsigned resolve_num_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+struct ThreadPool::State {
+  std::mutex mutex;
+  std::condition_variable start_cv;
+  std::condition_variable done_cv;
+  // Incremented per job; workers wake when it moves past what they have
+  // already processed, so a late worker can never miss (or double-run) a
+  // job.  All job fields are published under the mutex.
+  std::uint64_t epoch = 0;
+  bool stop = false;
+  const std::function<void(std::size_t, unsigned)>* body = nullptr;
+  std::size_t count = 0;
+  std::atomic<std::size_t> next{0};
+  unsigned running = 0;  ///< spawned workers that have not finished the job
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : state_(std::make_unique<State>()) {
+  for (unsigned w = 1; w < num_threads; ++w)
+    threads_.emplace_back([this, w] { worker_main(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stop = true;
+  }
+  state_->start_cv.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_main(unsigned worker) {
+  State& s = *state_;
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(s.mutex);
+      s.start_cv.wait(lock, [&] { return s.stop || s.epoch != seen; });
+      if (s.stop) return;
+      seen = s.epoch;
+    }
+    run_chunks(worker);
+    {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      if (--s.running == 0) s.done_cv.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run_chunks(unsigned worker) {
+  State& s = *state_;
+  for (;;) {
+    std::size_t i = s.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= s.count) return;
+    try {
+      (*s.body)(i, worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      if (!s.error) s.error = std::current_exception();
+      // Fast-forward the counter so everyone drains quickly.
+      s.next.store(s.count, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, const std::function<void(std::size_t, unsigned)>& body) {
+  if (count == 0) return;
+  State& s = *state_;
+  if (threads_.empty()) {
+    // Inline sequential path (also taken by ThreadPool(1)).
+    for (std::size_t i = 0; i < count; ++i) body(i, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.body = &body;
+    s.count = count;
+    s.next.store(0, std::memory_order_relaxed);
+    s.running = static_cast<unsigned>(threads_.size());
+    s.error = nullptr;
+    ++s.epoch;
+  }
+  s.start_cv.notify_all();
+  run_chunks(0);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(s.mutex);
+    s.done_cv.wait(lock, [&] { return s.running == 0; });
+    s.body = nullptr;
+    error = s.error;
+    s.error = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace dagmap

@@ -1,0 +1,61 @@
+// Minimal worker pool for the parallel wavefront labeler.
+//
+// No external dependencies: std::thread workers pull indices off a
+// shared atomic counter (work stealing at item granularity — labeling
+// one subject node is coarse enough that finer chunking buys nothing).
+// The calling thread participates as worker 0, so a pool of n threads
+// spawns n-1 workers, and a pool of 1 runs everything inline — the
+// sequential path stays byte-for-byte the sequential path.
+//
+// `parallel_for` is a barrier: it returns only after every index has
+// been processed and every worker has quiesced, so writes made by the
+// body are visible to the caller (and to the next `parallel_for`)
+// without further synchronization.  The first exception thrown by a
+// body cancels remaining work and is rethrown on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace dagmap {
+
+/// Resolves a user-facing thread-count knob: 0 means "all hardware
+/// threads", anything else is taken literally (minimum 1).
+unsigned resolve_num_threads(unsigned requested);
+
+class ThreadPool {
+ public:
+  /// Creates a pool of `num_threads` total workers (the constructing
+  /// thread included); `num_threads <= 1` spawns nothing.
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers, calling thread included.
+  unsigned num_workers() const {
+    return static_cast<unsigned>(threads_.size()) + 1;
+  }
+
+  /// Runs `body(index, worker)` for every index in [0, count), spread
+  /// over the workers; `worker` ranges over [0, num_workers()).  Blocks
+  /// until all indices are done.  Must not be called reentrantly from
+  /// inside a body.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t, unsigned)>& body);
+
+ private:
+  struct State;
+
+  void worker_main(unsigned worker);
+  void run_chunks(unsigned worker);
+
+  std::unique_ptr<State> state_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace dagmap

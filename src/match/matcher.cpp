@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "netlist/assert.hpp"
 
@@ -16,7 +17,13 @@ const char* to_string(MatchClass mc) {
   return "?";
 }
 
-double match_arrival(const Match& m, std::span<const double> leaf_arrival) {
+Match::Match(const MatchView& v)
+    : gate(v.gate),
+      pattern(v.pattern),
+      pin_binding(v.pin_binding.begin(), v.pin_binding.end()),
+      covered(v.covered.begin(), v.covered.end()) {}
+
+double match_arrival(const MatchView& m, std::span<const double> leaf_arrival) {
   double arrival = 0.0;
   for (std::size_t pin = 0; pin < m.pin_binding.size(); ++pin) {
     double a = leaf_arrival[m.pin_binding[pin]] + m.gate->pins[pin].delay();
@@ -60,39 +67,61 @@ std::vector<std::uint64_t> symmetry_hashes(const PatternGraph& pg,
   return h;
 }
 
-// Bounded enumerator of all bindings of one pattern at one root.
+// Per-thread scratch arena: every buffer the enumeration needs, reused
+// across patterns, roots, and `for_each_match` calls so the steady state
+// allocates nothing.  Holds no matcher state, so one thread may
+// interleave calls against several matchers.
+struct MatchScratch {
+  std::vector<NodeId> bind;                            // pattern -> subject
+  std::vector<std::pair<std::uint32_t, NodeId>> todo;  // walk agenda
+  std::vector<NodeId> sorted;                          // one-to-one check
+  std::vector<NodeId> pins;                            // MatchView arena
+  std::vector<NodeId> covered;                         // MatchView arena
+  std::unordered_set<std::uint64_t> seen;              // per-root match dedup
+};
+
+MatchScratch& thread_scratch() {
+  static thread_local MatchScratch scratch;
+  return scratch;
+}
+
+// Bounded enumerator of all bindings of one pattern at one root; storage
+// lives in the scratch arena.
 class Enumerator {
  public:
   Enumerator(const Network& subject, const PatternGraph& pg,
-             const std::vector<std::uint64_t>& sym, std::uint64_t budget)
-      : subject_(subject), pg_(pg), sym_(sym), budget_(budget) {
+             const std::vector<std::uint64_t>& sym, std::uint64_t budget,
+             MatchScratch& scratch)
+      : subject_(subject), pg_(pg), sym_(sym), budget_(budget),
+        bind_(scratch.bind), todo_(scratch.todo) {
     bind_.assign(pg.nodes.size(), kNullNode);
+    todo_.clear();
   }
 
   /// Enumerates every complete binding; `on_complete` reads `bind()`.
-  void run(NodeId root, const std::function<void()>& on_complete) {
-    on_complete_ = &on_complete;
-    todo_.clear();
+  template <typename F>
+  void run(NodeId root, const F& on_complete) {
     todo_.push_back({pg_.root, root});
-    recurse();
+    recurse(on_complete);
   }
 
   const std::vector<NodeId>& bind() const { return bind_; }
   bool truncated() const { return budget_ == 0; }
 
  private:
-  void recurse() {
+  template <typename F>
+  void recurse(const F& on_complete) {
     if (budget_ == 0) return;
     --budget_;
     if (todo_.empty()) {
-      (*on_complete_)();
+      on_complete();
       return;
     }
     auto [p, s] = todo_.back();
     todo_.pop_back();
 
     if (bind_[p] != kNullNode) {
-      if (bind_[p] == s) recurse();
+      if (bind_[p] == s) recurse(on_complete);
       todo_.push_back({p, s});
       return;
     }
@@ -101,7 +130,7 @@ class Enumerator {
     switch (pn.kind) {
       case PatternNode::Kind::Leaf:
         bind_[p] = s;
-        recurse();
+        recurse(on_complete);
         bind_[p] = kNullNode;
         break;
 
@@ -110,7 +139,7 @@ class Enumerator {
           bind_[p] = s;
           todo_.push_back(
               {static_cast<std::uint32_t>(pn.fanin0), subject_.fanins(s)[0]});
-          recurse();
+          recurse(on_complete);
           todo_.pop_back();
           bind_[p] = kNullNode;
         }
@@ -125,7 +154,7 @@ class Enumerator {
           auto p1 = static_cast<std::uint32_t>(pn.fanin1);
           todo_.push_back({p0, s0});
           todo_.push_back({p1, s1});
-          recurse();
+          recurse(on_complete);
           todo_.pop_back();
           todo_.pop_back();
           // The swapped pairing explores genuinely new matches only when
@@ -135,7 +164,7 @@ class Enumerator {
           if (sym_[p0] != sym_[p1] && s0 != s1) {
             todo_.push_back({p0, s1});
             todo_.push_back({p1, s0});
-            recurse();
+            recurse(on_complete);
             todo_.pop_back();
             todo_.pop_back();
           }
@@ -150,21 +179,24 @@ class Enumerator {
   const PatternGraph& pg_;
   const std::vector<std::uint64_t>& sym_;
   std::uint64_t budget_;
-  std::vector<NodeId> bind_;
-  std::vector<std::pair<std::uint32_t, NodeId>> todo_;
-  const std::function<void()>* on_complete_ = nullptr;
+  std::vector<NodeId>& bind_;
+  std::vector<std::pair<std::uint32_t, NodeId>>& todo_;
 };
 
 }  // namespace
 
-Matcher::Matcher(const GateLibrary& lib, const Network& subject)
-    : lib_(lib), subject_(subject), fanout_counts_(subject.fanout_counts()) {
+Matcher::Matcher(const GateLibrary& lib, const Network& subject,
+                 MatcherOptions options)
+    : lib_(lib), subject_(subject), options_(options),
+      fanout_counts_(subject.fanout_counts()),
+      subject_sigs_(compute_subject_signatures(subject)) {
   DAGMAP_ASSERT_MSG(subject.is_subject_graph(),
                     "matcher requires a NAND2/INV subject graph");
   for (const Gate& g : lib_.gates()) {
     for (const PatternGraph& p : g.patterns) {
       const PatternNode& root = p.nodes[p.root];
-      PatternRef ref{&g, &p, symmetry_hashes(p, g)};
+      PatternRef ref{&g, &p, symmetry_hashes(p, g), p.out_degrees(),
+                     compute_pattern_signature(p)};
       if (root.kind == PatternNode::Kind::Inv)
         inv_rooted_.push_back(std::move(ref));
       else if (root.kind == PatternNode::Kind::Nand2)
@@ -181,23 +213,32 @@ void Matcher::for_each_match(NodeId root, MatchClass mc,
                     "matching roots must be internal subject nodes");
   const std::vector<PatternRef>& candidates =
       rk == NodeKind::Inv ? inv_rooted_ : nand_rooted_;
+  const NodeSignature& root_sig = subject_sigs_[root];
 
+  MatchScratch& sc = thread_scratch();
   // Deduplicate complete matches (symmetric patterns can reach the same
   // binding through different child orders).
-  std::unordered_set<std::uint64_t> seen;
+  sc.seen.clear();
+  MatchStats local;
 
   for (const PatternRef& ref : candidates) {
+    if (options_.use_signature_index &&
+        !signature_admits(ref.sig, root_sig, mc)) {
+      ++local.pruned;
+      continue;
+    }
     const PatternGraph& pg = *ref.pattern;
-    ++attempts_;
-    Enumerator en(subject_, pg, ref.sym_hash, kEnumerationBudget);
+    ++local.attempts;
+    Enumerator en(subject_, pg, ref.sym_hash, kEnumerationBudget, sc);
     en.run(root, [&] {
       const std::vector<NodeId>& bind = en.bind();
 
       // One-to-one check (Standard and Exact; Definitions 1/2).
       if (mc != MatchClass::Extended) {
-        std::vector<NodeId> sorted(bind);
-        std::sort(sorted.begin(), sorted.end());
-        if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+        sc.sorted.assign(bind.begin(), bind.end());
+        std::sort(sc.sorted.begin(), sc.sorted.end());
+        if (std::adjacent_find(sc.sorted.begin(), sc.sorted.end()) !=
+            sc.sorted.end())
           return;
       }
 
@@ -205,42 +246,54 @@ void Matcher::for_each_match(NodeId root, MatchClass mc,
       // covered non-root pattern node's subject image must have exactly
       // the pattern node's out-degree.
       if (mc == MatchClass::Exact) {
-        auto out_deg = pg.out_degrees();
         for (std::uint32_t p = 0; p < pg.nodes.size(); ++p) {
           if (p == pg.root || pg.nodes[p].kind == PatternNode::Kind::Leaf)
             continue;
-          if (fanout_counts_[bind[p]] != out_deg[p]) return;
+          if (fanout_counts_[bind[p]] != ref.out_deg[p]) return;
         }
       }
 
-      Match m;
-      m.gate = ref.gate;
-      m.pattern = ref.pattern;
-      m.pin_binding.assign(ref.gate->num_inputs(), kNullNode);
+      sc.pins.assign(ref.gate->num_inputs(), kNullNode);
+      sc.covered.clear();
       for (std::uint32_t p = 0; p < pg.nodes.size(); ++p) {
         const PatternNode& pn = pg.nodes[p];
         if (pn.kind == PatternNode::Kind::Leaf)
-          m.pin_binding[pn.pin] = bind[p];
+          sc.pins[pn.pin] = bind[p];
         else
-          m.covered.push_back(bind[p]);
+          sc.covered.push_back(bind[p]);
       }
-      for (NodeId leaf : m.pin_binding) DAGMAP_ASSERT(leaf != kNullNode);
+      for (NodeId leaf : sc.pins) DAGMAP_ASSERT(leaf != kNullNode);
 
       std::uint64_t key = std::hash<const void*>{}(ref.gate);
-      for (NodeId leaf : m.pin_binding)
+      for (NodeId leaf : sc.pins)
         key = key * 0x100000001B3ull ^ (leaf + 1);
-      if (!seen.insert(key).second) return;
+      if (!sc.seen.insert(key).second) return;
 
-      cb(m);
+      cb(MatchView(ref.gate, ref.pattern, sc.pins, sc.covered));
     });
-    if (en.truncated()) ++truncations_;
+    if (en.truncated()) ++local.truncations;
   }
+
+  attempts_.fetch_add(local.attempts, std::memory_order_relaxed);
+  pruned_.fetch_add(local.pruned, std::memory_order_relaxed);
+  truncations_.fetch_add(local.truncations, std::memory_order_relaxed);
 }
 
 std::vector<Match> Matcher::matches_at(NodeId root, MatchClass mc) const {
   std::vector<Match> out;
-  for_each_match(root, mc, [&](const Match& m) { out.push_back(m); });
+  out.reserve(last_match_count_.load(std::memory_order_relaxed));
+  for_each_match(root, mc, [&](const MatchView& m) { out.emplace_back(m); });
+  last_match_count_.store(static_cast<std::uint32_t>(out.size()),
+                          std::memory_order_relaxed);
   return out;
+}
+
+MatchStats Matcher::stats() const {
+  MatchStats s;
+  s.attempts = attempts();
+  s.pruned = pruned();
+  s.truncations = truncations();
+  return s;
 }
 
 }  // namespace dagmap

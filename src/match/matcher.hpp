@@ -16,14 +16,30 @@
 // binding shared pattern nodes consistently.  Complexity per root is
 // O(p) for tree patterns in the paper's sense; the implementation prunes
 // on node kinds so failed gates abort after a few nodes.
+//
+// Two layers keep the per-root cost low with rich libraries:
+//   * a pattern pre-index — patterns are bucketed by root kind and carry a
+//     structural signature (match/signature.hpp); the same signature is
+//     computed for every subject node at construction, and incompatible
+//     (root, pattern) pairs are rejected in O(1) without a walk;
+//   * allocation-free enumeration — the walk and the match assembly run
+//     out of per-thread scratch buffers, and matches reach the callback
+//     as `MatchView` spans into that scratch (valid only during the
+//     callback; copy into a `Match` to keep one).
+//
+// `for_each_match` is safe to call concurrently from several threads on
+// the same `Matcher` (the statistics counters are atomic; scratch is
+// per-thread), which is what the parallel wavefront labeler relies on.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
 
 #include "library/gate_library.hpp"
+#include "match/signature.hpp"
 #include "netlist/network.hpp"
 
 namespace dagmap {
@@ -33,8 +49,14 @@ enum class MatchClass : std::uint8_t { Exact, Standard, Extended };
 
 const char* to_string(MatchClass mc);
 
-/// One successful match of a library gate rooted at a subject node.
+struct MatchView;
+
+/// One successful match of a library gate rooted at a subject node
+/// (owning storage; see `MatchView` for the non-owning callback form).
 struct Match {
+  Match() = default;
+  explicit Match(const MatchView& v);
+
   const Gate* gate = nullptr;
   const PatternGraph* pattern = nullptr;
   /// Subject node feeding gate pin i (the match "leaves").
@@ -44,35 +66,84 @@ struct Match {
   std::vector<NodeId> covered;
 };
 
+/// Non-owning view of a match: spans point into the enumerating thread's
+/// scratch arena and are valid only for the duration of the callback.
+struct MatchView {
+  MatchView() = default;
+  MatchView(const Gate* g, const PatternGraph* p, std::span<const NodeId> pins,
+            std::span<const NodeId> cov)
+      : gate(g), pattern(p), pin_binding(pins), covered(cov) {}
+  /// A `Match` views as itself (lets owning matches flow into the same
+  /// helpers, e.g. `match_arrival`).
+  MatchView(const Match& m)
+      : gate(m.gate), pattern(m.pattern), pin_binding(m.pin_binding),
+        covered(m.covered) {}
+
+  const Gate* gate = nullptr;
+  const PatternGraph* pattern = nullptr;
+  std::span<const NodeId> pin_binding;
+  std::span<const NodeId> covered;
+};
+
 /// Arrival time at the match root if each leaf is available at
 /// `leaf_arrival[pin_binding[i]]`: max over pins of (leaf arrival + pin
 /// intrinsic delay).  This is the paper's load-independent cost.
-double match_arrival(const Match& m, std::span<const double> leaf_arrival);
+double match_arrival(const MatchView& m, std::span<const double> leaf_arrival);
+
+/// Aggregated matcher statistics (mergeable across threads).
+struct MatchStats {
+  /// (root, pattern) pairs whose backtracking walk actually ran.
+  std::uint64_t attempts = 0;
+  /// (root, pattern) pairs rejected in O(1) by the signature index.
+  std::uint64_t pruned = 0;
+  /// Walks that hit the enumeration budget (symmetric patterns on highly
+  /// regular subjects); their match lists are sound but possibly
+  /// incomplete.
+  std::uint64_t truncations = 0;
+};
+
+/// Matcher knobs.
+struct MatcherOptions {
+  /// Consult the signature index before walking a pattern (off reproduces
+  /// the unpruned enumeration, for benchmarking and soundness tests).
+  bool use_signature_index = true;
+};
 
 /// Enumerates matches of every library gate rooted at subject nodes.
 class Matcher {
  public:
   /// Both references must outlive the matcher.  Precondition: `subject`
   /// is a NAND2/INV subject graph.
-  Matcher(const GateLibrary& lib, const Network& subject);
+  Matcher(const GateLibrary& lib, const Network& subject,
+          MatcherOptions options = {});
 
-  using MatchCallback = std::function<void(const Match&)>;
+  using MatchCallback = std::function<void(const MatchView&)>;
 
   /// Invokes `cb` for every deduplicated match rooted at `root`.
-  /// `root` must be an internal (NAND2/INV) node.
+  /// `root` must be an internal (NAND2/INV) node.  Thread-safe.
   void for_each_match(NodeId root, MatchClass mc,
                       const MatchCallback& cb) const;
 
   /// Convenience: collects the matches at `root` into a vector.
   std::vector<Match> matches_at(NodeId root, MatchClass mc) const;
 
-  /// Total number of (root, pattern) match attempts so far (statistics).
-  std::uint64_t attempts() const { return attempts_; }
+  /// Statistics accumulated so far, merged over all threads.
+  MatchStats stats() const;
 
-  /// Number of attempts that hit the enumeration budget (symmetric
-  /// patterns on highly regular subjects); their match lists are sound
-  /// but possibly incomplete.
-  std::uint64_t truncations() const { return truncations_; }
+  /// Total number of (root, pattern) walks so far (statistics).
+  std::uint64_t attempts() const {
+    return attempts_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of (root, pattern) pairs pruned by the signature index.
+  std::uint64_t pruned() const {
+    return pruned_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of attempts that hit the enumeration budget.
+  std::uint64_t truncations() const {
+    return truncations_.load(std::memory_order_relaxed);
+  }
 
   /// Safety valve per (root, pattern): backtracking steps before the
   /// enumeration is cut off.
@@ -83,16 +154,23 @@ class Matcher {
     const Gate* gate;
     const PatternGraph* pattern;
     std::vector<std::uint64_t> sym_hash;
+    std::vector<std::uint32_t> out_deg;  ///< pattern out-degrees (Exact check)
+    PatternSignature sig;
   };
 
   const GateLibrary& lib_;
   const Network& subject_;
+  MatcherOptions options_;
   std::vector<std::uint32_t> fanout_counts_;
+  std::vector<NodeSignature> subject_sigs_;
   /// Patterns bucketed by root node kind (Inv / Nand2) for pruning.
   std::vector<PatternRef> inv_rooted_;
   std::vector<PatternRef> nand_rooted_;
-  mutable std::uint64_t attempts_ = 0;
-  mutable std::uint64_t truncations_ = 0;
+  mutable std::atomic<std::uint64_t> attempts_{0};
+  mutable std::atomic<std::uint64_t> pruned_{0};
+  mutable std::atomic<std::uint64_t> truncations_{0};
+  /// Match count of the last `matches_at` call (reserve hint).
+  mutable std::atomic<std::uint32_t> last_match_count_{8};
 };
 
 }  // namespace dagmap

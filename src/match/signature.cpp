@@ -1,0 +1,163 @@
+#include "match/signature.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "match/matcher.hpp"
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+namespace {
+
+template <typename T>
+T sat_add(T a, std::uint32_t b) {
+  std::uint32_t sum = static_cast<std::uint32_t>(a) + b;
+  constexpr std::uint32_t kMax = std::numeric_limits<T>::max();
+  return static_cast<T>(sum > kMax ? kMax : sum);
+}
+
+// Prepends kind `k` to every tracked sequence of `mask`: the length-l
+// group (bits [2^l, 2^(l+1))) maps into the length-(l+1) group, offset by
+// k * 2^l inside it, dropping sequences already at full length.
+std::uint64_t prepend_kind(std::uint64_t mask, unsigned k) {
+  std::uint64_t out = 0;
+  for (unsigned l = 1; l < kSignaturePathDepth; ++l) {
+    std::uint64_t width = 1ull << l;  // group size == value range
+    std::uint64_t group = (mask >> width) & ((1ull << width) - 1);
+    out |= group << (2 * width + (k ? width : 0));
+  }
+  return out;
+}
+
+// Collects the required kind-sequences of every root path of `pg`,
+// recording each prefix up to kSignaturePathDepth.  `val`/`len` encode
+// the sequence above `p` (root kind at the most significant bit).
+void collect_pattern_paths(const PatternGraph& pg, std::uint32_t p,
+                           std::uint64_t val, unsigned len,
+                           std::uint64_t& mask) {
+  const PatternNode& n = pg.nodes[p];
+  if (n.kind == PatternNode::Kind::Leaf) return;
+  unsigned k = n.kind == PatternNode::Kind::Nand2 ? 1 : 0;
+  val = (val << 1) | k;
+  ++len;
+  mask |= 1ull << ((1ull << len) + val);
+  if (len == kSignaturePathDepth) return;
+  collect_pattern_paths(pg, static_cast<std::uint32_t>(n.fanin0), val, len,
+                        mask);
+  if (n.kind == PatternNode::Kind::Nand2)
+    collect_pattern_paths(pg, static_cast<std::uint32_t>(n.fanin1), val, len,
+                          mask);
+}
+
+}  // namespace
+
+std::vector<NodeSignature> compute_subject_signatures(const Network& subject) {
+  std::vector<NodeSignature> sig(subject.size());
+  for (NodeId n : subject.topo_order()) {
+    NodeSignature& s = sig[n];
+    if (subject.is_source(n)) {
+      s.size_ub = 1;
+      continue;
+    }
+    NodeKind kind = subject.kind(n);
+    DAGMAP_ASSERT_MSG(kind == NodeKind::Inv || kind == NodeKind::Nand2,
+                      "subject signatures require a NAND2/INV subject graph");
+    unsigned k = kind == NodeKind::Nand2 ? 1 : 0;
+    s.depth = 1;
+    s.size_ub = 1;
+    s.inv_ub = k ? 0 : 1;
+    s.nand_ub = k ? 1 : 0;
+    s.paths = 1ull << (2 + k);
+    for (NodeId f : subject.fanins(n)) {
+      const NodeSignature& c = sig[f];
+      s.depth = std::max<std::uint16_t>(s.depth, sat_add(c.depth, 1));
+      s.size_ub = sat_add(s.size_ub, c.size_ub);
+      s.inv_ub = sat_add(s.inv_ub, c.inv_ub);
+      s.nand_ub = sat_add(s.nand_ub, c.nand_ub);
+      s.paths |= prepend_kind(c.paths, k);
+      // Cumulative near counts: within distance d of n = self + within
+      // distance d-1 of each child (multiplicity-summed upper bound).
+      for (unsigned kk = 0; kk < 2; ++kk)
+        for (unsigned d = kSignatureNearDepth; d-- > 1;)
+          s.near[kk][d] = sat_add(s.near[kk][d], c.near[kk][d - 1]);
+    }
+    for (unsigned d = 0; d < kSignatureNearDepth; ++d)
+      s.near[k][d] = sat_add(s.near[k][d], 1u);
+  }
+  return sig;
+}
+
+PatternSignature compute_pattern_signature(const PatternGraph& pg) {
+  PatternSignature s;
+  s.total = static_cast<std::uint16_t>(
+      std::min<std::size_t>(pg.nodes.size(), 0xFFFF));
+
+  // Internal depth below each node (leaves count 0), bottom-up: nodes are
+  // stored children-before-parents.
+  std::vector<std::uint16_t> depth(pg.nodes.size(), 0);
+  for (std::uint32_t i = 0; i < pg.nodes.size(); ++i) {
+    const PatternNode& n = pg.nodes[i];
+    switch (n.kind) {
+      case PatternNode::Kind::Leaf:
+        break;
+      case PatternNode::Kind::Inv:
+        depth[i] = sat_add(depth[n.fanin0], 1);
+        s.inv_count = sat_add(s.inv_count, 1u);
+        break;
+      case PatternNode::Kind::Nand2:
+        depth[i] = sat_add(std::max(depth[n.fanin0], depth[n.fanin1]), 1);
+        s.nand_count = sat_add(s.nand_count, 1u);
+        break;
+    }
+  }
+  s.depth = depth[pg.root];
+
+  // Exact distinct per-kind counts within distance d of the root: BFS by
+  // distance, counting each node at its minimum distance only.
+  std::vector<std::uint8_t> dist(pg.nodes.size(), 0xFF);
+  std::vector<std::uint32_t> frontier{pg.root}, next;
+  dist[pg.root] = 0;
+  for (unsigned d = 0; d < kSignatureNearDepth && !frontier.empty(); ++d) {
+    for (std::uint32_t p : frontier) {
+      const PatternNode& n = pg.nodes[p];
+      if (n.kind == PatternNode::Kind::Leaf) continue;
+      unsigned k = n.kind == PatternNode::Kind::Nand2 ? 1 : 0;
+      for (unsigned dd = d; dd < kSignatureNearDepth; ++dd)
+        s.near[k][dd] = sat_add(s.near[k][dd], 1u);
+      auto visit = [&](std::int32_t child) {
+        auto c = static_cast<std::uint32_t>(child);
+        if (dist[c] == 0xFF) {
+          dist[c] = static_cast<std::uint8_t>(d + 1);
+          next.push_back(c);
+        }
+      };
+      visit(n.fanin0);
+      if (n.kind == PatternNode::Kind::Nand2) visit(n.fanin1);
+    }
+    frontier.swap(next);
+    next.clear();
+  }
+
+  collect_pattern_paths(pg, pg.root, 0, 0, s.paths);
+  return s;
+}
+
+bool signature_admits(const PatternSignature& p, const NodeSignature& s,
+                      MatchClass mc) {
+  // Sound for every match class: paths and chains embed 1:1 even when
+  // node bindings repeat (the subject is acyclic, so a pattern path maps
+  // to a genuine downward subject path).
+  if (p.depth > s.depth) return false;
+  if ((p.paths & ~s.paths) != 0) return false;
+  if (mc == MatchClass::Extended) return true;
+  // One-to-one classes only: injective node counting.
+  if (p.inv_count > s.inv_ub || p.nand_count > s.nand_ub) return false;
+  if (p.total > s.size_ub) return false;
+  for (unsigned k = 0; k < 2; ++k)
+    for (unsigned d = 0; d < kSignatureNearDepth; ++d)
+      if (p.near[k][d] > s.near[k][d]) return false;
+  return true;
+}
+
+}  // namespace dagmap

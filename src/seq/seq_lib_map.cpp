@@ -120,7 +120,7 @@ ExpandedMatches enumerate_expanded_matches(const Network& subject,
     NodeId root = ex_id[v][0];
     if (ex.is_source(root)) continue;  // degraded replica (cannot happen at j=0
                                        // unless a fanin chain exceeds J)
-    matcher.for_each_match(root, options.match_class, [&](const Match& m) {
+    matcher.for_each_match(root, options.match_class, [&](const MatchView& m) {
       ExpMatch em;
       em.gate = m.gate;
       em.leaves.reserve(m.pin_binding.size());

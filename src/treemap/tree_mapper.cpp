@@ -38,7 +38,7 @@ MapResult tree_map(const Network& subject, const GateLibrary& lib,
     if (subject.is_source(n)) continue;
     double best = kInf;
     double tie = kInf;
-    matcher.for_each_match(n, MatchClass::Exact, [&](const Match& m) {
+    matcher.for_each_match(n, MatchClass::Exact, [&](const MatchView& m) {
       ++result.matches_enumerated;
       double cost;
       if (options.objective == TreeMapObjective::Delay) {
@@ -58,7 +58,7 @@ MapResult tree_map(const Network& subject, const GateLibrary& lib,
           (cost < best + options.epsilon && second < tie)) {
         best = cost;
         tie = second;
-        chosen[n] = m;
+        chosen[n] = Match(m);
       }
     });
     DAGMAP_ASSERT_MSG(chosen[n].has_value(),

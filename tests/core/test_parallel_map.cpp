@@ -1,0 +1,130 @@
+// Parallel wavefront labeling: thread-count invariance of dag_map, and
+// the ThreadPool primitive itself.  This binary carries the `tsan` CTest
+// label; build with -DDAGMAP_SANITIZE=thread and run `ctest -L tsan` to
+// exercise the parallel labeler under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/dag_mapper.hpp"
+#include "core/parallel.hpp"
+#include "decomp/tech_decomp.hpp"
+#include "gen/circuits.hpp"
+#include "library/standard_libs.hpp"
+#include "treemap/tree_mapper.hpp"
+
+namespace dagmap {
+namespace {
+
+// ---- ThreadPool ---------------------------------------------------------
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(hits.size(), [&](std::size_t i, unsigned) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  std::atomic<std::int64_t> sum{0};
+  for (int job = 0; job < 50; ++job)
+    pool.parallel_for(10, [&](std::size_t i, unsigned) {
+      sum.fetch_add(static_cast<std::int64_t>(i), std::memory_order_relaxed);
+    });
+  EXPECT_EQ(sum.load(), 50 * 45);
+}
+
+TEST(ThreadPool, PropagatesBodyException) {
+  for (unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.parallel_for(100,
+                          [&](std::size_t i, unsigned) {
+                            if (i == 37) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+    // The pool survives a throwing job.
+    std::atomic<int> ran{0};
+    pool.parallel_for(8, [&](std::size_t, unsigned) { ++ran; });
+    EXPECT_EQ(ran.load(), 8);
+  }
+}
+
+TEST(ThreadPool, ResolveNumThreads) {
+  EXPECT_EQ(resolve_num_threads(1), 1u);
+  EXPECT_EQ(resolve_num_threads(7), 7u);
+  EXPECT_GE(resolve_num_threads(0), 1u);  // hardware concurrency
+}
+
+// ---- dag_map thread-count invariance ------------------------------------
+
+void expect_identical_maps(const Network& subject, const GateLibrary& lib,
+                           DagMapOptions base) {
+  base.num_threads = 1;
+  MapResult seq = dag_map(subject, lib, base);
+  for (unsigned threads : {2u, 8u}) {
+    DagMapOptions o = base;
+    o.num_threads = threads;
+    MapResult par = dag_map(subject, lib, o);
+    // Bit-identical labels and delay.
+    ASSERT_EQ(par.label.size(), seq.label.size());
+    for (std::size_t i = 0; i < seq.label.size(); ++i)
+      EXPECT_EQ(par.label[i], seq.label[i]) << "label of node " << i;
+    EXPECT_EQ(par.optimal_delay, seq.optimal_delay);
+    // Identical selected gates: same netlist size, area, and histogram.
+    EXPECT_EQ(par.netlist.num_gates(), seq.netlist.num_gates());
+    EXPECT_EQ(par.netlist.total_area(), seq.netlist.total_area());
+    EXPECT_EQ(par.netlist.gate_histogram(), seq.netlist.gate_histogram());
+    // Identical work: the same matches were enumerated.
+    EXPECT_EQ(par.matches_enumerated, seq.matches_enumerated);
+    EXPECT_EQ(par.match_attempts, seq.match_attempts);
+    EXPECT_EQ(par.match_prunes, seq.match_prunes);
+  }
+}
+
+TEST(ParallelDagMap, DeterministicAcrossThreadCountsOnSuite) {
+  GateLibrary lib = make_lib2_library();
+  for (const BenchmarkCircuit& bc : make_small_suite()) {
+    Network subject = tech_decompose(bc.network);
+    expect_identical_maps(subject, lib, {});
+  }
+}
+
+TEST(ParallelDagMap, DeterministicWithRichLibrary) {
+  GateLibrary lib = make_44_library(2);
+  Network subject = tech_decompose(make_array_multiplier(6));
+  expect_identical_maps(subject, lib, {});
+}
+
+TEST(ParallelDagMap, DeterministicWithExtendedMatchesAndAreaRecovery) {
+  GateLibrary lib = make_lib2_library();
+  Network subject = tech_decompose(make_alu(8));
+  DagMapOptions o;
+  o.match_class = MatchClass::Extended;
+  expect_identical_maps(subject, lib, o);
+  DagMapOptions ar;
+  ar.area_recovery = true;
+  expect_identical_maps(subject, lib, ar);
+}
+
+TEST(ParallelDagMap, ParallelResultIsEquivalentAndOptimal) {
+  // The parallel path must keep the mapper's semantic guarantees, not
+  // just match the sequential one: verify against the tree mapper bound.
+  GateLibrary lib = make_lib2_library();
+  Network subject = tech_decompose(make_comparator(8));
+  DagMapOptions o;
+  o.num_threads = 4;
+  MapResult dag = dag_map(subject, lib, o);
+  MapResult tree = tree_map(subject, lib);
+  EXPECT_LE(dag.optimal_delay, tree.optimal_delay + 1e-9);
+}
+
+}  // namespace
+}  // namespace dagmap

@@ -8,6 +8,8 @@
 //   --lib44 <1|2|3>           use a built-in 44-family library instead
 //   --mapper <dag|tree|choice> covering algorithm   (default: dag)
 //   --match <standard|extended>                     (default: standard)
+//   --threads <n>             labeling worker threads (0 = all cores,
+//                             default 1; output is identical either way)
 //   --area-recovery           enable required-time area recovery
 //   --buffer <branch>         post-mapping balanced buffer trees (0 = off)
 //   --lt-buffer               post-mapping Touati LT-tree buffering
@@ -43,6 +45,7 @@ struct CliOptions {
   int lib44 = 0;
   std::string mapper = "dag";
   std::string match = "standard";
+  unsigned threads = 1;
   bool area_recovery = false;
   unsigned buffer_branch = 0;
   bool lt_buffer = false;
@@ -59,8 +62,8 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: dagmap_cli [--library F.genlib | --lib44 N] "
                "[--mapper dag|tree|choice] [--match standard|extended] "
-               "[--area-recovery] [--buffer N] [--retime] [--lut K] "
-               "[--out F] [--no-verify] circuit.blif\n");
+               "[--threads N] [--area-recovery] [--buffer N] [--retime] "
+               "[--lut K] [--out F] [--no-verify] circuit.blif\n");
   std::exit(2);
 }
 
@@ -76,6 +79,7 @@ CliOptions parse_args(int argc, char** argv) {
     else if (a == "--lib44") o.lib44 = std::stoi(next());
     else if (a == "--mapper") o.mapper = next();
     else if (a == "--match") o.match = next();
+    else if (a == "--threads") o.threads = std::stoul(next());
     else if (a == "--area-recovery") o.area_recovery = true;
     else if (a == "--buffer") o.buffer_branch = std::stoul(next());
     else if (a == "--lt-buffer") o.lt_buffer = true;
@@ -132,6 +136,7 @@ int main(int argc, char** argv) try {
 
   DagMapOptions mopt;
   mopt.area_recovery = opt.area_recovery;
+  mopt.num_threads = opt.threads;
   if (opt.match == "extended") mopt.match_class = MatchClass::Extended;
   else if (opt.match != "standard") usage("bad --match value");
 

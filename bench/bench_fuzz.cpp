@@ -1,0 +1,73 @@
+// bench_fuzz — throughput of the metamorphic fuzz harness.
+//
+// Measures how many full pipeline instances per second the harness
+// sustains, split by invariant group: the cheap structural invariants
+// (equivalence, tree-vs-dag, extended-vs-standard, thread determinism)
+// and the exhaustive reference oracle.  This bounds how much coverage a
+// fixed CI budget buys, and successive PRs can track regressions in a
+// BENCH_fuzz.json trajectory:
+//
+//   {"bench": "fuzz", "config": ..., "instances": ..., "violations": ...,
+//    "oracle_checked": ..., "seconds": ..., "instances_per_sec": ...}
+//
+// Exits nonzero if any instance reports a violation (the benchmark
+// doubles as a smoke sweep).
+//
+// Usage: bench_fuzz [instances]   (default 400)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "check/fuzz_pipeline.hpp"
+
+using namespace dagmap;
+
+namespace {
+
+struct Config {
+  const char* name;
+  unsigned invariants;
+};
+
+int run(const Config& cfg, std::uint64_t first_seed, int instances) {
+  FuzzOptions opt;
+  opt.invariants = cfg.invariants;
+  int violations = 0;
+  std::size_t oracle_checked = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < instances; ++i) {
+    FuzzReport r = run_fuzz_seed(first_seed + i, opt);
+    if (!r.ok) ++violations;
+    if (r.oracle_checked) ++oracle_checked;
+  }
+  double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf(
+      "{\"bench\": \"fuzz\", \"config\": \"%s\", \"instances\": %d, "
+      "\"violations\": %d, \"oracle_checked\": %zu, \"seconds\": %.3f, "
+      "\"instances_per_sec\": %.1f}\n",
+      cfg.name, instances, violations, oracle_checked, secs,
+      instances / (secs > 0 ? secs : 1e-9));
+  return violations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int instances = argc > 1 ? std::atoi(argv[1]) : 400;
+  if (instances <= 0) {
+    std::fprintf(stderr, "usage: bench_fuzz [instances]\n");
+    return 2;
+  }
+  const Config configs[] = {
+      {"structural", kFuzzAllInvariants & ~kFuzzOracleOptimality},
+      {"oracle", kFuzzOracleOptimality},
+      {"full", kFuzzAllInvariants},
+  };
+  int violations = 0;
+  for (const Config& cfg : configs)
+    violations += run(cfg, /*first_seed=*/1'000'000, instances);
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,176 @@
+#include "check/fuzz_pipeline.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "check/reference_cover.hpp"
+#include "core/dag_mapper.hpp"
+#include "decomp/tech_decomp.hpp"
+#include "gen/circuits.hpp"
+#include "gen/libraries.hpp"
+#include "mapnet/write.hpp"
+#include "sim/simulator.hpp"
+#include "treemap/tree_mapper.hpp"
+
+namespace dagmap {
+
+namespace {
+
+// Seed splitter: decorrelates the circuit and library streams so that
+// nearby seeds do not share structure.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t x = seed + salt * 0x9E3779B97F4A7C15ull;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+unsigned pick(std::uint64_t bits, unsigned lo, unsigned hi) {
+  return lo + static_cast<unsigned>(bits % (hi - lo + 1));
+}
+
+constexpr double kEps = 1e-6;
+
+}  // namespace
+
+FuzzInstance make_fuzz_instance(std::uint64_t seed,
+                                const FuzzOptions& options) {
+  unsigned num_inputs =
+      pick(mix(seed, 1), options.min_inputs, options.max_inputs);
+  unsigned num_nodes = pick(mix(seed, 2), options.min_nodes, options.max_nodes);
+  unsigned num_outputs =
+      pick(mix(seed, 3), options.min_outputs, options.max_outputs);
+  Network circuit =
+      make_random_dag(num_inputs, num_nodes, num_outputs, mix(seed, 4));
+  circuit.set_name("fuzz" + std::to_string(seed));
+
+  unsigned n_gates = pick(mix(seed, 5), options.min_gates, options.max_gates);
+  unsigned max_in = pick(mix(seed, 6), 2, options.max_gate_inputs);
+  std::string library_text = make_random_genlib(mix(seed, 7), n_gates, max_in);
+  GateLibrary library = GateLibrary::from_genlib_text(
+      library_text, "fuzz" + std::to_string(seed));
+  return FuzzInstance{seed, std::move(circuit), std::move(library_text),
+                      std::move(library)};
+}
+
+std::string FuzzReport::to_string() const {
+  std::ostringstream out;
+  out << "seed " << seed << ": "
+      << (ok ? "ok" : std::to_string(violations.size()) + " violation(s)")
+      << " (subject " << subject_nodes << " nodes, oracle "
+      << (oracle_checked ? "checked" : "skipped") << ")";
+  for (const FuzzViolation& v : violations)
+    out << "\n  [" << v.invariant << "] " << v.detail;
+  return out.str();
+}
+
+FuzzReport run_fuzz_instance(const FuzzInstance& instance,
+                             const FuzzOptions& options) {
+  FuzzReport report;
+  report.seed = instance.seed;
+  auto fail = [&](std::string invariant, std::string detail) {
+    report.ok = false;
+    report.violations.push_back({std::move(invariant), std::move(detail)});
+  };
+
+  Network subject = tech_decompose(instance.circuit);
+  report.subject_nodes = subject.size();
+  const GateLibrary& lib = instance.library;
+
+  if (options.invariants & kFuzzEquivalence) {
+    EquivalenceResult d = check_equivalence(instance.circuit, subject);
+    if (!d.equivalent)
+      fail("Equivalence", "tech_decompose broke the circuit: output " +
+                              std::to_string(d.failing_output) + " cex " +
+                              d.counterexample_hex());
+  }
+
+  // Fast mapper, both match classes, sequential labeling.
+  MapResult std_map = dag_map(subject, lib, {.match_class = MatchClass::Standard});
+  MapResult ext_map = dag_map(subject, lib, {.match_class = MatchClass::Extended});
+
+  if (options.invariants & kFuzzEquivalence) {
+    for (const auto* r : {&std_map, &ext_map}) {
+      EquivalenceResult e = check_equivalence(subject, r->netlist.to_network());
+      if (!e.equivalent)
+        fail("Equivalence",
+             std::string(r == &std_map ? "standard" : "extended") +
+                 " cover differs from subject: output " +
+                 std::to_string(e.failing_output) + " cex " +
+                 e.counterexample_hex());
+    }
+  }
+
+  if (options.invariants & kFuzzOracleOptimality) {
+    bool truncated = std_map.truncations > 0 || ext_map.truncations > 0;
+    if (subject.num_internal() <= options.oracle_max_internal && !truncated) {
+      report.oracle_checked = true;
+      for (MatchClass mc : {MatchClass::Standard, MatchClass::Extended}) {
+        const MapResult& fast = mc == MatchClass::Standard ? std_map : ext_map;
+        std::vector<double> fast_label = fast.label;
+        if (options.inject_label_bug) {
+          for (NodeId n = 0; n < subject.size(); ++n)
+            if (subject.kind(n) == NodeKind::Inv) fast_label[n] += 0.25;
+        }
+        ReferenceLabels ref =
+            reference_labels(subject, lib, mc, options.oracle_max_internal);
+        for (NodeId n = 0; n < subject.size(); ++n) {
+          if (std::abs(fast_label[n] - ref.label[n]) > kEps) {
+            fail("OracleOptimality",
+                 std::string(to_string(mc)) + " label of node " +
+                     std::to_string(n) + " is " +
+                     std::to_string(fast_label[n]) + ", oracle says " +
+                     std::to_string(ref.label[n]));
+            break;  // one per class keeps reports readable
+          }
+        }
+      }
+    }
+  }
+
+  if (options.invariants & kFuzzTreeVsDag) {
+    MapResult tree = tree_map(subject, lib);
+    if (tree.optimal_delay < std_map.optimal_delay - kEps)
+      fail("TreeVsDag", "tree delay " + std::to_string(tree.optimal_delay) +
+                            " beats DAG delay " +
+                            std::to_string(std_map.optimal_delay));
+  }
+
+  if (options.invariants & kFuzzExtendedVsStandard) {
+    if (ext_map.optimal_delay > std_map.optimal_delay + kEps)
+      fail("ExtendedVsStandard",
+           "extended delay " + std::to_string(ext_map.optimal_delay) +
+               " worse than standard delay " +
+               std::to_string(std_map.optimal_delay));
+  }
+
+  if (options.invariants & kFuzzThreadDeterminism) {
+    std::string blif1 = write_mapped_blif(std_map.netlist);
+    for (unsigned threads : {2u, 0u}) {
+      MapResult r = dag_map(subject, lib,
+                            {.match_class = MatchClass::Standard,
+                             .num_threads = threads});
+      if (r.label != std_map.label) {
+        fail("ThreadDeterminism",
+             "labels differ between num_threads=1 and num_threads=" +
+                 std::to_string(threads));
+        continue;
+      }
+      if (write_mapped_blif(r.netlist) != blif1)
+        fail("ThreadDeterminism",
+             "mapped netlist differs between num_threads=1 and num_threads=" +
+                 std::to_string(threads));
+    }
+  }
+
+  return report;
+}
+
+FuzzReport run_fuzz_seed(std::uint64_t seed, const FuzzOptions& options) {
+  return run_fuzz_instance(make_fuzz_instance(seed, options), options);
+}
+
+}  // namespace dagmap

@@ -1,0 +1,226 @@
+#include "check/reference_cover.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+namespace {
+
+// Structural+cost signature of each pattern subtree, written out as a
+// string (the reference favors obviousness over speed).  Two NAND
+// children with equal signatures have the same shape and the same pin
+// delays position-for-position, so swapping them maps every binding onto
+// an equal-cost binding of the same pins: the two child orders denote
+// the SAME match.  The binder tries only one order for such children —
+// a semantic identification of automorphic bindings, not a heuristic.
+std::vector<std::string> subtree_signatures(const PatternGraph& pg,
+                                            const Gate& gate) {
+  std::vector<std::string> sig(pg.nodes.size());
+  for (std::size_t i = 0; i < pg.nodes.size(); ++i) {
+    const PatternNode& n = pg.nodes[i];
+    switch (n.kind) {
+      case PatternNode::Kind::Leaf:
+        sig[i] = "L" + std::to_string(gate.pins[n.pin].delay());
+        break;
+      case PatternNode::Kind::Inv:
+        sig[i] = "I(" + sig[n.fanin0] + ")";
+        break;
+      case PatternNode::Kind::Nand2: {
+        const std::string& a = sig[n.fanin0];
+        const std::string& b = sig[n.fanin1];
+        sig[i] = a <= b ? "N(" + a + "," + b + ")" : "N(" + b + "," + a + ")";
+        break;
+      }
+    }
+  }
+  return sig;
+}
+
+// Plain recursive binder of one pattern against the subject.  `bind`
+// maps pattern-node index -> subject node (kNullNode = unbound).  The
+// walk starts at the pattern root, binds each pattern node the first
+// time it is reached, checks consistency on every later visit of a
+// shared node, and tries both child orders of every NAND except when
+// the children are automorphic (equal subtree signature) — no budget.
+struct ReferenceBinder {
+  const Network& subject;
+  const PatternGraph& pg;
+  std::vector<std::string> sig;
+  std::vector<NodeId> bind;
+  // (pattern child, subject child) pairs still to process.
+  std::vector<std::pair<std::uint32_t, NodeId>> agenda;
+  const std::function<void(const std::vector<NodeId>&)>& emit;
+
+  ReferenceBinder(const Network& s, const PatternGraph& p, const Gate& g,
+                  const std::function<void(const std::vector<NodeId>&)>& e)
+      : subject(s),
+        pg(p),
+        sig(subtree_signatures(p, g)),
+        bind(p.nodes.size(), kNullNode),
+        emit(e) {}
+
+  void step() {
+    if (agenda.empty()) {
+      emit(bind);
+      return;
+    }
+    auto [p, s] = agenda.back();
+    agenda.pop_back();
+
+    if (bind[p] != kNullNode) {
+      // Shared pattern node reached again: the binding must agree.
+      if (bind[p] == s) step();
+      agenda.emplace_back(p, s);
+      return;
+    }
+
+    const PatternNode& pn = pg.nodes[p];
+    switch (pn.kind) {
+      case PatternNode::Kind::Leaf:
+        // A leaf binds to anything: it is a match input.
+        bind[p] = s;
+        step();
+        bind[p] = kNullNode;
+        break;
+      case PatternNode::Kind::Inv:
+        if (subject.kind(s) == NodeKind::Inv) {
+          bind[p] = s;
+          agenda.emplace_back(static_cast<std::uint32_t>(pn.fanin0),
+                              subject.fanins(s)[0]);
+          step();
+          agenda.pop_back();
+          bind[p] = kNullNode;
+        }
+        break;
+      case PatternNode::Kind::Nand2:
+        if (subject.kind(s) == NodeKind::Nand2) {
+          bind[p] = s;
+          NodeId s0 = subject.fanins(s)[0], s1 = subject.fanins(s)[1];
+          auto p0 = static_cast<std::uint32_t>(pn.fanin0);
+          auto p1 = static_cast<std::uint32_t>(pn.fanin1);
+          // Both pairings, unless they would denote the same match.
+          int orders = sig[p0] == sig[p1] ? 1 : 2;
+          for (int order = 0; order < orders; ++order) {
+            agenda.emplace_back(p0, order ? s1 : s0);
+            agenda.emplace_back(p1, order ? s0 : s1);
+            step();
+            agenda.pop_back();
+            agenda.pop_back();
+          }
+          bind[p] = kNullNode;
+        }
+        break;
+    }
+    agenda.emplace_back(p, s);
+  }
+
+  void run(NodeId root) {
+    agenda.emplace_back(pg.root, root);
+    step();
+  }
+};
+
+}  // namespace
+
+std::vector<Match> reference_matches_at(const Network& subject,
+                                        const GateLibrary& lib, NodeId root,
+                                        MatchClass mc) {
+  NodeKind rk = subject.kind(root);
+  DAGMAP_ASSERT_MSG(rk == NodeKind::Nand2 || rk == NodeKind::Inv,
+                    "matching roots must be internal subject nodes");
+
+  std::vector<Match> out;
+  // Dedup on (gate, pin binding), the production matcher's identity.
+  std::map<std::pair<const Gate*, std::vector<NodeId>>, bool> seen;
+
+  for (const Gate& gate : lib.gates()) {
+    for (const PatternGraph& pg : gate.patterns) {
+      // Root kinds must agree or no binding exists; skipping is purely an
+      // optimization (the walk would fail on its first step).
+      if ((pg.nodes[pg.root].kind == PatternNode::Kind::Inv) !=
+          (rk == NodeKind::Inv))
+        continue;
+
+      std::function<void(const std::vector<NodeId>&)> emit =
+          [&](const std::vector<NodeId>& bind) {
+            // Definition 1/2: the pattern-node -> subject-node map is
+            // one-to-one (over all pattern nodes, leaves included).
+            if (mc != MatchClass::Extended) {
+              std::vector<NodeId> sorted(bind);
+              std::sort(sorted.begin(), sorted.end());
+              if (std::adjacent_find(sorted.begin(), sorted.end()) !=
+                  sorted.end())
+                return;
+            }
+            Match m;
+            m.gate = &gate;
+            m.pattern = &pg;
+            m.pin_binding.assign(gate.num_inputs(), kNullNode);
+            for (std::uint32_t p = 0; p < pg.nodes.size(); ++p) {
+              const PatternNode& pn = pg.nodes[p];
+              if (pn.kind == PatternNode::Kind::Leaf)
+                m.pin_binding[pn.pin] = bind[p];
+              else
+                m.covered.push_back(bind[p]);
+            }
+            // Definition 2 condition 3 (Exact): covered non-root nodes'
+            // subject fanout must be entirely inside the match.
+            if (mc == MatchClass::Exact) {
+              auto out_deg = pg.out_degrees();
+              auto fanout = subject.fanout_counts();
+              for (std::uint32_t p = 0; p < pg.nodes.size(); ++p) {
+                if (p == pg.root ||
+                    pg.nodes[p].kind == PatternNode::Kind::Leaf)
+                  continue;
+                if (fanout[bind[p]] != out_deg[p]) return;
+              }
+            }
+            if (!seen.emplace(std::make_pair(&gate, m.pin_binding), true)
+                     .second)
+              return;
+            out.push_back(std::move(m));
+          };
+      ReferenceBinder binder(subject, pg, gate, emit);
+      binder.run(root);
+    }
+  }
+  return out;
+}
+
+ReferenceLabels reference_labels(const Network& subject,
+                                 const GateLibrary& lib, MatchClass mc,
+                                 std::size_t max_internal) {
+  DAGMAP_ASSERT_MSG(subject.is_subject_graph(),
+                    "reference_labels requires a NAND2/INV subject graph");
+  DAGMAP_ASSERT_MSG(subject.num_internal() <= max_internal,
+                    "subject too large for the reference oracle");
+
+  ReferenceLabels result;
+  result.label.assign(subject.size(), 0.0);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  for (NodeId n : subject.topo_order()) {
+    if (subject.is_source(n)) continue;
+    double best = kInf;
+    for (const Match& m : reference_matches_at(subject, lib, n, mc))
+      best = std::min(best, match_arrival(m, result.label));
+    DAGMAP_ASSERT_MSG(best < kInf, "no reference match at an internal node");
+    result.label[n] = best;
+  }
+
+  for (const Output& o : subject.outputs())
+    result.optimal_delay = std::max(result.optimal_delay, result.label[o.node]);
+  for (NodeId l : subject.latches())
+    result.optimal_delay =
+        std::max(result.optimal_delay, result.label[subject.fanins(l)[0]]);
+  return result;
+}
+
+}  // namespace dagmap

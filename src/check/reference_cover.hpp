@@ -1,0 +1,57 @@
+// Reference delay-optimality oracle for the DAG mapper.
+//
+// The paper's claim (§3) is that the labeling pass computes, at every
+// subject node, the *minimum* arrival achievable by any cover of the
+// node's cone with gates of the given match class.  Because a match's
+// leaves are strict transitive fanins of its root, that minimum satisfies
+// the Bellman recursion
+//
+//     ref(n) = min over matches M at n of
+//              max over pins x of M (ref(leaf(x)) + pin_delay(M, x))
+//
+// and is therefore computable exactly — *provided every match is on the
+// table*.  This module re-derives the match sets with a deliberately
+// naive matcher: a from-scratch recursive pattern walk with no signature
+// index, no symmetry pruning, no enumeration budget and no shared arena,
+// sharing no code with `match/matcher.cpp` beyond the pattern/Match data
+// types.  Exhaustiveness is easy to audit here (try both child orders of
+// every NAND, always), so the labels it produces are delay-optimal by
+// construction and serve as an oracle for the fast mapper on small
+// subject graphs (the walk is exponential in pattern size per root —
+// fine for fuzz-sized instances, not for benchmarks).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "library/gate_library.hpp"
+#include "match/matcher.hpp"
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+/// All matches of library gates rooted at `root`, enumerated by the
+/// brute-force reference walk.  Same deduplication semantics as
+/// `Matcher::for_each_match` (one match per distinct (gate, pin-binding)),
+/// so the result is set-comparable against the production matcher.
+std::vector<Match> reference_matches_at(const Network& subject,
+                                        const GateLibrary& lib, NodeId root,
+                                        MatchClass mc);
+
+/// Reference labeling result.
+struct ReferenceLabels {
+  /// Minimum achievable arrival of every subject node (0 for sources).
+  std::vector<double> label;
+  /// Worst endpoint label == minimum achievable circuit delay.
+  double optimal_delay = 0.0;
+};
+
+/// Provably delay-optimal arrival labels of `subject` under `lib` and
+/// match class `mc`, by exhaustive match enumeration + the Bellman
+/// recursion.  Refuses subjects with more than `max_internal` internal
+/// nodes (the walk is for oracle-sized instances only).
+ReferenceLabels reference_labels(const Network& subject,
+                                 const GateLibrary& lib, MatchClass mc,
+                                 std::size_t max_internal = 256);
+
+}  // namespace dagmap

@@ -1,0 +1,177 @@
+#include "check/shrink.hpp"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "io/genlib.hpp"
+#include "library/gate_library.hpp"
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+namespace {
+
+// Rebuilds `net` with `substitute` applied (uses of key nodes re-point at
+// their value node, chains followed) and output `drop_output` removed
+// (kNullNode-index = keep all).  Dead logic and unused PIs are dropped,
+// so every accepted reduction shrinks the node count monotonically.
+Network rebuild(const Network& net,
+                const std::unordered_map<NodeId, NodeId>& substitute,
+                std::size_t drop_output) {
+  auto resolve = [&](NodeId id) {
+    auto it = substitute.find(id);
+    while (it != substitute.end()) {
+      id = it->second;
+      it = substitute.find(id);
+    }
+    return id;
+  };
+
+  // Liveness from the kept outputs through resolved fanins.
+  std::vector<bool> live(net.size(), false);
+  std::vector<NodeId> stack;
+  auto mark = [&](NodeId id) {
+    id = resolve(id);
+    if (!live[id]) {
+      live[id] = true;
+      stack.push_back(id);
+    }
+  };
+  for (std::size_t i = 0; i < net.num_outputs(); ++i)
+    if (i != drop_output) mark(net.outputs()[i].node);
+  while (!stack.empty()) {
+    NodeId id = stack.back();
+    stack.pop_back();
+    for (NodeId f : net.fanins(id)) mark(f);
+  }
+
+  Network out(net.name());
+  std::vector<NodeId> remap(net.size(), kNullNode);
+  for (NodeId id : net.topo_order()) {
+    if (!live[id] || resolve(id) != id) continue;
+    const Node& n = net.node(id);
+    switch (n.kind) {
+      case NodeKind::PrimaryInput:
+        remap[id] = out.add_input(n.name);
+        break;
+      case NodeKind::Const0:
+      case NodeKind::Const1:
+        remap[id] = out.add_constant(n.kind == NodeKind::Const1);
+        break;
+      case NodeKind::Inv:
+        remap[id] = out.add_inv(remap[resolve(n.fanins[0])], n.name);
+        break;
+      case NodeKind::Nand2:
+        remap[id] = out.add_nand2(remap[resolve(n.fanins[0])],
+                                  remap[resolve(n.fanins[1])], n.name);
+        break;
+      case NodeKind::Logic: {
+        std::vector<NodeId> fanins;
+        for (NodeId f : n.fanins) fanins.push_back(remap[resolve(f)]);
+        remap[id] = out.add_logic(std::move(fanins), n.function, n.name);
+        break;
+      }
+      case NodeKind::Latch:
+        DAGMAP_ASSERT_MSG(false, "shrinker handles combinational circuits");
+        break;
+    }
+  }
+  for (std::size_t i = 0; i < net.num_outputs(); ++i) {
+    if (i == drop_output) continue;
+    const Output& o = net.outputs()[i];
+    out.add_output(remap[resolve(o.node)], o.name);
+  }
+  return out;
+}
+
+constexpr std::size_t kKeepAllOutputs = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+ShrinkResult shrink_instance(const Network& circuit,
+                             const std::string& library_text,
+                             const FuzzFailPredicate& still_fails,
+                             unsigned max_probes) {
+  DAGMAP_ASSERT_MSG(circuit.num_latches() == 0,
+                    "shrinker handles combinational circuits");
+  DAGMAP_ASSERT_MSG(still_fails(circuit, library_text),
+                    "shrink_instance needs a failing instance to start from");
+
+  ShrinkResult result;
+  result.library_text = library_text;
+  result.initial_nodes = circuit.size();
+  std::vector<GenlibGate> gates = parse_genlib(library_text);
+  result.initial_gates = gates.size();
+
+  auto probe = [&](const Network& c, const std::string& l) {
+    ++result.probes;
+    return still_fails(c, l);
+  };
+  auto budget_left = [&] { return result.probes < max_probes; };
+
+  // Normalize (drops dead logic and unused PIs) if that alone keeps the
+  // failure alive; otherwise start from the instance as given.
+  Network normalized = rebuild(circuit, {}, kKeepAllOutputs);
+  result.circuit =
+      probe(normalized, library_text) ? std::move(normalized) : circuit;
+
+  bool changed = true;
+  while (changed && budget_left()) {
+    changed = false;
+
+    // 1. Drop outputs (largest reductions first: whole cones die).
+    for (std::size_t i = 0;
+         result.circuit.num_outputs() > 1 && i < result.circuit.num_outputs();
+         ++i) {
+      if (!budget_left()) break;
+      Network candidate = rebuild(result.circuit, {}, i);
+      if (probe(candidate, result.library_text)) {
+        result.circuit = std::move(candidate);
+        changed = true;
+        i = static_cast<std::size_t>(-1);  // restart over the new outputs
+      }
+    }
+
+    // 2. Collapse internal nodes onto one of their fanins.
+    for (NodeId n = 0; n < result.circuit.size(); ++n) {
+      if (result.circuit.is_source(n)) continue;
+      for (std::size_t f = 0; f < result.circuit.fanins(n).size(); ++f) {
+        if (!budget_left()) break;
+        Network candidate = rebuild(
+            result.circuit, {{n, result.circuit.fanins(n)[f]}}, kKeepAllOutputs);
+        if (probe(candidate, result.library_text)) {
+          result.circuit = std::move(candidate);
+          changed = true;
+          break;  // node ids shifted; the outer loop rescans
+        }
+      }
+    }
+
+    // 3. Remove library gates (the library must stay complete).
+    for (std::size_t g = 0; g < gates.size(); ++g) {
+      if (!budget_left()) break;
+      std::vector<GenlibGate> fewer = gates;
+      fewer.erase(fewer.begin() + g);
+      std::string text = write_genlib(fewer);
+      try {
+        if (!GateLibrary::from_genlib_text(text).is_complete_for_mapping())
+          continue;
+      } catch (const std::exception&) {
+        continue;
+      }
+      if (probe(result.circuit, text)) {
+        gates = std::move(fewer);
+        result.library_text = std::move(text);
+        changed = true;
+        --g;
+      }
+    }
+  }
+
+  result.final_nodes = result.circuit.size();
+  result.final_gates = gates.size();
+  return result;
+}
+
+}  // namespace dagmap

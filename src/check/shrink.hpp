@@ -1,0 +1,52 @@
+// Delta-debugging shrinker for fuzz failures.
+//
+// Given a failing (circuit, library) instance and a predicate "does the
+// failure still reproduce?", greedily applies reductions while the
+// predicate holds, to a fixpoint:
+//
+//   * drop a primary output (dead cone and unused PIs go with it);
+//   * replace an internal node by one of its fanins (the local function
+//     collapses to a wire, shortening the cone);
+//   * remove a library gate (keeping the library complete for mapping).
+//
+// The result is a local minimum: no single reduction step keeps the
+// failure alive.  In practice that lands labeling bugs on a handful of
+// nodes and a 3-4 gate library, small enough to debug by hand.  The
+// shrinker only transforms the instance; writing the repro files and the
+// replay command line is the caller's job (tools/dagmap_fuzz.cpp).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+/// "Does this (circuit, GENLIB text) instance still exhibit the
+/// failure?"  Must be deterministic; exceptions should be treated by the
+/// caller-supplied wrapper as it sees fit (crash-is-failure is typical).
+using FuzzFailPredicate =
+    std::function<bool(const Network& circuit, const std::string& library_text)>;
+
+/// Shrink outcome.
+struct ShrinkResult {
+  Network circuit;
+  std::string library_text;
+  std::size_t initial_nodes = 0;  ///< circuit.size() before
+  std::size_t final_nodes = 0;    ///< circuit.size() after
+  std::size_t initial_gates = 0;
+  std::size_t final_gates = 0;
+  unsigned probes = 0;  ///< predicate evaluations spent
+};
+
+/// Minimizes a failing combinational instance.  `still_fails` must hold
+/// for the input pair (asserted).  `max_probes` bounds the total number
+/// of predicate evaluations.
+ShrinkResult shrink_instance(const Network& circuit,
+                             const std::string& library_text,
+                             const FuzzFailPredicate& still_fails,
+                             unsigned max_probes = 4000);
+
+}  // namespace dagmap

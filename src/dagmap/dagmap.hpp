@@ -20,11 +20,15 @@
 //                               mapped.netlist.to_network()); // sim/
 #pragma once
 
+#include "check/fuzz_pipeline.hpp"
+#include "check/reference_cover.hpp"
+#include "check/shrink.hpp"
 #include "core/dag_mapper.hpp"
 #include "decomp/isop.hpp"
 #include "decomp/lowering.hpp"
 #include "decomp/tech_decomp.hpp"
 #include "gen/circuits.hpp"
+#include "gen/libraries.hpp"
 #include "io/blif.hpp"
 #include "io/expr.hpp"
 #include "io/genlib.hpp"

@@ -1,0 +1,111 @@
+#include "gen/libraries.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "io/expr.hpp"
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+namespace {
+
+// Deterministic xorshift (same family as the circuit generators).
+struct Rng {
+  std::uint64_t s;
+  explicit Rng(std::uint64_t seed) : s(seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull) {}
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  std::uint32_t below(std::uint32_t n) {
+    return static_cast<std::uint32_t>(next() % n);
+  }
+  bool chance(std::uint32_t percent) { return below(100) < percent; }
+};
+
+// A random expression using *all* of vars[0..k): start from the literals
+// (randomly complemented), repeatedly fuse 2-3 random operands with a
+// random AND/OR (occasionally negated) until one tree remains.  Every pin
+// appears in the function, which is what GENLIB pin derivation requires.
+Expr random_expr(Rng& rng, unsigned k) {
+  std::vector<Expr> pool;
+  for (unsigned i = 0; i < k; ++i) {
+    Expr v = Expr::make_var(std::string(1, static_cast<char>('a' + i)));
+    pool.push_back(rng.chance(35) ? Expr::make_not(std::move(v)) : std::move(v));
+  }
+  while (pool.size() > 1) {
+    unsigned arity = 2 + (pool.size() > 2 && rng.chance(40) ? 1 : 0);
+    std::vector<Expr> ops;
+    for (unsigned i = 0; i < arity; ++i) {
+      std::uint32_t pick = rng.below(static_cast<std::uint32_t>(pool.size()));
+      ops.push_back(std::move(pool[pick]));
+      pool.erase(pool.begin() + pick);
+    }
+    Expr fused = rng.chance(50) ? Expr::make_and(std::move(ops))
+                                : Expr::make_or(std::move(ops));
+    if (rng.chance(40)) fused = Expr::make_not(std::move(fused));
+    pool.push_back(std::move(fused));
+  }
+  // A bare positive literal would be a buffer (no patterns); make it an
+  // inverter-like gate instead so every generated gate can match.
+  if (pool[0].op == Expr::Op::Var) pool[0] = Expr::make_not(std::move(pool[0]));
+  return std::move(pool[0]);
+}
+
+// 0.05-granular random delay in [lo, hi): short decimals survive the
+// default ostream precision, so the text round-trips bit-exactly.
+double random_delay(Rng& rng, double lo, double hi) {
+  auto steps = static_cast<std::uint32_t>((hi - lo) / 0.05);
+  return lo + 0.05 * rng.below(steps);
+}
+
+}  // namespace
+
+std::string make_random_genlib(std::uint64_t seed, unsigned n_gates,
+                               unsigned max_inputs) {
+  DAGMAP_ASSERT_MSG(n_gates >= 2, "need at least INV and NAND2");
+  DAGMAP_ASSERT_MSG(max_inputs >= 1 && max_inputs <= 6,
+                    "max_inputs must be in [1, 6]");
+  Rng rng(seed);
+
+  std::ostringstream out;
+  out << "# random library seed=" << seed << " gates=" << n_gates
+      << " max_inputs=" << max_inputs << "\n";
+  out << "GATE inv 1 O=!a; PIN * INV 1 999 " << random_delay(rng, 0.5, 1.5)
+      << " 0.1 " << random_delay(rng, 0.5, 1.5) << " 0.1\n";
+  out << "GATE nand2 2 O=!(a*b); PIN * INV 1 999 "
+      << random_delay(rng, 0.8, 1.8) << " 0.15 " << random_delay(rng, 0.8, 1.8)
+      << " 0.15\n";
+
+  for (unsigned g = 2; g < n_gates; ++g) {
+    unsigned k = 1 + rng.below(max_inputs);
+    Expr f = random_expr(rng, k);
+    double area = 1.0 + 0.25 * rng.below(4) + 0.5 * f.size();
+    out << "GATE rg" << g << " " << area << " O=" << to_string(f) << ";\n";
+    if (rng.chance(50)) {
+      // One wildcard PIN line for every pin.
+      out << "  PIN * UNKNOWN 1 999 " << random_delay(rng, 0.6, 3.0) << " 0.2 "
+          << random_delay(rng, 0.6, 3.0) << " 0.2\n";
+    } else {
+      // Named per-pin lines with individually jittered delays.
+      for (const std::string& pin : expr_variables(f)) {
+        out << "  PIN " << pin << " UNKNOWN 1 999 "
+            << random_delay(rng, 0.6, 3.0) << " 0.2 "
+            << random_delay(rng, 0.6, 3.0) << " 0.2\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+GateLibrary make_random_library(std::uint64_t seed, unsigned n_gates,
+                                unsigned max_inputs) {
+  return GateLibrary::from_genlib_text(
+      make_random_genlib(seed, n_gates, max_inputs),
+      "random-" + std::to_string(seed));
+}
+
+}  // namespace dagmap

@@ -1,0 +1,35 @@
+// Random gate-library generator — the library-side counterpart of
+// make_random_dag.
+//
+// Fuzzing the mapper needs variety on *both* axes: random subject graphs
+// and random technologies.  A generated library always contains an
+// inverter and a 2-input NAND (so every NAND2/INV subject graph is
+// coverable, `GateLibrary::is_complete_for_mapping()`), followed by
+// seeded random gates: random negation-sprinkled AND/OR expression trees
+// over up to `max_inputs` pins, with populated area and intrinsic-delay
+// fields.  The output is plain GENLIB text, so generated libraries
+// exercise the same parser/pattern pipeline real libraries do and can be
+// written next to a shrunk BLIF as a self-contained repro.
+//
+// All generation is deterministic in `seed`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "library/gate_library.hpp"
+
+namespace dagmap {
+
+/// Seeded random GENLIB text with `n_gates` gates (n_gates >= 2; the
+/// first two are always INV and NAND2) of at most `max_inputs` inputs
+/// each (1 <= max_inputs <= 6).  Valid input for `parse_genlib`, and
+/// round-trips through parse -> write -> parse unchanged.
+std::string make_random_genlib(std::uint64_t seed, unsigned n_gates,
+                               unsigned max_inputs);
+
+/// The parsed, mapping-ready form of `make_random_genlib`.
+GateLibrary make_random_library(std::uint64_t seed, unsigned n_gates,
+                                unsigned max_inputs);
+
+}  // namespace dagmap

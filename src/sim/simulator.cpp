@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <bit>
+#include <cstdio>
 
 #include "netlist/assert.hpp"
 
@@ -36,6 +37,20 @@ std::uint64_t eval_logic(const TruthTable& f,
 }
 
 }  // namespace
+
+std::string EquivalenceResult::counterexample_hex() const {
+  if (counterexample.empty()) return "0x0";
+  std::string out = "0x";
+  char buf[17];
+  for (std::size_t w = counterexample.size(); w-- > 0;) {
+    bool leading = out.size() == 2;
+    std::snprintf(buf, sizeof buf, leading ? "%llx" : "%016llx",
+                  static_cast<unsigned long long>(counterexample[w]));
+    out += buf;
+    if (w != 0) out += '_';
+  }
+  return out;
+}
 
 std::vector<std::uint64_t> simulate64(
     const Network& net, std::span<const std::uint64_t> source_words) {
@@ -104,10 +119,10 @@ EquivalenceResult check_equivalence(const Network& a, const Network& b,
       std::uint64_t diff = (oa[i] ^ ob[i]) & lane_mask;
       if (diff) {
         unsigned lane = static_cast<unsigned>(std::countr_zero(diff));
-        std::uint64_t cex = 0;
+        std::vector<std::uint64_t> cex((num_sources + 63) / 64, 0);
         for (std::size_t s = 0; s < num_sources; ++s)
-          if ((words[s] >> lane) & 1) cex |= std::uint64_t{1} << s;
-        return {false, cex, i};
+          if ((words[s] >> lane) & 1) cex[s / 64] |= std::uint64_t{1} << (s % 64);
+        return {false, std::move(cex), i};
       }
     }
     return {};

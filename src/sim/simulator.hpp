@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "netlist/network.hpp"
@@ -28,11 +29,23 @@ std::vector<std::uint64_t> simulate64(const Network& net,
 
 /// Result of an equivalence check; `counterexample` is meaningful only
 /// when `equivalent` is false (one bit per source, same order as
-/// simulate64's inputs).
+/// simulate64's inputs, word-packed: source i lives in bit i%64 of word
+/// i/64 — networks with more than 64 combinational sources get as many
+/// words as they need).
 struct EquivalenceResult {
   bool equivalent = true;
-  std::uint64_t counterexample = 0;  ///< source assignment (bit i = source i)
-  std::size_t failing_output = 0;    ///< index in the simulate64 output order
+  std::vector<std::uint64_t> counterexample;  ///< source assignment words
+  std::size_t failing_output = 0;  ///< index in the simulate64 output order
+
+  /// Value of source `i` in the counterexample assignment.
+  bool source_bit(std::size_t i) const {
+    return i / 64 < counterexample.size() &&
+           ((counterexample[i / 64] >> (i % 64)) & 1) != 0;
+  }
+
+  /// Hex rendering of the assignment, most-significant word first
+  /// (e.g. "0x2_0000000000000001" for sources 0 and 65).
+  std::string counterexample_hex() const;
 };
 
 /// Checks combinational equivalence of two networks with identical

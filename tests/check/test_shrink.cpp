@@ -1,0 +1,77 @@
+// Delta-debugging shrinker: minimized instances must still fail, must be
+// drastically smaller, and the injected-labeling-bug scenario (the
+// acceptance bar for `dagmap_fuzz --shrink`) must land under 15 nodes.
+#include <gtest/gtest.h>
+
+#include "check/fuzz_pipeline.hpp"
+#include "check/shrink.hpp"
+#include "library/gate_library.hpp"
+#include "netlist/assert.hpp"
+#include "netlist/network.hpp"
+
+namespace dagmap {
+namespace {
+
+// The tool's predicate, minus the file I/O: rebuild the library and run
+// the invariant suite; exceptions count as failures.
+bool suite_fails(const Network& circuit, const std::string& library_text,
+                 const FuzzOptions& opt) {
+  try {
+    FuzzInstance inst{0, circuit, library_text,
+                      GateLibrary::from_genlib_text(library_text, "shrink")};
+    return !run_fuzz_instance(inst, opt).ok;
+  } catch (const std::exception&) {
+    return true;
+  }
+}
+
+TEST(Shrink, InjectedLabelingBugMinimizesBelow15Nodes) {
+  FuzzOptions opt;
+  opt.inject_label_bug = true;
+  FuzzInstance inst = make_fuzz_instance(1, opt);
+  ASSERT_FALSE(run_fuzz_instance(inst, opt).ok);
+
+  ShrinkResult r = shrink_instance(
+      inst.circuit, inst.library_text,
+      [&](const Network& c, const std::string& l) {
+        return suite_fails(c, l, opt);
+      });
+
+  EXPECT_LE(r.final_nodes, 15u) << "shrink got stuck at " << r.final_nodes
+                                << " of " << r.initial_nodes << " nodes";
+  EXPECT_LT(r.final_nodes, r.initial_nodes);
+  EXPECT_LE(r.final_gates, r.initial_gates);
+  // The minimized instance must still reproduce, and still be valid.
+  EXPECT_TRUE(suite_fails(r.circuit, r.library_text, opt));
+  EXPECT_NO_THROW(r.circuit.check());
+}
+
+TEST(Shrink, StructuralPredicateReducesToTheKernel) {
+  // Minimal failure kernel for "has at least one generic logic node":
+  // one node.  The shrinker should get all the way down.
+  FuzzInstance inst = make_fuzz_instance(9);
+  auto has_logic_node = [](const Network& c, const std::string&) {
+    for (NodeId n = 0; n < c.size(); ++n)
+      if (c.kind(n) == NodeKind::Logic) return true;
+    return false;
+  };
+  ASSERT_TRUE(has_logic_node(inst.circuit, inst.library_text));
+  ShrinkResult r =
+      shrink_instance(inst.circuit, inst.library_text, has_logic_node);
+  EXPECT_TRUE(has_logic_node(r.circuit, r.library_text));
+  // One logic node + its fanin PIs + one output: a handful of nodes.
+  EXPECT_LE(r.final_nodes, 4u);
+  // Library shrinks to the INV/NAND2 completeness floor.
+  EXPECT_EQ(r.final_gates, 2u);
+}
+
+TEST(Shrink, RejectsAPassingInstance) {
+  FuzzInstance inst = make_fuzz_instance(2);
+  auto never_fails = [](const Network&, const std::string&) { return false; };
+  EXPECT_THROW(
+      (void)shrink_instance(inst.circuit, inst.library_text, never_fails),
+      ContractError);
+}
+
+}  // namespace
+}  // namespace dagmap

@@ -8,6 +8,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "check/fuzz_pipeline.hpp"
 #include "core/dag_mapper.hpp"
 #include "core/parallel.hpp"
 #include "decomp/tech_decomp.hpp"
@@ -112,6 +113,19 @@ TEST(ParallelDagMap, DeterministicWithExtendedMatchesAndAreaRecovery) {
   DagMapOptions ar;
   ar.area_recovery = true;
   expect_identical_maps(subject, lib, ar);
+}
+
+TEST(ParallelDagMap, FuzzInvariantSuiteAcrossThreadCounts) {
+  // The metamorphic fuzz suite under this binary's `tsan` label: each
+  // instance's ThreadDeterminism invariant maps with num_threads 1, 2
+  // and 0 (all hardware threads) and requires bit-identical labels and
+  // netlists, so `-DDAGMAP_SANITIZE=thread` sweeps the whole
+  // decompose -> match -> label -> cover pipeline, not just ThreadPool.
+  FuzzOptions opt;  // full invariant suite, random circuit + library
+  for (std::uint64_t seed = 500; seed < 512; ++seed) {
+    FuzzReport r = run_fuzz_seed(seed, opt);
+    EXPECT_TRUE(r.ok) << r.to_string();
+  }
 }
 
 TEST(ParallelDagMap, ParallelResultIsEquivalentAndOptimal) {

@@ -35,7 +35,7 @@ TEST(TechDecomp, PreservesFunction) {
   Network sg = tech_decompose(src);
   auto r = check_equivalence(src, sg);
   EXPECT_TRUE(r.equivalent)
-      << "cex=" << r.counterexample << " out=" << r.failing_output;
+      << "cex=" << r.counterexample_hex() << " out=" << r.failing_output;
 }
 
 TEST(TechDecomp, ChainShapeAlsoCorrect) {

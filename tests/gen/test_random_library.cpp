@@ -1,0 +1,63 @@
+// make_random_genlib must produce *valid* GENLIB: parseable, complete for
+// mapping, and stable under a parse -> write -> parse round trip.  These
+// are the preconditions the fuzz harness relies on when it writes a
+// generated library next to a shrunk BLIF as a repro.
+#include <gtest/gtest.h>
+
+#include "gen/libraries.hpp"
+#include "io/genlib.hpp"
+#include "library/gate_library.hpp"
+
+namespace dagmap {
+namespace {
+
+TEST(RandomLibrary, EveryGeneratedLibraryRoundTripsThroughTheParser) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    unsigned n_gates = 2 + static_cast<unsigned>(seed % 12);
+    unsigned max_inputs = 1 + static_cast<unsigned>(seed % 5);
+    std::string text = make_random_genlib(seed, n_gates, max_inputs);
+
+    std::vector<GenlibGate> parsed = parse_genlib(text);
+    ASSERT_EQ(parsed.size(), n_gates) << "seed " << seed;
+
+    std::vector<GenlibGate> reparsed = parse_genlib(write_genlib(parsed));
+    ASSERT_EQ(reparsed.size(), parsed.size()) << "seed " << seed;
+    for (std::size_t g = 0; g < parsed.size(); ++g) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " gate " +
+                   parsed[g].name);
+      EXPECT_EQ(reparsed[g].name, parsed[g].name);
+      EXPECT_EQ(reparsed[g].area, parsed[g].area);
+      EXPECT_EQ(to_string(reparsed[g].function), to_string(parsed[g].function));
+      ASSERT_EQ(reparsed[g].pins.size(), parsed[g].pins.size());
+      for (std::size_t p = 0; p < parsed[g].pins.size(); ++p) {
+        EXPECT_EQ(reparsed[g].pins[p].name, parsed[g].pins[p].name);
+        EXPECT_EQ(reparsed[g].pins[p].rise_block, parsed[g].pins[p].rise_block);
+        EXPECT_EQ(reparsed[g].pins[p].fall_block, parsed[g].pins[p].fall_block);
+      }
+    }
+  }
+}
+
+TEST(RandomLibrary, AlwaysCompleteForMapping) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    GateLibrary lib = make_random_library(seed, 8, 4);
+    EXPECT_TRUE(lib.is_complete_for_mapping()) << "seed " << seed;
+    EXPECT_EQ(lib.size(), 8u);
+    // Non-buffer gates must have matchable patterns; area/delay populated.
+    for (const Gate& g : lib.gates()) {
+      EXPECT_GT(g.area, 0.0) << g.name;
+      EXPECT_GT(g.max_pin_delay(), 0.0) << g.name;
+      if (!g.is_buffer()) {
+        EXPECT_FALSE(g.patterns.empty()) << g.name;
+      }
+    }
+  }
+}
+
+TEST(RandomLibrary, DeterministicInSeed) {
+  EXPECT_EQ(make_random_genlib(42, 10, 4), make_random_genlib(42, 10, 4));
+  EXPECT_NE(make_random_genlib(42, 10, 4), make_random_genlib(43, 10, 4));
+}
+
+}  // namespace
+}  // namespace dagmap

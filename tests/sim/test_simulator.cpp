@@ -78,8 +78,7 @@ TEST(Simulator, InequivalentNetworksCaught) {
   EXPECT_FALSE(r.equivalent);
   // Counterexample must actually distinguish AND from OR: exactly one of
   // a, b set.
-  unsigned a_bit = r.counterexample & 1, b_bit = (r.counterexample >> 1) & 1;
-  EXPECT_NE(a_bit, b_bit);
+  EXPECT_NE(r.source_bit(0), r.source_bit(1));
 }
 
 TEST(Simulator, InterfaceMismatchRejected) {
@@ -146,7 +145,40 @@ TEST(Simulator, ExhaustiveEquivalenceIsExact) {
   n2.add_output(n2.add_constant(false), "o");
   auto r = check_equivalence(n1, n2);
   EXPECT_FALSE(r.equivalent);
-  EXPECT_EQ(r.counterexample, 0xFFull);
+  ASSERT_EQ(r.counterexample.size(), 1u);
+  EXPECT_EQ(r.counterexample[0], 0xFFull);
+  EXPECT_EQ(r.counterexample_hex(), "0xff");
+}
+
+TEST(Simulator, CounterexampleBeyond64Sources) {
+  // 70 sources: a = XOR of all 70 inputs, b = XOR of the first 69.  They
+  // differ whenever input 69 is set, so random mode finds a difference in
+  // the first round — and the counterexample must carry source indices
+  // past the first word without truncation.
+  Network n1("wide1"), n2("wide2");
+  std::vector<NodeId> i1, i2;
+  for (int i = 0; i < 70; ++i) {
+    i1.push_back(n1.add_input("i" + std::to_string(i)));
+    i2.push_back(n2.add_input("i" + std::to_string(i)));
+  }
+  NodeId x1 = i1[0], x2 = i2[0];
+  for (int i = 1; i < 70; ++i) x1 = n1.add_xor(x1, i1[i]);
+  for (int i = 1; i < 69; ++i) x2 = n2.add_xor(x2, i2[i]);
+  n1.add_output(x1, "o");
+  n2.add_output(x2, "o");
+
+  auto r = check_equivalence(n1, n2);
+  ASSERT_FALSE(r.equivalent);
+  ASSERT_EQ(r.counterexample.size(), 2u);  // ceil(70 / 64) words
+  EXPECT_TRUE(r.source_bit(69));           // only bit 69 distinguishes them
+
+  // Replay the reported assignment single-lane: the outputs must really
+  // differ under it.
+  std::vector<std::uint64_t> words(70);
+  for (int s = 0; s < 70; ++s) words[s] = r.source_bit(s) ? 1 : 0;
+  auto o1 = simulate64(n1, words);
+  auto o2 = simulate64(n2, words);
+  EXPECT_NE(o1[r.failing_output] & 1, o2[r.failing_output] & 1);
 }
 
 }  // namespace

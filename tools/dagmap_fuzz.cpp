@@ -1,0 +1,175 @@
+// dagmap_fuzz — metamorphic fuzzer for the mapping pipeline.
+//
+//   $ dagmap_fuzz --seeds 1000                      # sweep seeds 1..1000
+//   $ dagmap_fuzz --seed 7 --shrink --out repro/    # minimize a failure
+//   $ dagmap_fuzz --replay repro/repro.blif repro/repro.genlib
+//
+// Each seed deterministically builds a random (circuit, GENLIB library)
+// pair, runs decompose -> match -> label -> cover, and asserts the
+// invariant suite (equivalence, oracle-optimality, tree >= DAG,
+// Extended <= Standard, thread determinism; see check/fuzz_pipeline.hpp).
+// On a violation with --shrink, a delta-debugging pass minimizes the
+// instance and writes repro.blif + repro.genlib plus the replay command.
+// --inject-bug corrupts the labels on purpose (test hook), so the
+// detection and shrinking machinery can be exercised on a correct
+// mapper.  Exit code: 0 clean, 1 violation found, 2 usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "dagmap/dagmap.hpp"
+
+using namespace dagmap;
+
+namespace {
+
+struct Args {
+  std::uint64_t seed_base = 1;
+  std::uint64_t num_seeds = 500;
+  bool shrink = false;
+  bool inject_bug = false;
+  std::string out_dir = ".";
+  std::string replay_blif, replay_genlib;
+  unsigned max_nodes = 40;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: dagmap_fuzz [--seeds N] [--seed S] [--max-nodes N] [--shrink]\n"
+      "                   [--inject-bug] [--out DIR]\n"
+      "       dagmap_fuzz --replay circuit.blif library.genlib\n");
+  return 2;
+}
+
+FuzzOptions fuzz_options(const Args& args) {
+  FuzzOptions opt;
+  opt.max_nodes = args.max_nodes;
+  opt.inject_label_bug = args.inject_bug;
+  return opt;
+}
+
+// Invariant suite on an explicit (circuit, library text) pair — the
+// shrinker's predicate and the --replay path.  Any exception from the
+// pipeline counts as a failure (crash-is-failure, standard for delta
+// debugging).
+bool instance_fails(const Network& circuit, const std::string& library_text,
+                    const FuzzOptions& opt, std::string* why = nullptr) {
+  try {
+    FuzzInstance inst{0, circuit, library_text,
+                      GateLibrary::from_genlib_text(library_text, "replay")};
+    FuzzReport r = run_fuzz_instance(inst, opt);
+    if (!r.ok && why) *why = r.to_string();
+    return !r.ok;
+  } catch (const std::exception& e) {
+    if (why) *why = std::string("exception: ") + e.what();
+    return true;
+  }
+}
+
+void write_repro(const Args& args, const Network& circuit,
+                 const std::string& library_text) {
+  std::string blif_path = args.out_dir + "/repro.blif";
+  std::string lib_path = args.out_dir + "/repro.genlib";
+  write_blif_file(circuit, blif_path);
+  std::ofstream(lib_path) << library_text;
+  std::printf("repro written: %s %s\n", blif_path.c_str(), lib_path.c_str());
+  std::printf("replay with:   dagmap_fuzz%s --replay %s %s\n",
+              args.inject_bug ? " --inject-bug" : "", blif_path.c_str(),
+              lib_path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      if (++i >= argc) return nullptr;
+      return argv[i];
+    };
+    if (a == "--seeds") {
+      const char* v = value();
+      if (!v) return usage();
+      args.num_seeds = std::strtoull(v, nullptr, 10);
+    } else if (a == "--seed") {
+      const char* v = value();
+      if (!v) return usage();
+      args.seed_base = std::strtoull(v, nullptr, 10);
+      args.num_seeds = 1;
+    } else if (a == "--max-nodes") {
+      const char* v = value();
+      if (!v) return usage();
+      args.max_nodes = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--out") {
+      const char* v = value();
+      if (!v) return usage();
+      args.out_dir = v;
+    } else if (a == "--shrink") {
+      args.shrink = true;
+    } else if (a == "--inject-bug") {
+      args.inject_bug = true;
+    } else if (a == "--replay") {
+      const char* b = value();
+      const char* g = value();
+      if (!b || !g) return usage();
+      args.replay_blif = b;
+      args.replay_genlib = g;
+    } else {
+      return usage();
+    }
+  }
+
+  FuzzOptions opt = fuzz_options(args);
+
+  if (!args.replay_blif.empty()) {
+    Network circuit = read_blif_file(args.replay_blif);
+    std::ifstream in(args.replay_genlib);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::string why;
+    if (instance_fails(circuit, text, opt, &why)) {
+      std::printf("FAIL\n%s\n", why.c_str());
+      return 1;
+    }
+    std::printf("OK: all invariants hold\n");
+    return 0;
+  }
+
+  std::uint64_t checked = 0, oracle_checked = 0;
+  for (std::uint64_t s = args.seed_base; s < args.seed_base + args.num_seeds;
+       ++s) {
+    FuzzInstance inst = make_fuzz_instance(s, opt);
+    FuzzReport r = run_fuzz_instance(inst, opt);
+    ++checked;
+    if (r.oracle_checked) ++oracle_checked;
+    if (r.ok) continue;
+
+    std::printf("VIOLATION at %s\n", r.to_string().c_str());
+    if (args.shrink) {
+      ShrinkResult sr = shrink_instance(
+          inst.circuit, inst.library_text,
+          [&](const Network& c, const std::string& l) {
+            return instance_fails(c, l, opt);
+          });
+      std::printf(
+          "shrunk: %zu -> %zu circuit nodes, %zu -> %zu gates (%u probes)\n",
+          sr.initial_nodes, sr.final_nodes, sr.initial_gates, sr.final_gates,
+          sr.probes);
+      write_repro(args, sr.circuit, sr.library_text);
+    } else {
+      write_repro(args, inst.circuit, inst.library_text);
+    }
+    return 1;
+  }
+
+  std::printf("OK: %llu instances, 0 violations (oracle on %llu)\n",
+              static_cast<unsigned long long>(checked),
+              static_cast<unsigned long long>(oracle_checked));
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "dagmap_fuzz: %s\n", e.what());
+  return 2;
+}

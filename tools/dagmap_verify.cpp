@@ -62,8 +62,8 @@ int main(int argc, char** argv) try {
     return 0;
   }
   std::printf("NOT EQUIVALENT: failing output index %zu\n", r.failing_output);
-  std::printf("counterexample (source bit i = PI/latch i): 0x%llx\n",
-              static_cast<unsigned long long>(r.counterexample));
+  std::printf("counterexample (source bit i = PI/latch i): %s\n",
+              r.counterexample_hex().c_str());
   return 1;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "dagmap_verify: %s\n", e.what());

@@ -1,0 +1,128 @@
+// Supergate library generation benchmark over the golden corpus.
+//
+// For every BLIF+genlib pair under tests/data/golden, maps with the base
+// library and with the supergate-augmented library (default
+// SupergateOptions) and reports per-circuit delay deltas plus the
+// generation telemetry as ONE machine-readable JSON line on stdout.
+// Also re-generates each augmented library at 1/2/8 threads and checks
+// the written GENLIB text is bit-identical.
+//
+// Exit is nonzero when any qualitative claim fails:
+//   * an augmented cover is slower than the base cover (dominance),
+//   * an augmented cover is not equivalent to the source circuit,
+//   * fewer than 3 circuits see a STRICT delay improvement,
+//   * any thread count changes the generated library bytes.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dagmap/dagmap.hpp"
+
+using namespace dagmap;
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+std::string golden_path(const std::string& rel) {
+  return std::string(DAGMAP_GOLDEN_DIR) + "/" + rel;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Corpus stems, in golden.expect order (skipping "+supergates" entries —
+// this bench recomputes the augmented side for every stem).
+std::vector<std::string> corpus_stems() {
+  std::ifstream in(golden_path("golden.expect"));
+  if (!in.good()) throw std::runtime_error("missing golden.expect");
+  std::vector<std::string> stems;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::string name = line.substr(0, line.find(' '));
+    if (name.find('+') != std::string::npos) continue;
+    stems.push_back(name);
+  }
+  return stems;
+}
+
+}  // namespace
+
+int main() try {
+  bool ok = true;
+  int strict_improvements = 0;
+  std::size_t total_kept = 0, total_classes = 0, total_pruned = 0;
+  double total_generation_seconds = 0.0;
+  bool threads_bit_identical = true;
+  std::ostringstream rows;
+
+  for (const std::string& stem : corpus_stems()) {
+    Network circuit = parse_blif(slurp(golden_path(stem + ".blif")));
+    std::vector<GenlibGate> gates =
+        parse_genlib(slurp(golden_path(stem + ".genlib")));
+    Network subject = tech_decompose(circuit);
+
+    MapResult base =
+        dag_map(subject, GateLibrary::from_genlib(gates, stem), {});
+    SupergateLibrary sg = generate_supergates(gates, {}, stem + "+supergates");
+    MapResult aug = dag_map(subject, sg.library, {});
+
+    bool equivalent =
+        check_equivalence(circuit, aug.netlist.to_network()).equivalent;
+    bool dominated = aug.optimal_delay <= base.optimal_delay + kEps;
+    bool strict = aug.optimal_delay < base.optimal_delay - kEps;
+    if (!equivalent || !dominated) ok = false;
+    if (strict) ++strict_improvements;
+
+    // Determinism: the augmented GENLIB must be the same bytes at every
+    // thread count (the tsan test asserts 1/2/8; re-check here so the
+    // bench stands alone).
+    std::string one_thread = write_genlib(sg.gates);
+    for (unsigned threads : {2u, 8u}) {
+      SupergateOptions topt;
+      topt.num_threads = threads;
+      SupergateLibrary again =
+          generate_supergates(gates, topt, stem + "+supergates");
+      if (write_genlib(again.gates) != one_thread)
+        threads_bit_identical = false;
+    }
+
+    total_kept += sg.stats.kept;
+    total_classes += sg.stats.classes_seen;
+    total_pruned += sg.stats.pruned_by_class + sg.stats.pruned_trivial +
+                    sg.stats.pruned_vs_base + sg.stats.pruned_degenerate;
+    total_generation_seconds += sg.stats.generation_seconds;
+
+    if (rows.tellp() > 0) rows << ",";
+    rows << "{\"name\":\"" << stem << "\",\"base_delay\":" << base.optimal_delay
+         << ",\"supergate_delay\":" << aug.optimal_delay
+         << ",\"delta\":" << base.optimal_delay - aug.optimal_delay
+         << ",\"kept\":" << sg.stats.kept
+         << ",\"equivalent\":" << (equivalent ? "true" : "false") << "}";
+  }
+
+  if (strict_improvements < 3) ok = false;
+  if (!threads_bit_identical) ok = false;
+
+  std::printf(
+      "{\"bench\":\"supergate\",\"circuits\":[%s],"
+      "\"strict_improvements\":%d,\"kept\":%zu,\"classes_seen\":%zu,"
+      "\"pruned\":%zu,\"generation_seconds\":%.3f,"
+      "\"threads_bit_identical\":%s,\"ok\":%s}\n",
+      rows.str().c_str(), strict_improvements, total_kept, total_classes,
+      total_pruned, total_generation_seconds,
+      threads_bit_identical ? "true" : "false", ok ? "true" : "false");
+  return ok ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "bench_supergate: %s\n", e.what());
+  return 1;
+}

@@ -8,8 +8,10 @@
 #include "decomp/tech_decomp.hpp"
 #include "gen/circuits.hpp"
 #include "gen/libraries.hpp"
+#include "io/genlib.hpp"
 #include "mapnet/write.hpp"
 #include "sim/simulator.hpp"
+#include "supergate/supergate.hpp"
 #include "treemap/tree_mapper.hpp"
 
 namespace dagmap {
@@ -49,7 +51,8 @@ FuzzInstance make_fuzz_instance(std::uint64_t seed,
 
   unsigned n_gates = pick(mix(seed, 5), options.min_gates, options.max_gates);
   unsigned max_in = pick(mix(seed, 6), 2, options.max_gate_inputs);
-  std::string library_text = make_random_genlib(mix(seed, 7), n_gates, max_in);
+  std::string library_text = make_random_genlib(mix(seed, 7), n_gates, max_in,
+                                                options.multi_level_libraries);
   GateLibrary library = GateLibrary::from_genlib_text(
       library_text, "fuzz" + std::to_string(seed));
   return FuzzInstance{seed, std::move(circuit), std::move(library_text),
@@ -145,6 +148,34 @@ FuzzReport run_fuzz_instance(const FuzzInstance& instance,
            "extended delay " + std::to_string(ext_map.optimal_delay) +
                " worse than standard delay " +
                std::to_string(std_map.optimal_delay));
+  }
+
+  if (options.invariants & kFuzzSupergateDominance) {
+    // Small bounds keep generation cheap on arbitrary random libraries;
+    // the invariant holds for any bounds, since augmentation only adds
+    // gates.  Mapping reuses std_map as the base side.
+    SupergateOptions sg_options;
+    sg_options.max_components = 3;
+    sg_options.max_steps_per_root = 20000;
+    SupergateLibrary sg = generate_supergates(
+        parse_genlib(instance.library_text), sg_options,
+        "fuzz-sg" + std::to_string(instance.seed));
+    MapResult sg_map =
+        dag_map(subject, sg.library, {.match_class = MatchClass::Standard});
+    if (options.inject_supergate_bug)
+      sg_map.optimal_delay = std_map.optimal_delay + 1.0;
+    if (sg_map.optimal_delay > std_map.optimal_delay + kEps)
+      fail("SupergateDominance",
+           "supergate delay " + std::to_string(sg_map.optimal_delay) +
+               " worse than base delay " +
+               std::to_string(std_map.optimal_delay) + " (" +
+               std::to_string(sg.stats.kept) + " supergates kept)");
+    EquivalenceResult e = check_equivalence(subject, sg_map.netlist.to_network());
+    if (!e.equivalent)
+      fail("SupergateDominance",
+           "supergate cover differs from subject: output " +
+               std::to_string(e.failing_output) + " cex " +
+               e.counterexample_hex());
   }
 
   if (options.invariants & kFuzzThreadDeterminism) {

@@ -16,7 +16,14 @@
 //   ExtendedVsStandard Extended-match delay <= Standard-match delay
 //                      (Definition 3 drops a constraint of Definition 1);
 //   ThreadDeterminism  bit-identical labels and mapped netlist for
-//                      num_threads in {1, 2, 0}.
+//                      num_threads in {1, 2, 0};
+//   SupergateDominance mapped delay with the supergate-augmented library
+//                      (supergate/supergate.hpp, small bounds) <= mapped
+//                      delay with the base library under Standard
+//                      matches — the augmented library is a superset of
+//                      the base, so its match set can only improve
+//                      labels — and the augmented cover stays equivalent
+//                      to the source circuit.
 //
 // Every violation carries enough detail to reproduce: the seed rebuilds
 // the instance, and check/shrink.hpp minimizes it.  `inject_label_bug`
@@ -40,7 +47,8 @@ enum FuzzInvariant : unsigned {
   kFuzzTreeVsDag = 1u << 2,
   kFuzzExtendedVsStandard = 1u << 3,
   kFuzzThreadDeterminism = 1u << 4,
-  kFuzzAllInvariants = (1u << 5) - 1,
+  kFuzzSupergateDominance = 1u << 5,
+  kFuzzAllInvariants = (1u << 6) - 1,
 };
 
 /// Harness knobs.
@@ -55,6 +63,10 @@ struct FuzzOptions {
   /// whose subject contains an inverter.  Lets tests and the shrinker
   /// exercise the failure path of a correct mapper.
   bool inject_label_bug = false;
+  /// Test hook: report the supergate-side delay as base + 1.0 before the
+  /// dominance comparison, making SupergateDominance fail on every
+  /// instance — the sixth invariant's detection + shrink path.
+  bool inject_supergate_bug = false;
 
   // Instance-generation ranges (inclusive), used by make_fuzz_instance.
   unsigned min_inputs = 3, max_inputs = 8;
@@ -62,6 +74,9 @@ struct FuzzOptions {
   unsigned min_outputs = 1, max_outputs = 4;
   unsigned min_gates = 4, max_gates = 12;
   unsigned max_gate_inputs = 4;
+  /// Generate multi-level (non-read-once) gate functions; off by default
+  /// so historical seeds keep building the same instances.
+  bool multi_level_libraries = false;
 };
 
 /// One generated (circuit, library) pair.  The library is carried both

@@ -20,9 +20,18 @@ namespace {
 // an equal-cost binding of the same pins: the two child orders denote
 // the SAME match.  The binder tries only one order for such children —
 // a semantic identification of automorphic bindings, not a heuristic.
+//
+// The identification requires both subtrees to be *private* trees: a
+// subtree containing a node shared with the rest of the pattern (leaf
+// DAGs — ISOP forms of XOR, majority, most supergates) is pinned by the
+// shared node's other occurrences, so the swap is not an automorphism
+// and both orders must be tried.  Shared subtrees append their root
+// index to the signature, which makes sibling signatures unequal.
 std::vector<std::string> subtree_signatures(const PatternGraph& pg,
                                             const Gate& gate) {
+  std::vector<std::uint32_t> out_deg = pg.out_degrees();
   std::vector<std::string> sig(pg.nodes.size());
+  std::vector<bool> shared(pg.nodes.size(), false);
   for (std::size_t i = 0; i < pg.nodes.size(); ++i) {
     const PatternNode& n = pg.nodes[i];
     switch (n.kind) {
@@ -31,14 +40,18 @@ std::vector<std::string> subtree_signatures(const PatternGraph& pg,
         break;
       case PatternNode::Kind::Inv:
         sig[i] = "I(" + sig[n.fanin0] + ")";
+        shared[i] = shared[n.fanin0];
         break;
       case PatternNode::Kind::Nand2: {
         const std::string& a = sig[n.fanin0];
         const std::string& b = sig[n.fanin1];
         sig[i] = a <= b ? "N(" + a + "," + b + ")" : "N(" + b + "," + a + ")";
+        shared[i] = shared[n.fanin0] || shared[n.fanin1];
         break;
       }
     }
+    if (out_deg[i] > 1) shared[i] = true;
+    if (shared[i]) sig[i] += "#" + std::to_string(i);
   }
   return sig;
 }

@@ -45,5 +45,6 @@
 #include "seq/retiming.hpp"
 #include "seq/seq_map.hpp"
 #include "sim/simulator.hpp"
+#include "supergate/supergate.hpp"
 #include "timing/timing.hpp"
 #include "treemap/tree_mapper.hpp"

@@ -4,7 +4,9 @@
 #include <vector>
 
 #include "io/expr.hpp"
+#include "library/pattern.hpp"
 #include "netlist/assert.hpp"
+#include "netlist/truth_table.hpp"
 
 namespace dagmap {
 
@@ -30,11 +32,27 @@ struct Rng {
 // (randomly complemented), repeatedly fuse 2-3 random operands with a
 // random AND/OR (occasionally negated) until one tree remains.  Every pin
 // appears in the function, which is what GENLIB pin derivation requires.
-Expr random_expr(Rng& rng, unsigned k) {
+//
+// `multi_level` seeds the pool with *extra copies* of random literals, so
+// some variables are read more than once and the result is no longer a
+// read-once tree — the function class whose patterns are leaf DAGs (XOR,
+// majority, mux shapes).  Callers must validate such candidates (see
+// multi_level_expr below): duplicated literals can cancel into functions
+// that ignore a pin, or into shapes the pattern lowerer rejects.
+Expr random_expr(Rng& rng, unsigned k, bool multi_level = false) {
   std::vector<Expr> pool;
   for (unsigned i = 0; i < k; ++i) {
     Expr v = Expr::make_var(std::string(1, static_cast<char>('a' + i)));
     pool.push_back(rng.chance(35) ? Expr::make_not(std::move(v)) : std::move(v));
+  }
+  if (multi_level) {
+    unsigned extra = 1 + rng.below(k);
+    for (unsigned i = 0; i < extra; ++i) {
+      Expr v = Expr::make_var(
+          std::string(1, static_cast<char>('a' + rng.below(k))));
+      pool.push_back(rng.chance(50) ? Expr::make_not(std::move(v))
+                                    : std::move(v));
+    }
   }
   while (pool.size() > 1) {
     unsigned arity = 2 + (pool.size() > 2 && rng.chance(40) ? 1 : 0);
@@ -55,6 +73,33 @@ Expr random_expr(Rng& rng, unsigned k) {
   return std::move(pool[0]);
 }
 
+// A validated multi-level expression over exactly k variables: the
+// function must depend on every variable (duplicated literals can cancel
+// a pin away, which GENLIB pin derivation rejects) and must survive
+// pattern generation (a fused AND/OR of two structurally equal operands
+// lowers to a degenerate NAND, a pattern-lowerer contract violation).
+// Rejected candidates re-draw from the evolving rng, so the result is
+// still deterministic in the seed; after a bounded number of attempts it
+// falls back to the always-valid read-once form.
+Expr multi_level_expr(Rng& rng, unsigned k,
+                      const std::vector<std::string>& vars) {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    Expr f = random_expr(rng, k, /*multi_level=*/true);
+    TruthTable tt = expr_truth_table(f, vars);
+    if (tt.is_const0() || tt.is_const1()) continue;
+    bool full_support = true;
+    for (unsigned v = 0; v < k; ++v) full_support &= tt.depends_on(v);
+    if (!full_support) continue;
+    try {
+      if (generate_patterns(f, vars).empty()) continue;
+    } catch (const ContractError&) {
+      continue;
+    }
+    return f;
+  }
+  return random_expr(rng, k);
+}
+
 // 0.05-granular random delay in [lo, hi): short decimals survive the
 // default ostream precision, so the text round-trips bit-exactly.
 double random_delay(Rng& rng, double lo, double hi) {
@@ -65,7 +110,7 @@ double random_delay(Rng& rng, double lo, double hi) {
 }  // namespace
 
 std::string make_random_genlib(std::uint64_t seed, unsigned n_gates,
-                               unsigned max_inputs) {
+                               unsigned max_inputs, bool multi_level) {
   DAGMAP_ASSERT_MSG(n_gates >= 2, "need at least INV and NAND2");
   DAGMAP_ASSERT_MSG(max_inputs >= 1 && max_inputs <= 6,
                     "max_inputs must be in [1, 6]");
@@ -73,7 +118,8 @@ std::string make_random_genlib(std::uint64_t seed, unsigned n_gates,
 
   std::ostringstream out;
   out << "# random library seed=" << seed << " gates=" << n_gates
-      << " max_inputs=" << max_inputs << "\n";
+      << " max_inputs=" << max_inputs
+      << (multi_level ? " multi_level" : "") << "\n";
   out << "GATE inv 1 O=!a; PIN * INV 1 999 " << random_delay(rng, 0.5, 1.5)
       << " 0.1 " << random_delay(rng, 0.5, 1.5) << " 0.1\n";
   out << "GATE nand2 2 O=!(a*b); PIN * INV 1 999 "
@@ -82,7 +128,12 @@ std::string make_random_genlib(std::uint64_t seed, unsigned n_gates,
 
   for (unsigned g = 2; g < n_gates; ++g) {
     unsigned k = 1 + rng.below(max_inputs);
-    Expr f = random_expr(rng, k);
+    std::vector<std::string> vars;
+    for (unsigned i = 0; i < k; ++i)
+      vars.emplace_back(1, static_cast<char>('a' + i));
+    // Multi-level shapes need at least two variables to be non-trivial.
+    Expr f = multi_level && k >= 2 ? multi_level_expr(rng, k, vars)
+                                   : random_expr(rng, k);
     double area = 1.0 + 0.25 * rng.below(4) + 0.5 * f.size();
     out << "GATE rg" << g << " " << area << " O=" << to_string(f) << ";\n";
     if (rng.chance(50)) {
@@ -102,9 +153,9 @@ std::string make_random_genlib(std::uint64_t seed, unsigned n_gates,
 }
 
 GateLibrary make_random_library(std::uint64_t seed, unsigned n_gates,
-                                unsigned max_inputs) {
+                                unsigned max_inputs, bool multi_level) {
   return GateLibrary::from_genlib_text(
-      make_random_genlib(seed, n_gates, max_inputs),
+      make_random_genlib(seed, n_gates, max_inputs, multi_level),
       "random-" + std::to_string(seed));
 }
 

@@ -25,11 +25,18 @@ namespace dagmap {
 /// first two are always INV and NAND2) of at most `max_inputs` inputs
 /// each (1 <= max_inputs <= 6).  Valid input for `parse_genlib`, and
 /// round-trips through parse -> write -> parse unchanged.
+///
+/// With `multi_level` set, gate functions may read a variable more than
+/// once (validated so the function still depends on every pin), which
+/// yields non-read-once expressions whose patterns are multi-level leaf
+/// DAGs — the shapes supergate generation and ISOP re-expression
+/// produce.  Default off preserves the historical read-once stream for
+/// any fixed seed.
 std::string make_random_genlib(std::uint64_t seed, unsigned n_gates,
-                               unsigned max_inputs);
+                               unsigned max_inputs, bool multi_level = false);
 
 /// The parsed, mapping-ready form of `make_random_genlib`.
 GateLibrary make_random_library(std::uint64_t seed, unsigned n_gates,
-                                unsigned max_inputs);
+                                unsigned max_inputs, bool multi_level = false);
 
 }  // namespace dagmap

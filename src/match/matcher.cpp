@@ -39,9 +39,22 @@ namespace {
 // interchangeable both structurally and in cost.  Trying both child
 // orders for such children only permutes cost-equivalent pins, so the
 // swapped order is pruned.
+//
+// That argument only holds for *private* subtrees (no node shared with
+// the rest of the pattern).  Leaf-DAG patterns — best-phase ISOP forms
+// of non-read-once functions like XOR or majority, and most generated
+// supergates — share leaf nodes between sibling subtrees, and there a
+// swap is not an automorphism: it changes which already-bound shared
+// leaf each position must agree with, so pruning it loses real matches
+// (e.g. the balanced ISOP of majority at its own decomposition).  Any
+// subtree containing a shared node therefore mixes its root index into
+// the hash, forcing distinct hashes and full two-order exploration,
+// while pure tree subtrees keep the cheap symmetric pruning.
 std::vector<std::uint64_t> symmetry_hashes(const PatternGraph& pg,
-                                           const Gate& gate) {
+                                           const Gate& gate,
+                                           const std::vector<std::uint32_t>& out_deg) {
   std::vector<std::uint64_t> h(pg.nodes.size());
+  std::vector<unsigned char> shared(pg.nodes.size(), 0);
   for (std::size_t i = 0; i < pg.nodes.size(); ++i) {
     const PatternNode& n = pg.nodes[i];
     switch (n.kind) {
@@ -55,14 +68,18 @@ std::vector<std::uint64_t> symmetry_hashes(const PatternGraph& pg,
       }
       case PatternNode::Kind::Inv:
         h[i] = h[n.fanin0] * 0xBF58476D1CE4E5B9ull + 0x94D049BB133111EBull;
+        shared[i] = shared[n.fanin0];
         break;
       case PatternNode::Kind::Nand2: {
         std::uint64_t a = h[n.fanin0], b = h[n.fanin1];
         if (a > b) std::swap(a, b);
         h[i] = (a ^ (b * 0xFF51AFD7ED558CCDull)) + 0xC4CEB9FE1A85EC53ull;
+        shared[i] = shared[n.fanin0] | shared[n.fanin1];
         break;
       }
     }
+    if (out_deg[i] > 1) shared[i] = 1;
+    if (shared[i]) h[i] += (i + 1) * 0x2545F4914F6CDD1Dull;
   }
   return h;
 }
@@ -195,7 +212,9 @@ Matcher::Matcher(const GateLibrary& lib, const Network& subject,
   for (const Gate& g : lib_.gates()) {
     for (const PatternGraph& p : g.patterns) {
       const PatternNode& root = p.nodes[p.root];
-      PatternRef ref{&g, &p, symmetry_hashes(p, g), p.out_degrees(),
+      std::vector<std::uint32_t> out_deg = p.out_degrees();
+      std::vector<std::uint64_t> sym = symmetry_hashes(p, g, out_deg);
+      PatternRef ref{&g, &p, std::move(sym), std::move(out_deg),
                      compute_pattern_signature(p)};
       if (root.kind == PatternNode::Kind::Inv)
         inv_rooted_.push_back(std::move(ref));

@@ -1,0 +1,63 @@
+// Canonical function keys for supergate deduplication.
+//
+// The NPN machinery in boolmatch/npn.hpp covers functions of up to 4
+// variables — enough for every base-library gate class the paper's
+// libraries use, and for the bulk of generated supergates.  Supergates
+// of 5 or 6 leaves fall back to the exact truth table as their own
+// class key.  The fallback is sound for dedup: it can only create MORE
+// classes than true NPN canonicalization would (NPN-equivalent but
+// bitwise-different 5/6-var functions each keep a representative), so
+// no function is ever merged into the wrong class and the augmented
+// library stays a superset of what full canonicalization would keep.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dagmap {
+
+/// Equivalence-class key: NPN-canonical 16-bit table for <=4 variables,
+/// exact 64-bit table for 5 and 6.  Keys of different variable counts
+/// never compare equal (a 4-var function padded with don't-cares is
+/// canonicalized as 4-var, so the <=4 side is uniform).
+struct CanonKey {
+  std::uint64_t tt = 0;
+  unsigned num_vars = 0;  ///< 4 for the NPN-canonical side, 5 or 6 raw
+
+  friend bool operator==(const CanonKey& a, const CanonKey& b) {
+    return a.tt == b.tt && a.num_vars == b.num_vars;
+  }
+};
+
+/// Builds the class key for a function given as the low 2^num_vars bits
+/// of `tt`.  `num_vars` must be <= kSupergateMaxVars (6).
+CanonKey canon_key(std::uint64_t tt, unsigned num_vars);
+
+/// Memoized canonicalizer.  npn_canonical walks all 768 transforms per
+/// call, but enumeration revisits the same few hundred functions tens
+/// of thousands of times — a flat 2^16 memo table turns the per-class
+/// dedup from the dominant cost into noise.  Not thread-safe; the merge
+/// stage that uses it is sequential by design.
+class CanonCache {
+ public:
+  CanonCache() : memo_(std::size_t{1} << 16, -1) {}
+
+  /// Same key as canon_key(), memoized.
+  CanonKey key(std::uint64_t tt, unsigned num_vars);
+
+ private:
+  std::vector<std::int32_t> memo_;  ///< packed tt16 -> canonical, -1 unset
+};
+
+struct CanonKeyHash {
+  std::size_t operator()(const CanonKey& k) const {
+    std::uint64_t h = k.tt * 0x9e3779b97f4a7c15ULL + k.num_vars;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace dagmap

@@ -1,0 +1,316 @@
+#include "supergate/enumerate.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "supergate/supergate.hpp"
+
+namespace dagmap {
+namespace {
+
+/// Projection tables of the 6 universe variables.
+constexpr std::uint64_t kProjection[kSupergateMaxVars] = {
+    0xAAAAAAAAAAAAAAAAULL, 0xCCCCCCCCCCCCCCCCULL, 0xF0F0F0F0F0F0F0F0ULL,
+    0xFF00FF00FF00FF00ULL, 0xFFFF0000FFFF0000ULL, 0xFFFFFFFF00000000ULL};
+
+/// Composes `gate_tt` (a k-input function) with per-pin argument tables
+/// over the 6-variable universe.
+std::uint64_t compose64(std::uint64_t gate_tt, unsigned k,
+                        const std::uint64_t* args) {
+  std::uint64_t out = 0;
+  for (unsigned m = 0; m < 64; ++m) {
+    unsigned index = 0;
+    for (unsigned i = 0; i < k; ++i) {
+      index |= static_cast<unsigned>((args[i] >> m) & 1) << i;
+    }
+    out |= ((gate_tt >> index) & 1) << m;
+  }
+  return out;
+}
+
+/// Resolves the GENLIB PIN record for `pin_name` (exact name match wins
+/// over the '*' wildcard; absent pins get the GENLIB defaults).
+const GenlibPin* find_pin(const GenlibGate& gate, const std::string& pin_name) {
+  const GenlibPin* wildcard = nullptr;
+  for (const GenlibPin& pin : gate.pins) {
+    if (pin.name == pin_name) return &pin;
+    if (pin.name == "*") wildcard = &pin;
+  }
+  return wildcard;
+}
+
+/// Depth-first enumeration state.  The recursion mirrors the prefix
+/// code: `pending` is the stack of gate frames whose pins are still
+/// being filled, and every complete assignment reaches `emit`.
+struct Enumerator {
+  Enumerator(const std::vector<BaseGateInfo>& base,
+             const SupergateOptions& options, std::vector<SgCandidate>& out)
+      : base(base), options(options), out(out) {}
+
+  const std::vector<BaseGateInfo>& base;
+  const SupergateOptions& options;
+  std::vector<SgCandidate>& out;
+  std::uint64_t steps = 0;
+  bool truncated = false;
+
+  struct Frame {
+    std::int32_t gate;
+    unsigned next_pin;
+    unsigned depth;
+  };
+  std::vector<Frame> pending;
+  std::vector<std::int32_t> code;
+  unsigned num_vars = 0;
+  unsigned components = 0;
+  double area = 0.0;
+
+  void run(std::size_t root) {
+    const BaseGateInfo& g = base[root];
+    code.push_back(static_cast<std::int32_t>(root));
+    components = 1;
+    area = g.area;
+    pending.push_back(Frame{static_cast<std::int32_t>(root), 0, 1});
+    step();
+    pending.pop_back();
+    code.pop_back();
+  }
+
+  void step() {
+    if (truncated) return;
+    if (++steps > options.max_steps_per_root) {
+      truncated = true;
+      return;
+    }
+    if (pending.empty()) {
+      if (components >= 2) emit();
+      return;
+    }
+    Frame& frame = pending.back();
+    const BaseGateInfo& g = base[static_cast<std::size_t>(frame.gate)];
+    if (frame.next_pin == g.vars.size()) {
+      Frame done = pending.back();
+      pending.pop_back();
+      step();
+      pending.push_back(done);
+      return;
+    }
+    unsigned pin = frame.next_pin;
+    unsigned depth = frame.depth;
+    pending.back().next_pin = pin + 1;
+
+    // Leaves first: existing variables in index order, then one fresh
+    // variable (the canonical first-use rule).
+    for (unsigned v = 0; v < num_vars && !truncated; ++v) {
+      code.push_back(-static_cast<std::int32_t>(v) - 1);
+      step();
+      code.pop_back();
+    }
+    if (num_vars < options.max_inputs && !truncated) {
+      code.push_back(-static_cast<std::int32_t>(num_vars) - 1);
+      ++num_vars;
+      step();
+      --num_vars;
+      code.pop_back();
+    }
+
+    // Then child gates in library order, one level deeper.
+    if (depth < options.max_depth) {
+      for (std::size_t child = 0; child < base.size() && !truncated; ++child) {
+        const BaseGateInfo& c = base[child];
+        if (!c.participates) continue;
+        if (components + 1 > options.max_components) continue;
+        if (options.max_area > 0.0 && area + c.area > options.max_area) {
+          continue;
+        }
+        code.push_back(static_cast<std::int32_t>(child));
+        ++components;
+        area += c.area;
+        pending.push_back(
+            Frame{static_cast<std::int32_t>(child), 0, depth + 1});
+        step();
+        pending.pop_back();
+        area -= c.area;
+        --components;
+        code.pop_back();
+      }
+    }
+    pending.back().next_pin = pin;
+  }
+
+  void emit() {
+    SgCandidate c;
+    c.code = code;
+    c.num_vars = num_vars;
+    c.components = components;
+    c.area = area;
+    std::size_t pos = 0;
+    std::uint64_t tt = eval(c, pos, 0.0, 0.0);
+    assert(pos == code.size());
+    std::uint64_t mask = c.num_vars == kSupergateMaxVars
+                             ? ~std::uint64_t{0}
+                             : (std::uint64_t{1} << (1u << c.num_vars)) - 1;
+    c.tt = tt & mask;
+    out.push_back(std::move(c));
+  }
+
+  /// Decodes one subtree at `pos`, returning its table over the
+  /// 6-variable universe and folding leaf delays/loads into `c`.
+  std::uint64_t eval(SgCandidate& c, std::size_t& pos, double path_delay,
+                     double leaf_load) {
+    std::int32_t entry = code[pos++];
+    if (entry < 0) {
+      unsigned v = static_cast<unsigned>(-entry) - 1;
+      c.var_delay[v] = std::max(c.var_delay[v], path_delay);
+      c.var_load[v] += leaf_load;
+      return kProjection[v];
+    }
+    const BaseGateInfo& g = base[static_cast<std::size_t>(entry)];
+    std::uint64_t args[kSupergateMaxVars];
+    for (std::size_t i = 0; i < g.vars.size(); ++i) {
+      args[i] = eval(c, pos, path_delay + g.pin_delay[i], g.pin_load[i]);
+    }
+    return compose64(g.tt, static_cast<unsigned>(g.vars.size()), args);
+  }
+};
+
+/// Renders the subtree at `pos` (candidate_structure helper).
+void structure_at(const std::vector<BaseGateInfo>& base,
+                  const std::vector<std::int32_t>& code, std::size_t& pos,
+                  std::string& out) {
+  std::int32_t entry = code[pos++];
+  if (entry < 0) {
+    out += 'v';
+    out += std::to_string(-entry - 1);
+    return;
+  }
+  const BaseGateInfo& g = base[static_cast<std::size_t>(entry)];
+  out += g.source->name;
+  out += '(';
+  for (std::size_t i = 0; i < g.vars.size(); ++i) {
+    if (i) out += ',';
+    structure_at(base, code, pos, out);
+  }
+  out += ')';
+}
+
+/// Substitutes `env[name]` for every Var(name) in `e`.
+Expr substitute(const Expr& e,
+                const std::unordered_map<std::string, const Expr*>& env) {
+  switch (e.op) {
+    case Expr::Op::Var: {
+      auto it = env.find(e.var);
+      assert(it != env.end());
+      return *it->second;
+    }
+    case Expr::Op::Const0:
+    case Expr::Op::Const1:
+      return e;
+    default: {
+      Expr result;
+      result.op = e.op;
+      result.operands.reserve(e.operands.size());
+      for (const Expr& operand : e.operands) {
+        result.operands.push_back(substitute(operand, env));
+      }
+      return result;
+    }
+  }
+}
+
+/// Builds the subtree expression at `pos` (candidate_expr helper).
+Expr expr_at(const std::vector<BaseGateInfo>& base,
+             const std::vector<std::int32_t>& code, std::size_t& pos) {
+  std::int32_t entry = code[pos++];
+  if (entry < 0) {
+    return Expr::make_var(std::string(1, static_cast<char>('a' - entry - 1)));
+  }
+  const BaseGateInfo& g = base[static_cast<std::size_t>(entry)];
+  std::vector<Expr> args;
+  args.reserve(g.vars.size());
+  for (std::size_t i = 0; i < g.vars.size(); ++i) {
+    args.push_back(expr_at(base, code, pos));
+  }
+  std::unordered_map<std::string, const Expr*> env;
+  for (std::size_t i = 0; i < g.vars.size(); ++i) env[g.vars[i]] = &args[i];
+  return substitute(g.source->function, env);
+}
+
+}  // namespace
+
+double SgCandidate::delay() const {
+  double worst = 0.0;
+  for (unsigned v = 0; v < num_vars; ++v) {
+    worst = std::max(worst, var_delay[v]);
+  }
+  return worst;
+}
+
+std::vector<BaseGateInfo> analyze_base_gates(
+    const std::vector<GenlibGate>& gates, unsigned max_component_inputs) {
+  unsigned pin_cap = std::min(max_component_inputs, kSupergateMaxVars);
+  std::vector<BaseGateInfo> result;
+  result.reserve(gates.size());
+  for (const GenlibGate& gate : gates) {
+    BaseGateInfo info;
+    info.source = &gate;
+    info.vars = expr_variables(gate.function);
+    info.area = gate.area;
+    unsigned n = static_cast<unsigned>(info.vars.size());
+    for (const std::string& var : info.vars) {
+      const GenlibPin* pin = find_pin(gate, var);
+      GenlibPin defaults;
+      if (!pin) pin = &defaults;
+      info.pin_delay.push_back(std::max(pin->rise_block, pin->fall_block));
+      info.pin_load.push_back(pin->input_load);
+    }
+    if (n >= 1 && n <= kSupergateMaxVars) {
+      // The table is computed for every narrow-enough gate (not just
+      // participants): supergate.cpp uses it for exact-function
+      // comparison against candidates.
+      TruthTable table = expr_truth_table(gate.function, info.vars);
+      for (std::size_t m = 0; m < table.num_minterms(); ++m) {
+        if (table.bit(m)) info.tt |= std::uint64_t{1} << m;
+      }
+      bool degenerate = table.is_const0() || table.is_const1();
+      for (unsigned v = 0; v < n && !degenerate; ++v) {
+        if (!table.depends_on(v)) degenerate = true;
+      }
+      bool buffer = n == 1 && info.tt == 0b10;  // identity: adds delay only
+      info.participates = n <= pin_cap && !degenerate && !buffer;
+    }
+    result.push_back(std::move(info));
+  }
+  return result;
+}
+
+bool enumerate_supergates_for_root(const std::vector<BaseGateInfo>& base,
+                                   std::size_t root,
+                                   const SupergateOptions& options,
+                                   std::vector<SgCandidate>& out,
+                                   std::uint64_t* steps) {
+  assert(root < base.size() && base[root].participates);
+  Enumerator e{base, options, out};
+  e.run(root);
+  if (steps) *steps += e.steps;
+  return !e.truncated;
+}
+
+std::string candidate_structure(const std::vector<BaseGateInfo>& base,
+                                const SgCandidate& c) {
+  std::string out;
+  std::size_t pos = 0;
+  structure_at(base, c.code, pos, out);
+  assert(pos == c.code.size());
+  return out;
+}
+
+Expr candidate_expr(const std::vector<BaseGateInfo>& base,
+                    const SgCandidate& c) {
+  std::size_t pos = 0;
+  Expr e = expr_at(base, c.code, pos);
+  assert(pos == c.code.size());
+  return e;
+}
+
+}  // namespace dagmap

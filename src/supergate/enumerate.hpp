@@ -1,0 +1,102 @@
+// Per-root supergate enumeration: depth-bounded compositions of library
+// gates (gate feeding gate, with input sharing) rooted at one base gate.
+//
+// A supergate candidate is a composition tree: the root is a library
+// gate, and every input pin of every gate instance is fed either by a
+// leaf variable or by the output of another gate instance one level
+// deeper.  Leaves are enumerated left-to-right under the canonical
+// first-use rule — a pin may reuse any already-introduced variable (that
+// is what "input sharing" means) or introduce the next fresh one — so
+// two compositions that differ only by a permutation of variable names
+// are enumerated exactly once.
+//
+// Enumeration per root is strictly sequential and deterministic:
+// candidates appear in a fixed depth-first order (variables before child
+// gates, gates in library order), and the per-root step budget truncates
+// that order at a fixed prefix.  This is what makes the parallel
+// orchestration in supergate.cpp bit-identical for every thread count —
+// roots are independent work units and the merge is by root index.
+//
+// Everything here works on plain 64-bit truth tables: supergates are
+// capped at 6 leaf variables (kSupergateMaxVars), so one word holds the
+// whole function and composition is a 64-iteration loop.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/genlib.hpp"
+
+namespace dagmap {
+
+struct SupergateOptions;  // supergate.hpp
+
+/// Hard cap on distinct supergate leaf variables (single-word tables).
+inline constexpr unsigned kSupergateMaxVars = 6;
+
+/// Precomputed per-base-gate data the enumeration works from.
+struct BaseGateInfo {
+  const GenlibGate* source = nullptr;
+  /// Pin order (= first occurrence in the function, as from_genlib).
+  std::vector<std::string> vars;
+  /// Worst-of-rise/fall intrinsic delay per pin, wildcard-resolved.
+  std::vector<double> pin_delay;
+  /// Input load per pin, wildcard-resolved.
+  std::vector<double> pin_load;
+  /// Function over the pins, low 2^pins bits valid.
+  std::uint64_t tt = 0;
+  double area = 0.0;
+  /// False for gates excluded from composition (too many pins,
+  /// constants, buffers): they pass through to the augmented library
+  /// but neither root nor feed a supergate.
+  bool participates = false;
+};
+
+/// Analyzes parsed GENLIB gates.  `max_component_inputs` bounds the pin
+/// count of participating gates (clamped to kSupergateMaxVars).
+std::vector<BaseGateInfo> analyze_base_gates(
+    const std::vector<GenlibGate>& gates, unsigned max_component_inputs);
+
+/// One complete composition.  `code` is the depth-first prefix encoding:
+/// a non-negative entry is a base-gate index (followed by one entry per
+/// pin), a negative entry -(v+1) is leaf variable v.
+struct SgCandidate {
+  std::vector<std::int32_t> code;
+  std::uint64_t tt = 0;       ///< function, low 2^num_vars bits valid
+  unsigned num_vars = 0;      ///< distinct leaf variables
+  unsigned components = 0;    ///< gate instances
+  double area = 0.0;          ///< sum of component areas
+  /// Worst root-to-leaf intrinsic-delay sum per variable.
+  std::array<double, kSupergateMaxVars> var_delay{};
+  /// Total input load presented by the leaves of each variable.
+  std::array<double, kSupergateMaxVars> var_load{};
+
+  /// The candidate's delay for representative selection: worst pin.
+  double delay() const;
+};
+
+/// Enumerates every composition rooted at `base[root]` that satisfies
+/// the option bounds, appending to `out` in canonical order.  Bare
+/// single-gate "compositions" are not emitted (the base gate is already
+/// in the library).  Returns false when the step budget truncated the
+/// enumeration.  `steps` (optional) accumulates the step count.
+bool enumerate_supergates_for_root(const std::vector<BaseGateInfo>& base,
+                                   std::size_t root,
+                                   const SupergateOptions& options,
+                                   std::vector<SgCandidate>& out,
+                                   std::uint64_t* steps = nullptr);
+
+/// Canonical human-readable structure, e.g. "nand2(inv(v0),v0)".  Used
+/// as the deterministic tie-break key and hashed into the gate name.
+std::string candidate_structure(const std::vector<BaseGateInfo>& base,
+                                const SgCandidate& c);
+
+/// Rebuilds the composition as a GENLIB expression over pins
+/// 'a','b',... (variable v -> name 'a'+v), substituting each component
+/// gate's function.
+Expr candidate_expr(const std::vector<BaseGateInfo>& base,
+                    const SgCandidate& c);
+
+}  // namespace dagmap

@@ -1,0 +1,102 @@
+// Supergate library generation — composing library gates into richer
+// virtual cells (after "Enhancing ASIC Technology Mapping via Parallel
+// Supergate Computing", Cai et al. 2024, adapted to this codebase's
+// load-independent delay model).
+//
+// The paper's Tables 2–3 show the DAG-vs-tree delay gap widening as the
+// library grows richer (lib2's 27 gates vs 44-3's 625).  This subsystem
+// manufactures that richness for any input library: depth-bounded
+// compositions of base gates are enumerated, pruned, deduplicated per
+// NPN class, and materialized as ordinary GENLIB gates.  The augmented
+// library then flows through `GateLibrary::from_genlib` like any other
+// — the matcher, signature index, labeler and cover pass are untouched.
+//
+// Materializing through GENLIB is the load-bearing choice: each
+// supergate gets a composed Boolean expression, so pattern generation
+// applies both the factored decompositions of that expression AND the
+// best-phase ISOP re-expression — the latter is where strict delay wins
+// come from under an additive delay model (a composition whose
+// boundaries coincide with subject-graph nodes can only tie the base
+// cover; a re-expressed flat pattern with absorbed inverters can beat
+// it).  It also makes genlib round-tripping free: every numeric field
+// is normalized through the writer's text format at generation time, so
+// write → parse reproduces the augmented library bit-for-bit.
+//
+// Determinism: generation is a pure function of (base gates, options).
+// Enumeration fans out over root gates on the shared ThreadPool; each
+// root is enumerated sequentially into its own arena and the merge
+// walks roots in index order, so every thread count produces the same
+// bytes (asserted by the tsan-labeled parallel test at 1/2/8 threads).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/genlib.hpp"
+#include "library/gate_library.hpp"
+
+namespace dagmap {
+
+/// Bounds for supergate enumeration.  Defaults are the depth-2 sweet
+/// spot: rich enough to add re-expressed multi-level cells, small
+/// enough to keep generation interactive on the paper's libraries.
+struct SupergateOptions {
+  /// Maximum composition depth in gate levels; 1 disables composition
+  /// (the augmented library is just the base library).
+  unsigned max_depth = 2;
+  /// Maximum distinct leaf variables per supergate (<= 6).
+  unsigned max_inputs = 4;
+  /// Maximum gate instances per supergate.  Three covers the winning
+  /// shapes (gate-feeding-gate plus a phase inverter) while keeping
+  /// default-option generation well under the step budget.
+  unsigned max_components = 3;
+  /// Base gates with more pins than this neither root nor feed a
+  /// composition (they still pass through to the augmented library).
+  unsigned max_component_inputs = 4;
+  /// Area bound per supergate; 0 = unbounded.
+  double max_area = 0.0;
+  /// Deterministic per-root enumeration step budget.  Exceeding it
+  /// truncates that root's candidate stream at a fixed prefix (counted
+  /// in SupergateStats::truncated_roots) — the result is still a
+  /// deterministic function of (library, options).  The default is
+  /// enough to enumerate small libraries exhaustively; rich libraries
+  /// (lib2, the 44 family) truncate their widest roots instead of
+  /// blowing up.
+  std::size_t max_steps_per_root = 2000000;
+  /// Worker threads for the per-root fan-out; 0 = all hardware.
+  unsigned num_threads = 1;
+};
+
+/// Generation telemetry (reported by bench_supergate).
+struct SupergateStats {
+  std::size_t roots = 0;            ///< participating base gates
+  std::size_t candidates = 0;       ///< compositions within bounds
+  std::size_t classes_seen = 0;     ///< distinct canonical classes
+  std::size_t kept = 0;             ///< supergates added to the library
+  std::size_t pruned_by_class = 0;  ///< lost the per-class selection
+  std::size_t pruned_trivial = 0;   ///< const/buffer/degenerate support
+  std::size_t pruned_vs_base = 0;   ///< base gate with same function, no faster
+  std::size_t pruned_degenerate = 0;  ///< simplified form failed pattern lowering
+  std::size_t truncated_roots = 0;  ///< roots that hit the step budget
+  double generation_seconds = 0.0;
+};
+
+/// Result of supergate generation: the augmented gate list (base gates
+/// first, in input order, then generated supergates in deterministic
+/// order), the built GateLibrary, and the stats.
+struct SupergateLibrary {
+  std::vector<GenlibGate> gates;
+  GateLibrary library;
+  SupergateStats stats;
+};
+
+/// Synthesizes the supergate-augmented library from parsed GENLIB
+/// gates.  Pure function of (base, options) — bit-identical output for
+/// every num_threads.  `name` becomes the GateLibrary name.
+SupergateLibrary generate_supergates(const std::vector<GenlibGate>& base,
+                                     const SupergateOptions& options = {},
+                                     std::string name = "supergate");
+
+}  // namespace dagmap

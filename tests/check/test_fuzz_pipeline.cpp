@@ -44,6 +44,23 @@ TEST(FuzzInvariants, ThreadCountDoesNotChangeTheResult) {
   expect_clean(kFuzzThreadDeterminism, 50'000, 100);
 }
 
+TEST(FuzzInvariants, SupergateLibraryNeverMapsSlowerThanBase) {
+  expect_clean(kFuzzSupergateDominance, 60'000, 40);
+}
+
+TEST(FuzzInvariants, SupergateDominanceHoldsOnMultiLevelLibraries) {
+  // Multi-level base gates (non-read-once functions) are the richest
+  // composition fodder; the dominance and equivalence invariants must
+  // hold there too.
+  FuzzOptions opt;
+  opt.invariants = kFuzzSupergateDominance | kFuzzEquivalence;
+  opt.multi_level_libraries = true;
+  for (int i = 0; i < 25; ++i) {
+    FuzzReport r = run_fuzz_seed(61'000 + i, opt);
+    EXPECT_TRUE(r.ok) << r.to_string();
+  }
+}
+
 TEST(FuzzPipeline, QuickSweepAllInvariants) {
   expect_clean(kFuzzAllInvariants, 1, 200);
 }

@@ -46,6 +46,27 @@ TEST(Shrink, InjectedLabelingBugMinimizesBelow15Nodes) {
   EXPECT_NO_THROW(r.circuit.check());
 }
 
+TEST(Shrink, InjectedSupergateBugMinimizesAndReproduces) {
+  // The sixth invariant (SupergateDominance) must flow through the same
+  // detect -> shrink -> replay machinery as the others.
+  FuzzOptions opt;
+  opt.invariants = kFuzzSupergateDominance;
+  opt.inject_supergate_bug = true;
+  FuzzInstance inst = make_fuzz_instance(3, opt);
+  ASSERT_FALSE(run_fuzz_instance(inst, opt).ok);
+
+  ShrinkResult r = shrink_instance(
+      inst.circuit, inst.library_text,
+      [&](const Network& c, const std::string& l) {
+        return suite_fails(c, l, opt);
+      });
+
+  EXPECT_LT(r.final_nodes, r.initial_nodes);
+  EXPECT_LE(r.final_gates, r.initial_gates);
+  EXPECT_TRUE(suite_fails(r.circuit, r.library_text, opt));
+  EXPECT_NO_THROW(r.circuit.check());
+}
+
 TEST(Shrink, StructuralPredicateReducesToTheKernel) {
   // Minimal failure kernel for "has at least one generic logic node":
   // one node.  The shrinker should get all the way down.

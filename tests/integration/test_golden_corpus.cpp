@@ -12,17 +12,30 @@
 #include "core/dag_mapper.hpp"
 #include "decomp/tech_decomp.hpp"
 #include "io/blif.hpp"
+#include "io/genlib.hpp"
 #include "library/gate_library.hpp"
 #include "sim/simulator.hpp"
+#include "supergate/supergate.hpp"
 
 namespace dagmap {
 namespace {
 
 struct GoldenEntry {
-  std::string name;
+  std::string name;   ///< corpus pair; a "+supergates" suffix selects the
+                      ///< supergate-augmented library (default options)
   double delay = 0.0;
   double area = 0.0;
   std::size_t gates = 0;
+
+  /// Corpus file stem ("gray3" for entry "gray3+supergates").
+  std::string stem() const {
+    std::size_t plus = name.find('+');
+    return plus == std::string::npos ? name : name.substr(0, plus);
+  }
+  bool with_supergates() const {
+    return name.size() > stem().size() &&
+           name.substr(stem().size()) == "+supergates";
+  }
 };
 
 std::string data_path(const std::string& rel) {
@@ -58,9 +71,13 @@ TEST(GoldenCorpus, MappedResultsMatchRecordedExpectations) {
   ASSERT_GE(entries.size(), 4u);
   for (const GoldenEntry& e : entries) {
     SCOPED_TRACE(e.name);
-    Network circuit = parse_blif(slurp(data_path(e.name + ".blif")));
-    GateLibrary lib = GateLibrary::from_genlib_text(
-        slurp(data_path(e.name + ".genlib")), e.name);
+    Network circuit = parse_blif(slurp(data_path(e.stem() + ".blif")));
+    std::vector<GenlibGate> gates =
+        parse_genlib(slurp(data_path(e.stem() + ".genlib")));
+    GateLibrary lib =
+        e.with_supergates()
+            ? std::move(generate_supergates(gates, {}, e.name).library)
+            : GateLibrary::from_genlib(gates, e.name);
     Network subject = tech_decompose(circuit);
     MapResult r = dag_map(subject, lib, {});
     // Sanity beyond the numbers: the mapping must still be correct.
@@ -87,8 +104,8 @@ TEST(GoldenCorpus, EveryDataPairIsListed) {
   // must load, and the count matches the pairs shipped in the corpus.
   std::vector<GoldenEntry> entries = load_expectations();
   for (const GoldenEntry& e : entries) {
-    EXPECT_FALSE(slurp(data_path(e.name + ".blif")).empty());
-    EXPECT_FALSE(slurp(data_path(e.name + ".genlib")).empty());
+    EXPECT_FALSE(slurp(data_path(e.stem() + ".blif")).empty());
+    EXPECT_FALSE(slurp(data_path(e.stem() + ".genlib")).empty());
   }
 }
 

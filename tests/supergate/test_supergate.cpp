@@ -1,0 +1,192 @@
+// Supergate generation: determinism, pruning, materialization through
+// GENLIB, and the strict mapped-delay wins on the golden corpus that
+// motivate the subsystem (richer library => bigger DAG-covering win).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/dag_mapper.hpp"
+#include "decomp/tech_decomp.hpp"
+#include "io/blif.hpp"
+#include "io/genlib.hpp"
+#include "mapnet/write.hpp"
+#include "sim/simulator.hpp"
+#include "supergate/supergate.hpp"
+
+namespace dagmap {
+namespace {
+
+std::string golden_path(const std::string& rel) {
+  return std::string(DAGMAP_TEST_DATA_DIR) + "/golden/" + rel;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// inv + nand2 + aoi22: small but expressive enough that composition
+// discovers genuinely new functions (e.g. XOR via aoi22 + inverters).
+constexpr const char* kTinyLib = R"(
+GATE inv    1 O=!a;           PIN * INV 1 999 1.0 0.2 1.0 0.2
+GATE nand2  2 O=!(a*b);       PIN * INV 1 999 1.2 0.25 1.2 0.25
+GATE aoi22  4 O=!(a*b+c*d);   PIN * INV 1 999 1.8 0.3 1.8 0.3
+)";
+
+TEST(Supergate, AugmentedLibraryExtendsBaseDeterministically) {
+  std::vector<GenlibGate> base = parse_genlib(kTinyLib);
+  SupergateLibrary sg = generate_supergates(base, {}, "tiny-sg");
+
+  // Base gates come first, untouched and in input order.
+  ASSERT_GE(sg.gates.size(), base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(sg.gates[i].name, base[i].name);
+  }
+  EXPECT_GT(sg.stats.kept, 0u);
+  EXPECT_EQ(sg.gates.size(), base.size() + sg.stats.kept);
+  EXPECT_EQ(sg.library.size(), sg.gates.size());
+  EXPECT_TRUE(sg.library.is_complete_for_mapping());
+  EXPECT_EQ(sg.stats.roots, base.size());  // all three participate
+  EXPECT_EQ(sg.stats.truncated_roots, 0u);
+
+  std::set<std::string> names;
+  for (const GenlibGate& g : sg.gates) {
+    EXPECT_TRUE(names.insert(g.name).second) << "duplicate name " << g.name;
+  }
+
+  // Pure function of (library, options): a second run is bit-identical.
+  SupergateLibrary again = generate_supergates(base, {}, "tiny-sg");
+  EXPECT_EQ(write_genlib(sg.gates), write_genlib(again.gates));
+}
+
+TEST(Supergate, DepthOneIsTheBaseLibrary) {
+  std::vector<GenlibGate> base = parse_genlib(kTinyLib);
+  SupergateOptions options;
+  options.max_depth = 1;
+  SupergateLibrary sg = generate_supergates(base, options);
+  EXPECT_EQ(sg.stats.kept, 0u);
+  EXPECT_EQ(write_genlib(sg.gates), write_genlib(base));
+}
+
+TEST(Supergate, PrunesDuplicatesOfBaseFunctions) {
+  // inv(inv(a)) is a buffer (trivial); inv(nand2(a,b)) recomputes the
+  // native and2 at delay 2.2 >= 2.0, so it loses the exact-function
+  // comparison against the base gate (pruned_vs_base).
+  std::vector<GenlibGate> base = parse_genlib(
+      "GATE inv 1 O=!a; PIN * INV 1 999 1.0 0.2 1.0 0.2\n"
+      "GATE nand2 2 O=!(a*b); PIN * INV 1 999 1.2 0.25 1.2 0.25\n"
+      "GATE and2 3 O=a*b; PIN * NONINV 1 999 2.0 0.3 2.0 0.3\n");
+  SupergateLibrary sg = generate_supergates(base);
+  EXPECT_GT(sg.stats.pruned_trivial, 0u);
+  EXPECT_GT(sg.stats.pruned_vs_base, 0u);
+  EXPECT_GT(sg.stats.pruned_by_class, 0u);
+
+  // No generated gate recomputes a base function without being faster.
+  for (std::size_t i = base.size(); i < sg.gates.size(); ++i) {
+    const Gate& g = sg.library.gates()[i];
+    for (std::size_t b = 0; b < base.size(); ++b) {
+      const Gate& bg = sg.library.gates()[b];
+      if (g.function == bg.function) {
+        EXPECT_LT(g.max_pin_delay(), bg.max_pin_delay())
+            << g.name << " duplicates " << bg.name << " without a win";
+      }
+    }
+  }
+}
+
+TEST(Supergate, AreaBoundIsRespected) {
+  std::vector<GenlibGate> base = parse_genlib(kTinyLib);
+  SupergateOptions options;
+  options.max_area = 4.0;  // inv+aoi22 (5) no longer fits; inv+nand2 does
+  SupergateLibrary sg = generate_supergates(base, options);
+  for (std::size_t i = base.size(); i < sg.gates.size(); ++i) {
+    EXPECT_LE(sg.gates[i].area, 4.0 + 1e-9);
+  }
+}
+
+TEST(Supergate, StrictDelayWinsOnGoldenCircuits) {
+  // The acceptance bar: the augmented library strictly improves mapped
+  // delay on these golden pairs (and stays functionally correct).
+  for (const std::string name : {"full_adder", "majxor", "gray3"}) {
+    SCOPED_TRACE(name);
+    Network circuit = parse_blif(slurp(golden_path(name + ".blif")));
+    std::vector<GenlibGate> base =
+        parse_genlib(slurp(golden_path(name + ".genlib")));
+    GateLibrary base_lib = GateLibrary::from_genlib(base, name);
+    SupergateLibrary sg = generate_supergates(base, {}, name + "-sg");
+
+    Network subject = tech_decompose(circuit);
+    MapResult base_map = dag_map(subject, base_lib, {});
+    MapResult sg_map = dag_map(subject, sg.library, {});
+
+    EXPECT_LT(sg_map.optimal_delay, base_map.optimal_delay - 1e-9)
+        << "no strict win: base " << base_map.optimal_delay << " vs sg "
+        << sg_map.optimal_delay;
+    EXPECT_TRUE(
+        check_equivalence(circuit, sg_map.netlist.to_network()).equivalent);
+  }
+}
+
+TEST(Supergate, AugmentedNeverWorseAcrossCorpus) {
+  // Monotonicity on every golden pair: the augmented library contains
+  // every base gate, so its match set is a superset and labels can only
+  // improve.
+  for (const std::string name :
+       {"full_adder", "mux4", "parity5", "majxor", "decoder2", "gray3"}) {
+    SCOPED_TRACE(name);
+    Network circuit = parse_blif(slurp(golden_path(name + ".blif")));
+    std::vector<GenlibGate> base =
+        parse_genlib(slurp(golden_path(name + ".genlib")));
+    GateLibrary base_lib = GateLibrary::from_genlib(base, name);
+    SupergateLibrary sg = generate_supergates(base, {}, name + "-sg");
+    Network subject = tech_decompose(circuit);
+    MapResult base_map = dag_map(subject, base_lib, {});
+    MapResult sg_map = dag_map(subject, sg.library, {});
+    EXPECT_LE(sg_map.optimal_delay, base_map.optimal_delay + 1e-9);
+  }
+}
+
+TEST(Supergate, WriteParseRoundTripGivesIdenticalMatchResults) {
+  // The satellite-4 guarantee: augmented libraries serialize to valid
+  // GENLIB whose re-parse maps every circuit identically (same delay,
+  // area, gate count, and byte-identical mapped netlist).
+  for (const std::string name : {"full_adder", "majxor", "gray3"}) {
+    SCOPED_TRACE(name);
+    std::vector<GenlibGate> base =
+        parse_genlib(slurp(golden_path(name + ".genlib")));
+    SupergateLibrary sg = generate_supergates(base, {}, name + "-sg");
+
+    std::string text = write_genlib(sg.gates);
+    std::vector<GenlibGate> reparsed = parse_genlib(text);
+    ASSERT_EQ(reparsed.size(), sg.gates.size());
+    EXPECT_EQ(write_genlib(reparsed), text);  // text fixpoint
+    GateLibrary relib = GateLibrary::from_genlib(reparsed, name + "-rt");
+
+    Network circuit = parse_blif(slurp(golden_path(name + ".blif")));
+    Network subject = tech_decompose(circuit);
+    MapResult a = dag_map(subject, sg.library, {});
+    MapResult b = dag_map(subject, relib, {});
+    EXPECT_EQ(a.optimal_delay, b.optimal_delay);
+    EXPECT_EQ(a.netlist.total_area(), b.netlist.total_area());
+    EXPECT_EQ(write_mapped_blif(a.netlist), write_mapped_blif(b.netlist));
+  }
+}
+
+TEST(Supergate, StepBudgetTruncatesDeterministically) {
+  std::vector<GenlibGate> base = parse_genlib(kTinyLib);
+  SupergateOptions tight;
+  tight.max_steps_per_root = 50;
+  SupergateLibrary a = generate_supergates(base, tight);
+  SupergateLibrary b = generate_supergates(base, tight);
+  EXPECT_GT(a.stats.truncated_roots, 0u);
+  EXPECT_EQ(write_genlib(a.gates), write_genlib(b.gates));
+}
+
+}  // namespace
+}  // namespace dagmap

@@ -8,6 +8,8 @@
 //   --lib44 <1|2|3>           use a built-in 44-family library instead
 //   --mapper <dag|tree|choice> covering algorithm   (default: dag)
 //   --match <standard|extended>                     (default: standard)
+//   --supergates[=depth]      augment the library with generated
+//                             supergates before mapping (depth default 2)
 //   --threads <n>             labeling worker threads (0 = all cores,
 //                             default 1; output is identical either way)
 //   --area-recovery           enable required-time area recovery
@@ -34,6 +36,7 @@
 #include "fanout/lt_tree.hpp"
 #include "fanout/sizing.hpp"
 #include "mapnet/write.hpp"
+#include "supergate/supergate.hpp"
 
 using namespace dagmap;
 
@@ -45,6 +48,7 @@ struct CliOptions {
   int lib44 = 0;
   std::string mapper = "dag";
   std::string match = "standard";
+  unsigned supergate_depth = 0;  ///< 0 = off; --supergates defaults to 2
   unsigned threads = 1;
   bool area_recovery = false;
   unsigned buffer_branch = 0;
@@ -62,6 +66,7 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: dagmap_cli [--library F.genlib | --lib44 N] "
                "[--mapper dag|tree|choice] [--match standard|extended] "
+               "[--supergates[=D]] "
                "[--threads N] [--area-recovery] [--buffer N] [--retime] "
                "[--lut K] [--out F] [--no-verify] circuit.blif\n");
   std::exit(2);
@@ -79,6 +84,9 @@ CliOptions parse_args(int argc, char** argv) {
     else if (a == "--lib44") o.lib44 = std::stoi(next());
     else if (a == "--mapper") o.mapper = next();
     else if (a == "--match") o.match = next();
+    else if (a == "--supergates") o.supergate_depth = 2;
+    else if (a.rfind("--supergates=", 0) == 0)
+      o.supergate_depth = std::stoul(a.substr(std::strlen("--supergates=")));
     else if (a == "--threads") o.threads = std::stoul(next());
     else if (a == "--area-recovery") o.area_recovery = true;
     else if (a == "--buffer") o.buffer_branch = std::stoul(next());
@@ -125,12 +133,31 @@ int main(int argc, char** argv) try {
   }
 
   // ---- library-based flow -------------------------------------------------
-  GateLibrary lib =
-      !opt.library_path.empty()
-          ? GateLibrary::from_genlib(read_genlib_file(opt.library_path),
-                                     opt.library_path)
-      : opt.lib44 > 0 ? make_44_library(opt.lib44)
-                      : make_lib2_library();
+  // Gather the parsed gate list first so --supergates can augment any of
+  // the three sources before the GateLibrary is built.
+  std::vector<GenlibGate> base_gates =
+      !opt.library_path.empty() ? read_genlib_file(opt.library_path)
+      : opt.lib44 > 0           ? make_44_genlib(opt.lib44)
+                                : parse_genlib(lib2_genlib_text());
+  std::string lib_name =
+      !opt.library_path.empty() ? opt.library_path
+      : opt.lib44 > 0 ? "44-" + std::to_string(opt.lib44) + "-like"
+                      : "lib2-like";
+  GateLibrary lib = [&]() -> GateLibrary {
+    if (opt.supergate_depth == 0)
+      return GateLibrary::from_genlib(base_gates, lib_name);
+    SupergateOptions sgopt;
+    sgopt.max_depth = opt.supergate_depth;
+    sgopt.num_threads = opt.threads;
+    SupergateLibrary sg =
+        generate_supergates(base_gates, sgopt, lib_name + "+supergates");
+    std::printf(
+        "supergates: depth %u, %zu kept of %zu candidates "
+        "(%zu classes, %.2fs)\n",
+        opt.supergate_depth, sg.stats.kept, sg.stats.candidates,
+        sg.stats.classes_seen, sg.stats.generation_seconds);
+    return std::move(sg.library);
+  }();
   std::printf("library %s: %zu gates\n", lib.name().c_str(), lib.size());
   if (!lib.is_complete_for_mapping()) usage("library lacks INV or NAND2");
 

@@ -7,7 +7,9 @@
 // Each seed deterministically builds a random (circuit, GENLIB library)
 // pair, runs decompose -> match -> label -> cover, and asserts the
 // invariant suite (equivalence, oracle-optimality, tree >= DAG,
-// Extended <= Standard, thread determinism; see check/fuzz_pipeline.hpp).
+// Extended <= Standard, thread determinism, supergate dominance — the
+// supergate-augmented library never maps slower than the base library;
+// see check/fuzz_pipeline.hpp).
 // On a violation with --shrink, a delta-debugging pass minimizes the
 // instance and writes repro.blif + repro.genlib plus the replay command.
 // --inject-bug corrupts the labels on purpose (test hook), so the

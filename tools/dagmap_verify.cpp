@@ -4,21 +4,27 @@
 //   $ dagmap_verify --library lib.genlib golden.blif mapped.blif
 //
 // With --library, the second file is read as *mapped* BLIF (.gate
-// statements resolved against the library).  Interfaces must match by
+// statements resolved against the library).  Add --supergates[=depth]
+// to augment that library with generated supergates first (depth
+// defaults to 2), so netlists produced by `dagmap_cli --supergates`
+// resolve their supergate instances.  Interfaces must match by
 // PI/PO names and order.  Sequential circuits are compared
 // combinationally (latch outputs as inputs, latch D as outputs), which
 // is the invariant technology mapping must preserve.  Exit code: 0
 // equivalent, 1 not, 2 usage/IO error.
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "dagmap/dagmap.hpp"
 #include "mapnet/write.hpp"
+#include "supergate/supergate.hpp"
 
 using namespace dagmap;
 
 int main(int argc, char** argv) try {
   std::string library_path;
+  unsigned supergate_depth = 0;  // 0 = off; --supergates defaults to 2
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -28,22 +34,36 @@ int main(int argc, char** argv) try {
         return 2;
       }
       library_path = argv[i];
+    } else if (a == "--supergates") {
+      supergate_depth = 2;
+    } else if (a.rfind("--supergates=", 0) == 0) {
+      supergate_depth = std::stoul(a.substr(std::strlen("--supergates=")));
     } else {
       files.push_back(a);
     }
   }
   if (files.size() != 2) {
     std::fprintf(stderr,
-                 "usage: dagmap_verify [--library lib.genlib] golden.blif "
-                 "revised.blif\n");
+                 "usage: dagmap_verify [--library lib.genlib "
+                 "[--supergates[=D]]] golden.blif revised.blif\n");
+    return 2;
+  }
+  if (supergate_depth > 0 && library_path.empty()) {
+    std::fprintf(stderr, "--supergates requires --library\n");
     return 2;
   }
 
   Network golden = read_blif_file(files[0]);
   Network revised;
   if (!library_path.empty()) {
-    GateLibrary lib = GateLibrary::from_genlib(
-        read_genlib_file(library_path), library_path);
+    std::vector<GenlibGate> gates = read_genlib_file(library_path);
+    GateLibrary lib =
+        supergate_depth > 0
+            ? std::move(generate_supergates(gates,
+                                            {.max_depth = supergate_depth},
+                                            library_path + "+supergates")
+                            .library)
+            : GateLibrary::from_genlib(gates, library_path);
     revised = read_mapped_blif_file(files[1], lib).to_network();
   } else {
     revised = read_blif_file(files[1]);

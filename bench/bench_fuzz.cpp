@@ -20,6 +20,7 @@
 #include <string>
 
 #include "check/fuzz_pipeline.hpp"
+#include "common/table_runner.hpp"
 
 using namespace dagmap;
 
@@ -35,6 +36,9 @@ int run(const Config& cfg, std::uint64_t first_seed, int instances) {
   opt.invariants = cfg.invariants;
   int violations = 0;
   std::size_t oracle_checked = 0;
+  // One profiling session per config; phases aggregate across all
+  // instances (pipeline stages repeat, so each phase reports its total).
+  obs::start();
   auto t0 = std::chrono::steady_clock::now();
   for (int i = 0; i < instances; ++i) {
     FuzzReport r = run_fuzz_seed(first_seed + i, opt);
@@ -44,12 +48,15 @@ int run(const Config& cfg, std::uint64_t first_seed, int instances) {
   double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  obs::stop();
+  obs::ProfileData prof = obs::collect();
   std::printf(
       "{\"bench\": \"fuzz\", \"config\": \"%s\", \"instances\": %d, "
       "\"violations\": %d, \"oracle_checked\": %zu, \"seconds\": %.3f, "
-      "\"instances_per_sec\": %.1f}\n",
+      "\"instances_per_sec\": %.1f, \"phases\": %s}\n",
       cfg.name, instances, violations, oracle_checked, secs,
-      instances / (secs > 0 ? secs : 1e-9));
+      instances / (secs > 0 ? secs : 1e-9),
+      bench::phases_json(prof).c_str());
   return violations;
 }
 

@@ -28,6 +28,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/table_runner.hpp"
 #include "core/dag_mapper.hpp"
 #include "decomp/tech_decomp.hpp"
 #include "gen/circuits.hpp"
@@ -84,6 +85,7 @@ int run_library(const char* label, const GateLibrary& lib,
   DagMapOptions new_opt;
   new_opt.num_threads = 4;
   new_opt.use_signature_index = true;
+  new_opt.profile = true;  // per-phase breakdown for the JSON line
   t0 = std::chrono::steady_clock::now();
   MapResult fast = dag_map(subject, lib, new_opt);
   double sec_new = seconds_since(t0);
@@ -98,14 +100,15 @@ int run_library(const char* label, const GateLibrary& lib,
       "\"attempts\": %llu, \"pruned\": %llu, \"pruned_pct\": %.1f, "
       "\"sweep_speedup\": %.2f, \"label_ms_seed\": %.1f, "
       "\"label_ms_new\": %.1f, \"speedup\": %.2f, \"threads\": 4, "
-      "\"identical\": %s}\n",
+      "\"identical\": %s, \"phases\": %s}\n",
       label, internal, static_cast<unsigned long long>(matches_on),
       static_cast<double>(matches_on) / sec_on,
       1e9 * sec_on / static_cast<double>(internal),
       static_cast<unsigned long long>(st.attempts),
       static_cast<unsigned long long>(st.pruned), pruned_pct,
       sec_off / sec_on, 1e3 * sec_seed, 1e3 * sec_new, sec_seed / sec_new,
-      identical ? "true" : "false");
+      identical ? "true" : "false",
+      bench::phases_json(fast.profile).c_str());
 
   if (matches_off != matches_on) {
     std::fprintf(stderr, "FAIL: index changed the match count (%llu vs %llu)\n",

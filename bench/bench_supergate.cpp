@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/table_runner.hpp"
 #include "dagmap/dagmap.hpp"
 
 using namespace dagmap;
@@ -58,6 +59,7 @@ std::vector<std::string> corpus_stems() {
 }  // namespace
 
 int main() try {
+  obs::start();  // one session over the whole corpus sweep
   bool ok = true;
   int strict_improvements = 0;
   std::size_t total_kept = 0, total_classes = 0, total_pruned = 0;
@@ -113,14 +115,18 @@ int main() try {
   if (strict_improvements < 3) ok = false;
   if (!threads_bit_identical) ok = false;
 
+  obs::stop();
+  obs::ProfileData prof = obs::collect();
   std::printf(
       "{\"bench\":\"supergate\",\"circuits\":[%s],"
       "\"strict_improvements\":%d,\"kept\":%zu,\"classes_seen\":%zu,"
       "\"pruned\":%zu,\"generation_seconds\":%.3f,"
-      "\"threads_bit_identical\":%s,\"ok\":%s}\n",
+      "\"threads_bit_identical\":%s,\"ok\":%s,"
+      "\"phases\":%s}\n",
       rows.str().c_str(), strict_improvements, total_kept, total_classes,
       total_pruned, total_generation_seconds,
-      threads_bit_identical ? "true" : "false", ok ? "true" : "false");
+      threads_bit_identical ? "true" : "false", ok ? "true" : "false",
+      bench::phases_json(prof).c_str());
   return ok ? 0 : 1;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "bench_supergate: %s\n", e.what());

@@ -77,4 +77,16 @@ void print_table(const std::string& title, const GateLibrary& lib,
   }
 }
 
+std::string phases_json(const obs::ProfileData& profile) {
+  std::string out = "{";
+  for (const obs::PhaseSummary& p : profile.phases) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%s\"%s\": %.6f",
+                  out.size() > 1 ? ", " : "", p.name.c_str(), p.seconds);
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
 }  // namespace dagmap::bench

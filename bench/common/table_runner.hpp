@@ -8,6 +8,7 @@
 
 #include "core/dag_mapper.hpp"
 #include "library/gate_library.hpp"
+#include "obs/obs.hpp"
 
 namespace dagmap::bench {
 
@@ -35,5 +36,11 @@ std::vector<TableRow> run_table(const GateLibrary& lib,
 /// Prints one table in the paper's layout, plus geometric-mean ratios.
 void print_table(const std::string& title, const GateLibrary& lib,
                  const std::vector<TableRow>& rows);
+
+/// Renders per-phase wall times as a JSON object string, e.g.
+/// `{"label": 0.0123, "area_recovery": 0.0041}` (seconds, phase order
+/// preserved).  For the `"phases"` field every bench JSON line carries;
+/// `{}` when the profile is empty (profiling off).
+std::string phases_json(const obs::ProfileData& profile);
 
 }  // namespace dagmap::bench

@@ -22,9 +22,18 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
   DAGMAP_ASSERT_MSG(lib.is_complete_for_mapping(),
                     "library must contain INV and NAND2");
 
-  Matcher matcher(lib, subject,
-                  {.use_signature_index = options.use_signature_index});
+  // Own a profiling session unless the caller (CLI, bench harness)
+  // already has one spanning a wider pipeline.
+  bool own_session = options.profile && !obs::enabled();
+  if (own_session) obs::start();
+
   MapResult result;
+  Matcher matcher = [&] {
+    obs::Scope scope("match.build");
+    return Matcher(lib, subject,
+                   {.use_signature_index = options.use_signature_index});
+  }();
+  obs::counter_add("library.patterns", lib.total_patterns());
   result.label.assign(subject.size(), 0.0);
 
   // Fastest match per node (labeling phase); with area recovery we also
@@ -87,17 +96,31 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
   };
 
   {
-    ThreadPool pool(num_threads);
-    for (const std::vector<NodeId>& wave : waves)
-      pool.parallel_for(wave.size(), [&](std::size_t i, unsigned worker) {
-        label_node(wave[i], worker);
-      });
+    obs::Scope scope("label");
+    {
+      ThreadPool pool(num_threads);
+      for (const std::vector<NodeId>& wave : waves)
+        pool.parallel_for(
+            wave.size(),
+            [&](std::size_t i, unsigned worker) {
+              label_node(wave[i], worker);
+            },
+            "label.wave");
+    }
+    for (const WorkerCounters& c : counters)
+      result.matches_enumerated += c.enumerated;
+    result.match_attempts = matcher.attempts();
+    result.match_prunes = matcher.pruned();
+    result.truncations = matcher.truncations();
+    if (obs::enabled()) {
+      obs::counter_add("label.waves", waves.size());
+      obs::counter_add("label.nodes", subject.num_internal());
+      obs::counter_add("match.enumerated", result.matches_enumerated);
+      obs::counter_add("match.index_misses", result.match_attempts);
+      obs::counter_add("match.index_hits", result.match_prunes);
+      obs::counter_add("match.truncations", result.truncations);
+    }
   }
-  for (const WorkerCounters& c : counters)
-    result.matches_enumerated += c.enumerated;
-  result.match_attempts = matcher.attempts();
-  result.match_prunes = matcher.pruned();
-  result.truncations = matcher.truncations();
 
   // Optimal circuit delay: worst label over endpoints.
   for (const Output& o : subject.outputs())
@@ -109,6 +132,9 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
   std::vector<std::optional<Match>> chosen = fastest;
 
   if (options.area_recovery) {
+    obs::Scope scope("area_recovery");
+    std::uint64_t labels_relaxed = 0;
+    std::uint64_t nodes_reselected = 0;
     // Area flow (forward): af(n) estimates the per-use area of the best
     // cover of n's cone, amortizing multi-fanout nodes over their fanout
     // count — the standard heuristic for duplication-aware area costs.
@@ -161,6 +187,8 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
       }
       DAGMAP_ASSERT_MSG(pick != nullptr,
                         "required time unreachable during area recovery");
+      ++nodes_reselected;
+      if (pick_arrival > result.label[n] + options.epsilon) ++labels_relaxed;
       chosen[n] = *pick;
       for (std::size_t pin = 0; pin < pick->pin_binding.size(); ++pin) {
         NodeId leaf = pick->pin_binding[pin];
@@ -169,6 +197,8 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
         if (!subject.is_source(leaf)) needed[leaf] = true;
       }
     }
+    obs::counter_add("area_recovery.nodes_reselected", nodes_reselected);
+    obs::counter_add("area_recovery.labels_relaxed", labels_relaxed);
   }
 
   result.netlist = build_cover(subject, chosen);
@@ -176,6 +206,7 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
   // Duplication accounting: walk the used matches (same reachability as
   // the cover) and count how often each subject node is covered.
   {
+    obs::Scope scope("stats");
     std::vector<std::uint32_t> covered_count(subject.size(), 0);
     std::vector<bool> used(subject.size(), false);
     std::vector<NodeId> stack;
@@ -202,11 +233,17 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
       ++result.covered_distinct;
       if (covered_count[n] >= 2) ++result.duplicated_nodes;
     }
+    obs::counter_add("cover.nodes_duplicated", result.duplicated_nodes);
+    obs::counter_add("cover.covered_instances", result.covered_instances);
   }
 
   result.cpu_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  if (options.profile) {
+    if (own_session) obs::stop();
+    result.profile = obs::collect();
+  }
   return result;
 }
 

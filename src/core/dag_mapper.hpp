@@ -40,6 +40,7 @@
 #include "mapnet/mapped_netlist.hpp"
 #include "match/matcher.hpp"
 #include "netlist/network.hpp"
+#include "obs/obs.hpp"
 
 namespace dagmap {
 
@@ -69,6 +70,13 @@ struct DagMapOptions {
   /// Consult the matcher's signature index before each pattern walk
   /// (off reproduces the unpruned enumeration; for benchmarks/tests).
   bool use_signature_index = true;
+  /// Record per-phase timings/counters into `MapResult::profile` (see
+  /// obs/obs.hpp).  Purely observational: the mapped netlist is
+  /// bit-identical with profiling on or off, at any thread count.  If a
+  /// profiling session is already active (e.g. the CLI started one
+  /// spanning the whole pipeline), the mapper instruments into it and
+  /// `MapResult::profile` snapshots that session.
+  bool profile = false;
 };
 
 /// Result of a mapping run.
@@ -90,6 +98,9 @@ struct MapResult {
   std::size_t covered_instances = 0;
   std::size_t covered_distinct = 0;
   std::size_t duplicated_nodes = 0;
+  /// Per-phase timings, counters and trace events; only populated when
+  /// `DagMapOptions::profile` is set (`profile.collected`).
+  obs::ProfileData profile;
 };
 
 /// Maps `subject` (a NAND2/INV subject graph) onto `lib` with

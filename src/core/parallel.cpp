@@ -5,6 +5,9 @@
 #include <cstdint>
 #include <exception>
 #include <mutex>
+#include <string>
+
+#include "obs/obs.hpp"
 
 namespace dagmap {
 
@@ -24,6 +27,7 @@ struct ThreadPool::State {
   std::uint64_t epoch = 0;
   bool stop = false;
   const std::function<void(std::size_t, unsigned)>* body = nullptr;
+  const char* trace_name = nullptr;
   std::size_t count = 0;
   std::atomic<std::size_t> next{0};
   unsigned running = 0;  ///< spawned workers that have not finished the job
@@ -48,12 +52,17 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::worker_main(unsigned worker) {
   State& s = *state_;
   std::uint64_t seen = 0;
+  bool named = false;
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(s.mutex);
       s.start_cv.wait(lock, [&] { return s.stop || s.epoch != seen; });
       if (s.stop) return;
       seen = s.epoch;
+    }
+    if (!named && obs::enabled()) {
+      obs::set_thread_name("pool worker " + std::to_string(worker));
+      named = true;
     }
     run_chunks(worker);
     {
@@ -65,6 +74,9 @@ void ThreadPool::worker_main(unsigned worker) {
 
 void ThreadPool::run_chunks(unsigned worker) {
   State& s = *state_;
+  // One scope per worker per job: the per-thread tracks of the Chrome
+  // trace export.  No-op (and no clock reads) unless profiling is on.
+  obs::Scope trace(s.trace_name);
   for (;;) {
     std::size_t i = s.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= s.count) return;
@@ -80,17 +92,20 @@ void ThreadPool::run_chunks(unsigned worker) {
 }
 
 void ThreadPool::parallel_for(
-    std::size_t count, const std::function<void(std::size_t, unsigned)>& body) {
+    std::size_t count, const std::function<void(std::size_t, unsigned)>& body,
+    const char* trace_name) {
   if (count == 0) return;
   State& s = *state_;
   if (threads_.empty()) {
     // Inline sequential path (also taken by ThreadPool(1)).
+    obs::Scope trace(trace_name);
     for (std::size_t i = 0; i < count; ++i) body(i, 0);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(s.mutex);
     s.body = &body;
+    s.trace_name = trace_name;
     s.count = count;
     s.next.store(0, std::memory_order_relaxed);
     s.running = static_cast<unsigned>(threads_.size());
@@ -104,6 +119,7 @@ void ThreadPool::parallel_for(
     std::unique_lock<std::mutex> lock(s.mutex);
     s.done_cv.wait(lock, [&] { return s.running == 0; });
     s.body = nullptr;
+    s.trace_name = nullptr;
     error = s.error;
     s.error = nullptr;
   }

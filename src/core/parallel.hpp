@@ -45,8 +45,14 @@ class ThreadPool {
   /// over the workers; `worker` ranges over [0, num_workers()).  Blocks
   /// until all indices are done.  Must not be called reentrantly from
   /// inside a body.
+  ///
+  /// `trace_name`, when non-null, must point at storage outliving the
+  /// call (string literals in practice): each worker's participation in
+  /// the job is recorded as one obs::Scope of that name, giving the
+  /// per-thread tracks in Chrome trace exports.  Null = no tracing.
   void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t, unsigned)>& body);
+                    const std::function<void(std::size_t, unsigned)>& body,
+                    const char* trace_name = nullptr);
 
  private:
   struct State;

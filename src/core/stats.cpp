@@ -1,16 +1,15 @@
 #include "core/stats.hpp"
 
-#include "netlist/assert.hpp"
+#include <algorithm>
 
 namespace dagmap {
 
 double MappingStats::average_gate_inputs() const {
-  std::size_t total = 0, count = 0;
-  for (std::size_t k = 0; k < fanin_histogram.size(); ++k) {
-    total += k * fanin_histogram[k];
-    count += fanin_histogram[k];
-  }
-  return count ? static_cast<double>(total) / count : 0.0;
+  std::size_t count = 0;
+  for (std::size_t bucket : fanin_histogram) count += bucket;
+  // total_gate_inputs, not a histogram sum: the overflow bucket clamps
+  // >= 16-input gates, the exact total does not.
+  return count ? static_cast<double>(total_gate_inputs) / count : 0.0;
 }
 
 MappingStats mapping_stats(const Network& subject,
@@ -29,8 +28,11 @@ MappingStats mapping_stats(const Network& subject,
     for (InstId f : inst.fanins) ++sinks[f];
     if (inst.kind == Instance::Kind::GateInst) {
       std::size_t k = inst.fanins.size();
-      DAGMAP_ASSERT(k < s.fanin_histogram.size());
-      ++s.fanin_histogram[k];
+      s.total_gate_inputs += k;
+      // Clamp: a >16-input gate (wide AOI cells, generated supergate
+      // libraries) lands in the overflow bucket instead of indexing out
+      // of bounds.
+      ++s.fanin_histogram[std::min(k, s.fanin_histogram.size() - 1)];
     }
   }
   for (const Output& o : mapped.outputs()) ++sinks[o.node];

@@ -7,6 +7,7 @@
 // measurable per mapping.
 #pragma once
 
+#include <array>
 #include <cstddef>
 
 #include "mapnet/mapped_netlist.hpp"
@@ -25,8 +26,14 @@ struct MappingStats {
   std::size_t mapped_multi_fanout = 0;  ///< gate outputs with >=2 sinks
   double area = 0.0;
 
-  // Gate input-count histogram (index = fan-in, up to 16).
+  // Gate input-count histogram (index = fan-in).  The last bucket
+  // accumulates every gate with >= 16 inputs — wide supergate-style
+  // cells must clamp here, not index out of bounds.
   std::array<std::size_t, 17> fanin_histogram{};
+  /// Exact total gate input count (sum of fan-ins over gate instances),
+  /// kept separately so the average stays exact when the histogram's
+  /// overflow bucket clamps.
+  std::size_t total_gate_inputs = 0;
 
   /// Average gate fan-in (complex-gate usage indicator; rises with
   /// richer libraries under DAG covering).

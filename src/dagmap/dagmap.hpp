@@ -42,6 +42,7 @@
 #include "netlist/assert.hpp"
 #include "netlist/network.hpp"
 #include "netlist/truth_table.hpp"
+#include "obs/obs.hpp"
 #include "seq/retiming.hpp"
 #include "seq/seq_map.hpp"
 #include "sim/simulator.hpp"

@@ -4,6 +4,7 @@
 
 #include "decomp/isop.hpp"
 #include "netlist/assert.hpp"
+#include "obs/obs.hpp"
 
 namespace dagmap {
 
@@ -51,6 +52,7 @@ NandSink::Handle NetworkNandBuilder::make_nand2(Handle a, Handle b) {
 }
 
 Network tech_decompose(const Network& src, const TechDecompOptions& options) {
+  obs::Scope obs_scope("decompose");
   Network out(src.name());
   std::vector<NodeId> map(src.size(), kNullNode);
 
@@ -124,6 +126,7 @@ Network tech_decompose(const Network& src, const TechDecompOptions& options) {
   auto [clean, remap] = out.cleaned_copy();
   clean.check();
   DAGMAP_ASSERT(clean.is_subject_graph());
+  obs::counter_add("decompose.subject_nodes", clean.num_internal());
   return std::move(clean);
 }
 

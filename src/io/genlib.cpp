@@ -1,8 +1,10 @@
 #include "io/genlib.hpp"
 
 #include <fstream>
+#include <locale>
 #include <sstream>
 
+#include "io/number.hpp"
 #include "netlist/assert.hpp"
 
 namespace dagmap {
@@ -59,14 +61,11 @@ struct Lexer {
 };
 
 double parse_double(const std::string& tok, const char* what) {
-  try {
-    std::size_t used = 0;
-    double v = std::stod(tok, &used);
-    if (used != tok.size()) throw ParseError("");
-    return v;
-  } catch (...) {
-    throw ParseError(std::string("bad ") + what + " value '" + tok + "'");
-  }
+  // Locale-independent: GENLIB numbers are always '.'-formatted, even
+  // when the process runs under a comma-decimal locale (io/number.hpp).
+  std::optional<double> v = parse_double_strict(tok);
+  if (!v) throw ParseError(std::string("bad ") + what + " value '" + tok + "'");
+  return *v;
 }
 
 GenlibPin::Phase parse_phase(const std::string& tok) {
@@ -138,6 +137,8 @@ std::vector<GenlibGate> read_genlib_file(const std::string& path) {
 
 std::string write_genlib(const std::vector<GenlibGate>& gates) {
   std::ostringstream out;
+  // Same locale pinning as the parser: never emit "1,5".
+  out.imbue(std::locale::classic());
   for (const GenlibGate& g : gates) {
     out << "GATE " << g.name << " " << g.area << " " << g.output_name << "="
         << to_string(g.function) << ";\n";

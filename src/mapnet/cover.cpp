@@ -1,12 +1,14 @@
 #include "mapnet/cover.hpp"
 
 #include "netlist/assert.hpp"
+#include "obs/obs.hpp"
 
 namespace dagmap {
 
 MappedNetlist build_cover(const Network& subject,
                           std::span<const std::optional<Match>> chosen,
                           std::string name) {
+  obs::Scope obs_scope("cover");
   DAGMAP_ASSERT(chosen.size() == subject.size());
   MappedNetlist out(name.empty() ? subject.name() : std::move(name));
   std::vector<InstId> inst_of(subject.size(), kNullInst);
@@ -68,6 +70,7 @@ MappedNetlist build_cover(const Network& subject,
   for (const Output& o : subject.outputs())
     out.add_output(inst_of[o.node], o.name);
   out.check();
+  obs::counter_add("cover.gates", out.num_gates());
   return out;
 }
 

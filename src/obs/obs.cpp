@@ -1,0 +1,312 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <locale>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace dagmap::obs {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+/// One completed scope as recorded (names are string literals with
+/// static storage duration, so only the pointer is stored).
+struct RawEvent {
+  const char* name;
+  std::uint32_t depth;
+  std::int64_t start_ns;
+  std::int64_t dur_ns;
+};
+
+struct RawCounter {
+  const char* scope;  ///< innermost open scope at record time (or null)
+  const char* name;
+  std::uint64_t delta;
+};
+
+struct OpenScope {
+  const char* name;
+  std::int64_t start_ns;
+};
+
+/// Per-thread recording buffer.  Owned jointly by the thread (via a
+/// thread_local shared_ptr) and the registry, so events survive thread
+/// exit — ThreadPool workers die before the session is collected.
+struct ThreadBuffer {
+  std::uint32_t tid = 0;
+  std::string name;
+  std::vector<OpenScope> stack;
+  std::vector<RawEvent> events;
+  std::vector<RawCounter> counters;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::int64_t session_t0_ns = 0;
+  std::uint32_t owner_tid = 0;
+  std::uint32_t next_tid = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: usable during exit
+  return *r;
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> tl;
+  if (!tl) {
+    tl = std::make_shared<ThreadBuffer>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    tl->tid = r.next_tid++;
+    r.buffers.push_back(tl);
+  }
+  return *tl;
+}
+
+}  // namespace
+
+void scope_begin(const char* name) {
+  ThreadBuffer& b = thread_buffer();
+  b.stack.push_back(OpenScope{name, now_ns()});
+}
+
+void scope_end() {
+  ThreadBuffer& b = thread_buffer();
+  if (b.stack.empty()) return;  // session restarted mid-scope
+  OpenScope open = b.stack.back();
+  b.stack.pop_back();
+  b.events.push_back(RawEvent{open.name,
+                              static_cast<std::uint32_t>(b.stack.size()),
+                              open.start_ns, now_ns() - open.start_ns});
+}
+
+void counter_record(const char* name, std::uint64_t delta) {
+  ThreadBuffer& b = thread_buffer();
+  const char* scope = b.stack.empty() ? nullptr : b.stack.back().name;
+  b.counters.push_back(RawCounter{scope, name, delta});
+}
+
+}  // namespace detail
+
+void start() {
+  detail::Registry& r = detail::registry();
+  // Register the caller first: its tid becomes the session owner.
+  std::uint32_t owner = detail::thread_buffer().tid;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (auto& b : r.buffers) {
+      b->stack.clear();
+      b->events.clear();
+      b->counters.clear();
+    }
+    // Buffers of exited threads (registry holds the only reference)
+    // stay registered but empty; ids are monotonic, never reused.
+    r.session_t0_ns = detail::now_ns();
+    r.owner_tid = owner;
+  }
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void stop() { detail::g_enabled.store(false, std::memory_order_relaxed); }
+
+void set_thread_name(std::string name) {
+  detail::ThreadBuffer& b = detail::thread_buffer();
+  detail::Registry& r = detail::registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  b.name = std::move(name);
+}
+
+ProfileData collect() {
+  detail::Registry& r = detail::registry();
+  ProfileData out;
+  out.collected = true;
+  std::int64_t t_end = detail::now_ns();
+
+  std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers;
+  std::int64_t t0;
+  std::uint32_t owner;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    buffers = r.buffers;
+    t0 = r.session_t0_ns;
+    owner = r.owner_tid;
+  }
+  out.total_seconds = static_cast<double>(t_end - t0) * 1e-9;
+
+  // Deterministic merge: buffers in registration (tid) order, events
+  // in per-thread program order.
+  std::sort(buffers.begin(), buffers.end(),
+            [](const auto& a, const auto& b) { return a->tid < b->tid; });
+
+  std::map<std::string, std::size_t> phase_index;
+  for (const auto& b : buffers) {
+    if (!b->events.empty() || !b->counters.empty() || b->tid == owner) {
+      out.thread_names[b->tid] =
+          !b->name.empty() ? b->name
+          : b->tid == owner ? std::string("main")
+                            : "thread " + std::to_string(b->tid);
+    }
+    for (const detail::RawEvent& e : b->events) {
+      out.events.push_back(ProfileEvent{
+          e.name, b->tid, e.depth,
+          static_cast<double>(e.start_ns - t0) * 1e-3,
+          static_cast<double>(e.dur_ns) * 1e-3});
+    }
+    for (const detail::RawCounter& c : b->counters) {
+      out.counters[c.name] += c.delta;
+    }
+  }
+
+  // Events are recorded at scope *end*; order phases by start time so
+  // nesting/interleaving cannot reorder the summary.
+  std::vector<const ProfileEvent*> owner_events;
+  for (const ProfileEvent& e : out.events) {
+    if (e.tid == owner && e.depth == 0) owner_events.push_back(&e);
+  }
+  std::stable_sort(owner_events.begin(), owner_events.end(),
+                   [](const ProfileEvent* a, const ProfileEvent* b) {
+                     return a->start_us < b->start_us;
+                   });
+  for (const ProfileEvent* e : owner_events) {
+    auto [it, inserted] = phase_index.try_emplace(e->name, out.phases.size());
+    if (inserted) out.phases.push_back(PhaseSummary{e->name, 0.0, 0, {}});
+    PhaseSummary& p = out.phases[it->second];
+    p.seconds += e->dur_us * 1e-6;
+    ++p.calls;
+  }
+  // Attribute counters to the phase whose scope was innermost when they
+  // were recorded (any thread — worker counters flushed inside a
+  // "label"-named scope land on the "label" phase).
+  for (const auto& b : buffers) {
+    for (const detail::RawCounter& c : b->counters) {
+      if (c.scope == nullptr) continue;
+      auto it = phase_index.find(c.scope);
+      if (it != phase_index.end()) {
+        out.phases[it->second].counters[c.name] += c.delta;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string format_fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ProfileData::summary() const {
+  std::ostringstream ss;
+  ss.imbue(std::locale::classic());
+  ss << "profile: total " << format_fixed(total_seconds * 1e3, 3) << " ms, "
+     << events.size() << " events, " << thread_names.size() << " threads\n";
+  double accounted = 0.0;
+  for (const PhaseSummary& p : phases) accounted += p.seconds;
+  char line[160];
+  std::snprintf(line, sizeof line, "  %-24s %12s %8s\n", "phase", "wall ms",
+                "calls");
+  ss << line;
+  for (const PhaseSummary& p : phases) {
+    std::snprintf(line, sizeof line, "  %-24s %12.3f %8llu\n", p.name.c_str(),
+                  p.seconds * 1e3,
+                  static_cast<unsigned long long>(p.calls));
+    ss << line;
+    for (const auto& [name, value] : p.counters) {
+      std::snprintf(line, sizeof line, "      %-32s %14llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      ss << line;
+    }
+  }
+  std::snprintf(line, sizeof line, "  %-24s %12.3f\n", "(phases sum)",
+                accounted * 1e3);
+  ss << line;
+  return ss.str();
+}
+
+std::string ProfileData::chrome_trace_json() const {
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+  };
+  for (const auto& [tid, name] : thread_names) {
+    sep();
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    append_json_escaped(out, name);
+    out += "\"}}";
+  }
+  for (const ProfileEvent& e : events) {
+    sep();
+    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
+           ",\"cat\":\"dagmap\",\"name\":\"";
+    append_json_escaped(out, e.name);
+    out += "\",\"ts\":" + format_fixed(e.start_us, 3) +
+           ",\"dur\":" + format_fixed(e.dur_us, 3) + "}";
+  }
+  // Counters as one instant-style summary event so they show up in the
+  // trace viewer's args pane.
+  if (!counters.empty()) {
+    sep();
+    out += "{\"ph\":\"I\",\"pid\":1,\"tid\":0,\"s\":\"g\",\"cat\":\"dagmap\","
+           "\"name\":\"counters\",\"ts\":" +
+           format_fixed(total_seconds * 1e6, 3) + ",\"args\":{";
+    bool cfirst = true;
+    for (const auto& [name, value] : counters) {
+      if (!cfirst) out += ",";
+      cfirst = false;
+      out += "\"";
+      append_json_escaped(out, name);
+      out += "\":" + std::to_string(value);
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace dagmap::obs

@@ -1,0 +1,144 @@
+// Pipeline observability: phase timers, counters, Chrome trace export.
+//
+// The paper's headline claims are *measured* ones (linear-time labeling,
+// modest CPU cost vs tree covering — Tables 1-3), so the pipeline needs
+// to show where a mapping run spends its time.  This layer is compiled
+// in always and costs one relaxed atomic load per probe when disabled:
+//
+//   obs::Scope scope("label");          // RAII phase timer
+//   obs::counter_add("matches", n);     // bulk counter, attributed to
+//                                       // the innermost open scope
+//
+// Events land in per-thread buffers (registered lazily, one mutex
+// acquisition per thread lifetime) and are merged deterministically at
+// `collect()`: buffers are walked in registration order and events in
+// program order, so two collects of the same session agree exactly.
+// Instrumentation never feeds back into mapping decisions — profiled
+// and unprofiled runs produce bit-identical netlists at any thread
+// count (asserted by the tsan-labeled determinism test).
+//
+// Sessions are process-global: `start()` clears the buffers and begins
+// recording, `stop()` ends it, `collect()` merges a `ProfileData`
+// snapshot.  The thread calling `start()` owns the session; its
+// depth-0 scopes become the top-level *phases* of the summary (they
+// are sequential on that thread, so their wall times sum to ~the
+// session total).  Scopes on other threads — e.g. the ThreadPool
+// wavefront workers — appear as per-thread tracks in the Chrome trace
+// (`chrome://tracing` / https://ui.perfetto.dev, trace-event JSON).
+//
+// `collect()` must not race with instrumentation still running on
+// other threads; every in-tree call site collects after its parallel
+// regions have joined (ThreadPool::parallel_for is a barrier).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dagmap::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+void scope_begin(const char* name);
+void scope_end();
+void counter_record(const char* name, std::uint64_t delta);
+}  // namespace detail
+
+/// True while a profiling session is recording.  Single relaxed load —
+/// this is the entire disabled-path cost of every probe.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Clears all buffers and begins a new recording session owned by the
+/// calling thread.
+void start();
+
+/// Stops recording (buffers are kept for `collect()`).
+void stop();
+
+/// Labels the calling thread in trace exports ("worker 3").  Cheap but
+/// not free (one mutex acquisition); call once per thread, ideally only
+/// when `enabled()`.
+void set_thread_name(std::string name);
+
+/// RAII phase timer.  A null `name` or a disabled session makes it a
+/// no-op.  The enabled/disabled decision is taken at construction, so a
+/// session stopping mid-scope still pairs begin/end correctly.
+class Scope {
+ public:
+  explicit Scope(const char* name) {
+    if (name != nullptr && enabled()) {
+      active_ = true;
+      detail::scope_begin(name);
+    }
+  }
+  ~Scope() {
+    if (active_) detail::scope_end();
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+/// Adds `delta` to the named counter, attributed to the innermost scope
+/// open on the calling thread (or to the session globally if none).
+/// Intended for *bulk* increments at phase boundaries — per-item hot
+/// loops should keep local tallies and flush once.
+inline void counter_add(const char* name, std::uint64_t delta) {
+  if (enabled()) detail::counter_record(name, delta);
+}
+
+/// One completed scope, for trace export.
+struct ProfileEvent {
+  std::string name;
+  std::uint32_t tid = 0;    ///< registration-order thread id
+  std::uint32_t depth = 0;  ///< scope nesting depth on its thread
+  double start_us = 0.0;    ///< microseconds since session start
+  double dur_us = 0.0;
+};
+
+/// Aggregate of one top-level phase (depth-0 scopes on the session
+/// owner thread, in first-start order).
+struct PhaseSummary {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t calls = 0;
+  /// Counters recorded while a scope of this name was innermost.
+  std::map<std::string, std::uint64_t> counters;
+};
+
+/// Merged snapshot of a profiling session.
+struct ProfileData {
+  /// False when default-constructed (profiling was off).
+  bool collected = false;
+  /// Session wall time, start() to collect().
+  double total_seconds = 0.0;
+  /// Top-level phases; sequential on the owner thread, so their wall
+  /// times sum to ~total_seconds.
+  std::vector<PhaseSummary> phases;
+  /// Every counter merged across threads and scopes.
+  std::map<std::string, std::uint64_t> counters;
+  /// Every completed scope on every thread (trace tracks).
+  std::vector<ProfileEvent> events;
+  /// tid -> label for trace export.
+  std::map<std::uint32_t, std::string> thread_names;
+
+  /// Human-readable per-phase table (wall ms, calls, counters).
+  std::string summary() const;
+
+  /// Chrome trace-event JSON (load in chrome://tracing or Perfetto):
+  /// one "X" event per scope with per-thread tracks, plus thread_name
+  /// metadata.
+  std::string chrome_trace_json() const;
+};
+
+/// Merges the current session's buffers.  Call after parallel regions
+/// have joined; does not clear the buffers (collect is repeatable).
+ProfileData collect();
+
+}  // namespace dagmap::obs

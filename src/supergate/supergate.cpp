@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <locale>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "core/parallel.hpp"
+#include "io/number.hpp"
 #include "library/pattern.hpp"
 #include "netlist/assert.hpp"
+#include "obs/obs.hpp"
 #include "supergate/canon.hpp"
 #include "supergate/enumerate.hpp"
 
@@ -22,11 +25,14 @@ constexpr double kDelayEps = 1e-9;
 /// materialized gates round-trip bit-for-bit (write_genlib then
 /// parse_genlib reproduces the same doubles).  Sums of pin delays like
 /// 1.2 + 1.0 = 2.2000000000000002 would otherwise print as "2.2" and
-/// re-parse to a different value.
+/// re-parse to a different value.  Both directions are pinned to the
+/// classic locale (io/number.hpp) so a comma-decimal global locale
+/// cannot break the round-trip.
 double normalize_double(double v) {
   std::ostringstream ss;
+  ss.imbue(std::locale::classic());
   ss << v;
-  return std::stod(ss.str());
+  return *parse_double_strict(ss.str());
 }
 
 /// 64-bit FNV-1a of the canonical structure string — the stable part of
@@ -151,6 +157,7 @@ struct ExactKeyHash {
 SupergateLibrary generate_supergates(const std::vector<GenlibGate>& base,
                                      const SupergateOptions& options,
                                      std::string name) {
+  obs::Scope obs_scope("supergate.generate");
   auto t0 = std::chrono::steady_clock::now();
   SupergateStats stats;
 
@@ -185,11 +192,15 @@ SupergateLibrary generate_supergates(const std::vector<GenlibGate>& base,
   std::vector<unsigned char> truncated(roots.size(), 0);
   if (options.max_depth >= 2 && !roots.empty()) {
     ThreadPool pool(resolve_num_threads(options.num_threads));
-    pool.parallel_for(roots.size(), [&](std::size_t i, unsigned) {
-      if (!enumerate_supergates_for_root(info, roots[i], options, arenas[i])) {
-        truncated[i] = 1;
-      }
-    });
+    pool.parallel_for(
+        roots.size(),
+        [&](std::size_t i, unsigned) {
+          if (!enumerate_supergates_for_root(info, roots[i], options,
+                                             arenas[i])) {
+            truncated[i] = 1;
+          }
+        },
+        "supergate.enumerate");
   }
   for (unsigned char t : truncated) stats.truncated_roots += t;
 
@@ -305,6 +316,14 @@ SupergateLibrary generate_supergates(const std::vector<GenlibGate>& base,
     out_gates.push_back(std::move(g));
   }
 
+  if (obs::enabled()) {
+    obs::counter_add("supergate.roots", stats.roots);
+    obs::counter_add("supergate.candidates", stats.candidates);
+    obs::counter_add("supergate.kept", stats.kept);
+    obs::counter_add("supergate.pruned_by_class", stats.pruned_by_class);
+    obs::counter_add("supergate.pruned_vs_base", stats.pruned_vs_base);
+    obs::counter_add("supergate.truncated_roots", stats.truncated_roots);
+  }
   GateLibrary library = GateLibrary::from_genlib(out_gates, std::move(name));
   stats.generation_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -1,0 +1,139 @@
+// Edge cases for mapping_stats (src/core/stats): degenerate networks
+// with no gates, the fan-in histogram's overflow bucket, and the
+// duplication / multi-fanout bookkeeping on a real mapping.
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/dag_mapper.hpp"
+#include "decomp/tech_decomp.hpp"
+#include "library/standard_libs.hpp"
+
+namespace dagmap {
+namespace {
+
+TEST(MappingStats, PiOnlyNetworkHasNoGatesAndZeroAverage) {
+  Network subject("wires");
+  NodeId a = subject.add_input("a");
+  subject.add_output(a, "f");
+
+  MappedNetlist mapped("wires");
+  InstId ma = mapped.add_input("a");
+  mapped.add_output(ma, "f");
+
+  MappingStats s = mapping_stats(subject, mapped);
+  EXPECT_EQ(s.subject_internal, 0u);
+  EXPECT_EQ(s.subject_multi_fanout, 0u);
+  EXPECT_EQ(s.gates, 0u);
+  EXPECT_EQ(s.mapped_multi_fanout, 0u);
+  EXPECT_EQ(s.total_gate_inputs, 0u);
+  for (std::size_t bucket : s.fanin_histogram) EXPECT_EQ(bucket, 0u);
+  // No gates: the average must be a clean 0, not a 0/0 NaN.
+  EXPECT_EQ(s.average_gate_inputs(), 0.0);
+}
+
+TEST(MappingStats, ConstantNetworkHasNoGates) {
+  Network subject("const");
+  subject.add_output(subject.add_constant(true), "one");
+
+  MappedNetlist mapped("const");
+  mapped.add_output(mapped.add_constant(true), "one");
+
+  MappingStats s = mapping_stats(subject, mapped);
+  EXPECT_EQ(s.gates, 0u);
+  EXPECT_EQ(s.average_gate_inputs(), 0.0);
+  EXPECT_EQ(s.mapped_multi_fanout, 0u);
+}
+
+TEST(MappingStats, WideGateClampsIntoOverflowBucket) {
+  // A 17-input cell must land in the last histogram bucket instead of
+  // indexing out of bounds (the pre-fix code threw on >16 inputs).
+  Gate wide;
+  wide.name = "WIDE17";
+  wide.area = 17.0;
+  wide.pins.resize(17);
+
+  Network subject("wide");
+  std::vector<NodeId> subject_ins;
+  for (int i = 0; i < 17; ++i)
+    subject_ins.push_back(subject.add_input("i" + std::to_string(i)));
+  subject.add_output(subject_ins[0], "f");
+
+  MappedNetlist mapped("wide");
+  std::vector<InstId> ins;
+  for (int i = 0; i < 17; ++i)
+    ins.push_back(mapped.add_input("i" + std::to_string(i)));
+  InstId g = mapped.add_gate(&wide, ins);
+  mapped.add_output(g, "f");
+
+  MappingStats s = mapping_stats(subject, mapped);
+  EXPECT_EQ(s.gates, 1u);
+  EXPECT_EQ(s.fanin_histogram.back(), 1u);
+  for (std::size_t i = 0; i + 1 < s.fanin_histogram.size(); ++i)
+    EXPECT_EQ(s.fanin_histogram[i], 0u);
+  // The clamped bucket does not distort the average: it uses the exact
+  // input total, not bucket * index.
+  EXPECT_EQ(s.total_gate_inputs, 17u);
+  EXPECT_DOUBLE_EQ(s.average_gate_inputs(), 17.0);
+}
+
+TEST(MappingStats, HistogramAndAverageOverMixedArities) {
+  GateLibrary lib = make_lib2_library();
+  const Gate* inv = lib.inverter();
+  const Gate* nand2 = lib.nand2();
+  ASSERT_NE(inv, nullptr);
+  ASSERT_NE(nand2, nullptr);
+
+  Network subject("mix");
+  NodeId a = subject.add_input("a");
+  NodeId b = subject.add_input("b");
+  NodeId n = subject.add_nand2(a, b);
+  subject.add_output(subject.add_inv(n), "f");
+
+  MappedNetlist mapped("mix");
+  InstId ma = mapped.add_input("a");
+  InstId mb = mapped.add_input("b");
+  InstId mn = mapped.add_gate(nand2, {ma, mb});
+  InstId mi = mapped.add_gate(inv, {mn});
+  mapped.add_output(mi, "f");
+
+  MappingStats s = mapping_stats(subject, mapped);
+  EXPECT_EQ(s.gates, 2u);
+  EXPECT_EQ(s.fanin_histogram[1], 1u);
+  EXPECT_EQ(s.fanin_histogram[2], 1u);
+  EXPECT_EQ(s.total_gate_inputs, 3u);
+  EXPECT_DOUBLE_EQ(s.average_gate_inputs(), 1.5);
+}
+
+TEST(MappingStats, DuplicationCreatesMultiFanoutBookkeeping) {
+  // x = NAND(a, b) feeds two NANDs: a multi-fanout subject node.  DAG
+  // covering may duplicate x into both covers; either way the stats and
+  // the mapper's duplication counters must stay consistent.
+  Network circuit("dup");
+  NodeId a = circuit.add_input("a");
+  NodeId b = circuit.add_input("b");
+  NodeId c = circuit.add_input("c");
+  NodeId d = circuit.add_input("d");
+  NodeId x = circuit.add_nand2(a, b);
+  circuit.add_output(circuit.add_nand2(x, c), "f");
+  circuit.add_output(circuit.add_nand2(x, d), "g");
+
+  Network subject = tech_decompose(circuit);
+  GateLibrary lib = make_lib2_library();
+  MapResult r = dag_map(subject, lib, {});
+
+  MappingStats s = mapping_stats(subject, r.netlist);
+  EXPECT_GE(s.subject_multi_fanout, 1u);
+  EXPECT_GT(s.gates, 0u);
+  EXPECT_GT(s.average_gate_inputs(), 0.0);
+
+  // Every duplicated node is a covered node, and every covered node is
+  // an internal subject node.
+  EXPECT_LE(r.duplicated_nodes, r.covered_distinct);
+  EXPECT_LE(r.covered_distinct, s.subject_internal);
+}
+
+}  // namespace
+}  // namespace dagmap

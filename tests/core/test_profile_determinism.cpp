@@ -1,0 +1,114 @@
+// Profiling must be purely observational: a profiled dag_map run emits
+// the bit-identical mapped netlist of an unprofiled run, at every
+// thread count.  Carries the `tsan` CTest label so the claim is also
+// checked under ThreadSanitizer (-DDAGMAP_SANITIZE=thread).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/dag_mapper.hpp"
+#include "decomp/tech_decomp.hpp"
+#include "gen/circuits.hpp"
+#include "library/standard_libs.hpp"
+#include "mapnet/write.hpp"
+#include "obs/obs.hpp"
+
+namespace dagmap {
+namespace {
+
+std::string map_to_blif(const Network& subject, const GateLibrary& lib,
+                        unsigned threads, bool profile) {
+  DagMapOptions opt;
+  opt.num_threads = threads;
+  opt.area_recovery = true;  // covers the area-recovery instrumentation too
+  opt.profile = profile;
+  MapResult r = dag_map(subject, lib, opt);
+  if (profile) {
+    EXPECT_TRUE(r.profile.collected);
+  } else {
+    EXPECT_FALSE(r.profile.collected);
+  }
+  return write_mapped_blif(r.netlist);
+}
+
+TEST(ProfileDeterminism, ProfiledRunIsBitIdenticalAtAnyThreadCount) {
+  Network subject = tech_decompose(make_array_multiplier(4));
+  GateLibrary lib = make_lib2_library();
+
+  const std::string reference =
+      map_to_blif(subject, lib, /*threads=*/1, /*profile=*/false);
+  ASSERT_FALSE(reference.empty());
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(map_to_blif(subject, lib, threads, /*profile=*/false),
+              reference);
+    EXPECT_EQ(map_to_blif(subject, lib, threads, /*profile=*/true),
+              reference);
+  }
+}
+
+TEST(ProfileDeterminism, DagMapProfileReportsPipelinePhases) {
+  Network subject = tech_decompose(make_array_multiplier(4));
+  GateLibrary lib = make_lib2_library();
+
+  DagMapOptions opt;
+  opt.num_threads = 8;
+  opt.area_recovery = true;
+  opt.profile = true;
+  MapResult r = dag_map(subject, lib, opt);
+  ASSERT_TRUE(r.profile.collected);
+
+  // The mapper's own phases, in pipeline order.
+  std::vector<std::string> names;
+  for (const obs::PhaseSummary& p : r.profile.phases) names.push_back(p.name);
+  auto has = [&](const char* n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  EXPECT_TRUE(has("match.build"));
+  EXPECT_TRUE(has("label"));
+  EXPECT_TRUE(has("area_recovery"));
+  EXPECT_TRUE(has("cover"));
+
+  // Phase walls are sequential on the owner thread: their sum cannot
+  // exceed the session total (and should account for most of it).
+  double phase_sum = 0;
+  for (const obs::PhaseSummary& p : r.profile.phases) phase_sum += p.seconds;
+  EXPECT_GT(phase_sum, 0.0);
+  EXPECT_LE(phase_sum, r.profile.total_seconds + 1e-6);
+
+  // Labeling counters flowed through: every internal node was labeled
+  // and at least one match was enumerated per node.
+  EXPECT_EQ(r.profile.counters.at("label.nodes"), subject.num_internal());
+  EXPECT_GE(r.profile.counters.at("match.enumerated"),
+            subject.num_internal());
+
+  // 8 labeling threads -> worker tracks appear in the trace (worker 0
+  // is the calling thread; at least one pool worker must have events).
+  bool has_worker_track = false;
+  for (const auto& [tid, name] : r.profile.thread_names) {
+    if (name.rfind("pool worker", 0) == 0) has_worker_track = true;
+  }
+  EXPECT_TRUE(has_worker_track);
+}
+
+TEST(ProfileDeterminism, ProfiledMapJoinsAnEnclosingSession) {
+  Network subject = tech_decompose(make_array_multiplier(3));
+  GateLibrary lib = make_lib2_library();
+
+  obs::start();
+  DagMapOptions opt;
+  opt.profile = true;
+  MapResult r = dag_map(subject, lib, opt);
+  // dag_map did not stop the caller's session...
+  EXPECT_TRUE(obs::enabled());
+  obs::stop();
+  // ...and its snapshot still carries the mapper phases.
+  ASSERT_TRUE(r.profile.collected);
+  EXPECT_FALSE(r.profile.phases.empty());
+}
+
+}  // namespace
+}  // namespace dagmap

@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <locale>
+
+#include "io/number.hpp"
+
 namespace dagmap {
 namespace {
 
@@ -93,6 +98,76 @@ TEST(Genlib, ConstantGates) {
   ASSERT_EQ(gates.size(), 2u);
   EXPECT_EQ(gates[0].function.op, Expr::Op::Const0);
   EXPECT_EQ(gates[1].function.op, Expr::Op::Const1);
+}
+
+// A numpunct facet with ',' as the decimal point — what a de_DE-style
+// locale installs.  Injected directly so the test does not depend on
+// which locales the host has generated.
+struct CommaDecimal : std::numpunct<char> {
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+// RAII: installs a comma-decimal locale globally (both the C++ global
+// locale and, when the host has one, the C locale that stod/strtod
+// honor) and restores the previous state on destruction.
+class CommaLocaleGuard {
+ public:
+  CommaLocaleGuard()
+      : cxx_previous_(std::locale::global(
+            std::locale(std::locale::classic(), new CommaDecimal))) {
+    for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "de_DE"}) {
+      if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+        c_changed_ = true;
+        break;
+      }
+    }
+  }
+  ~CommaLocaleGuard() {
+    std::locale::global(cxx_previous_);
+    if (c_changed_) std::setlocale(LC_NUMERIC, "C");
+  }
+
+ private:
+  std::locale cxx_previous_;
+  bool c_changed_ = false;
+};
+
+TEST(Genlib, ParsesDotDecimalsUnderCommaLocale) {
+  // Regression: parse_double used std::stod, which honors the C numeric
+  // locale — under a comma-decimal locale "1.5" parsed as 1 (and the
+  // locale-aware stream fallback would accept "1,5").  GENLIB numbers
+  // are '.'-formatted by definition, whatever the process locale.
+  CommaLocaleGuard guard;
+  auto gates = parse_genlib(kSmallLib);
+  ASSERT_EQ(gates.size(), 3u);
+  EXPECT_DOUBLE_EQ(gates[1].pins[0].rise_block, 1.5);
+  EXPECT_DOUBLE_EQ(gates[2].pins[2].rise_block, 1.6);
+  EXPECT_DOUBLE_EQ(gates[2].area, 3.0);
+}
+
+TEST(Genlib, WriterEmitsDotDecimalsUnderCommaLocale) {
+  CommaLocaleGuard guard;
+  auto gates = parse_genlib(kSmallLib);
+  std::string text = write_genlib(gates);
+  EXPECT_NE(text.find("1.5"), std::string::npos);
+  EXPECT_EQ(text.find("1,5"), std::string::npos);
+  // And the round trip still agrees under the hostile locale.
+  auto again = parse_genlib(text);
+  ASSERT_EQ(again.size(), gates.size());
+  EXPECT_DOUBLE_EQ(again[1].pins[0].rise_block, 1.5);
+}
+
+TEST(Genlib, ParseDoubleStrictRejectsGarbage) {
+  EXPECT_EQ(parse_double_strict("1.5").value(), 1.5);
+  EXPECT_EQ(parse_double_strict("+2").value(), 2.0);
+  EXPECT_EQ(parse_double_strict("-0.25").value(), -0.25);
+  EXPECT_EQ(parse_double_strict("1e3").value(), 1000.0);
+  EXPECT_FALSE(parse_double_strict("").has_value());
+  EXPECT_FALSE(parse_double_strict("abc").has_value());
+  EXPECT_FALSE(parse_double_strict("1.5x").has_value());
+  EXPECT_FALSE(parse_double_strict("1,5").has_value());
 }
 
 }  // namespace

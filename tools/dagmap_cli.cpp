@@ -12,6 +12,9 @@
 //                             supergates before mapping (depth default 2)
 //   --threads <n>             labeling worker threads (0 = all cores,
 //                             default 1; output is identical either way)
+//   --profile[=trace.json]    per-phase timing/counter summary; with a
+//                             path, also write Chrome trace-event JSON
+//                             (chrome://tracing) with per-thread tracks
 //   --area-recovery           enable required-time area recovery
 //   --buffer <branch>         post-mapping balanced buffer trees (0 = off)
 //   --lt-buffer               post-mapping Touati LT-tree buffering
@@ -27,9 +30,11 @@
 // histogram, and the equivalence verdict.  Exits nonzero on any failure.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "core/choice_map.hpp"
+#include "obs/obs.hpp"
 #include "core/stats.hpp"
 #include "dagmap/dagmap.hpp"
 #include "fanout/buffering.hpp"
@@ -50,6 +55,8 @@ struct CliOptions {
   std::string match = "standard";
   unsigned supergate_depth = 0;  ///< 0 = off; --supergates defaults to 2
   unsigned threads = 1;
+  bool profile = false;
+  std::string trace_path;  ///< --profile=trace.json
   bool area_recovery = false;
   unsigned buffer_branch = 0;
   bool lt_buffer = false;
@@ -67,7 +74,8 @@ struct CliOptions {
                "usage: dagmap_cli [--library F.genlib | --lib44 N] "
                "[--mapper dag|tree|choice] [--match standard|extended] "
                "[--supergates[=D]] "
-               "[--threads N] [--area-recovery] [--buffer N] [--retime] "
+               "[--threads N] [--profile[=trace.json]] [--area-recovery] "
+               "[--buffer N] [--retime] "
                "[--lut K] [--out F] [--no-verify] circuit.blif\n");
   std::exit(2);
 }
@@ -88,6 +96,12 @@ CliOptions parse_args(int argc, char** argv) {
     else if (a.rfind("--supergates=", 0) == 0)
       o.supergate_depth = std::stoul(a.substr(std::strlen("--supergates=")));
     else if (a == "--threads") o.threads = std::stoul(next());
+    else if (a == "--profile") o.profile = true;
+    else if (a.rfind("--profile=", 0) == 0) {
+      o.profile = true;
+      o.trace_path = a.substr(std::strlen("--profile="));
+      if (o.trace_path.empty()) usage("empty --profile= path");
+    }
     else if (a == "--area-recovery") o.area_recovery = true;
     else if (a == "--buffer") o.buffer_branch = std::stoul(next());
     else if (a == "--lt-buffer") o.lt_buffer = true;
@@ -112,7 +126,31 @@ CliOptions parse_args(int argc, char** argv) {
 int main(int argc, char** argv) try {
   CliOptions opt = parse_args(argc, argv);
 
-  Network circuit = read_blif_file(opt.circuit_path);
+  // One profiling session spans the whole run (read -> decompose ->
+  // supergates -> map -> verify -> write); dag_map joins it instead of
+  // opening its own.
+  if (opt.profile) obs::start();
+  auto finish_profile = [&opt]() {
+    if (!opt.profile) return;
+    obs::stop();
+    obs::ProfileData prof = obs::collect();
+    std::fputs(prof.summary().c_str(), stdout);
+    if (!opt.trace_path.empty()) {
+      std::ofstream out(opt.trace_path);
+      if (!out) {
+        std::fprintf(stderr, "dagmap_cli: cannot write %s\n",
+                     opt.trace_path.c_str());
+        std::exit(1);
+      }
+      out << prof.chrome_trace_json();
+      std::printf("wrote trace %s\n", opt.trace_path.c_str());
+    }
+  };
+
+  Network circuit = [&] {
+    obs::Scope scope("read");
+    return read_blif_file(opt.circuit_path);
+  }();
   std::printf("circuit %s: %zu PIs, %zu POs, %zu latches, %zu nodes\n",
               circuit.name().c_str(), circuit.num_inputs(),
               circuit.num_outputs(), circuit.num_latches(), circuit.size());
@@ -129,23 +167,30 @@ int main(int argc, char** argv) try {
       return 1;
     }
     if (!opt.out_path.empty()) write_blif_file(r.netlist, opt.out_path);
+    finish_profile();
     return 0;
   }
 
   // ---- library-based flow -------------------------------------------------
   // Gather the parsed gate list first so --supergates can augment any of
   // the three sources before the GateLibrary is built.
-  std::vector<GenlibGate> base_gates =
-      !opt.library_path.empty() ? read_genlib_file(opt.library_path)
-      : opt.lib44 > 0           ? make_44_genlib(opt.lib44)
-                                : parse_genlib(lib2_genlib_text());
+  std::vector<GenlibGate> base_gates = [&] {
+    obs::Scope scope("library.read");
+    return !opt.library_path.empty() ? read_genlib_file(opt.library_path)
+         : opt.lib44 > 0             ? make_44_genlib(opt.lib44)
+                                     : parse_genlib(lib2_genlib_text());
+  }();
   std::string lib_name =
       !opt.library_path.empty() ? opt.library_path
       : opt.lib44 > 0 ? "44-" + std::to_string(opt.lib44) + "-like"
                       : "lib2-like";
   GateLibrary lib = [&]() -> GateLibrary {
-    if (opt.supergate_depth == 0)
+    if (opt.supergate_depth == 0) {
+      // Pattern generation dominates for rich libraries (hundreds of
+      // gates); --supergates times it inside supergate.generate.
+      obs::Scope scope("library.build");
       return GateLibrary::from_genlib(base_gates, lib_name);
+    }
     SupergateOptions sgopt;
     sgopt.max_depth = opt.supergate_depth;
     sgopt.num_threads = opt.threads;
@@ -164,6 +209,7 @@ int main(int argc, char** argv) try {
   DagMapOptions mopt;
   mopt.area_recovery = opt.area_recovery;
   mopt.num_threads = opt.threads;
+  mopt.profile = opt.profile;
   if (opt.match == "extended") mopt.match_class = MatchClass::Extended;
   else if (opt.match != "standard") usage("bad --match value");
 
@@ -234,11 +280,13 @@ int main(int argc, char** argv) try {
     // longer applies (sequential equivalence is out of scope here).
     std::printf("verification: skipped (netlist was retimed)\n");
   } else if (opt.verify) {
+    obs::Scope scope("verify");
     auto eq = check_equivalence(circuit, final_net.to_network());
     std::printf("verification: %s\n", eq.equivalent ? "PASS" : "FAIL");
     if (!eq.equivalent) return 1;
   }
   if (!opt.out_path.empty()) {
+    obs::Scope scope("write");
     write_mapped_file(final_net, opt.out_path);
     std::printf("wrote %s\n", opt.out_path.c_str());
   }
@@ -252,6 +300,7 @@ int main(int argc, char** argv) try {
     std::printf(" %s:%zu", g.c_str(), n);
   }
   std::printf("\n");
+  finish_profile();
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "dagmap_cli: %s\n", e.what());

@@ -1,0 +1,144 @@
+// bench_graph — graph-core microbenchmark for the CSR Network storage
+// and the memoized TopologyCache.
+//
+// Workloads:
+//   * mult16 — the tech-decomposed 16x16 array multiplier subject graph
+//     (the mapping pipeline's hot structure);
+//   * random1m — a seeded ~1M-node random subject graph, big enough
+//     that fanin locality and allocation policy dominate.
+//
+// Three measurements per workload:
+//   * build     — nodes appended per second through the public add_*
+//                 builders (arena + interning cost);
+//   * topo      — nodes visited per second walking `topo_order()` and
+//                 reading every node's fanins (the labeler's access
+//                 pattern), cache warm;
+//   * fanout    — edges visited per second walking `fanout_view()`
+//                 (the area-recovery / buffering access pattern).
+//
+// Emits one JSON line per workload so successive PRs can track a
+// BENCH_graph.json trajectory:
+//
+//   {"bench": "graph", "workload": ..., "nodes": ..., "edges": ...,
+//    "build_mnodes_per_sec": ..., "topo_mnodes_per_sec": ...,
+//    "fanout_medges_per_sec": ..., "topo_fill_ms": ...}
+//
+// Exits nonzero if any traversal disagrees with a recount (the
+// benchmark doubles as a large-scale sanity check).
+//
+// Usage: bench_graph [random_nodes]   (default 1000000)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include "decomp/tech_decomp.hpp"
+#include "gen/circuits.hpp"
+#include "netlist/network.hpp"
+
+using namespace dagmap;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Deterministic ~n-node NAND/INV subject graph (no Logic nodes, so the
+// build cost is pure graph-core work, no truth tables).
+Network build_random_subject(std::size_t n, std::uint64_t seed,
+                             double* build_seconds) {
+  std::mt19937_64 rng(seed);
+  auto t0 = std::chrono::steady_clock::now();
+  Network net("random1m");
+  std::vector<NodeId> pool;
+  for (unsigned i = 0; i < 64; ++i)
+    pool.push_back(net.add_input("pi" + std::to_string(i)));
+  while (net.size() < n) {
+    // 1-in-4 inverter, else NAND2 over two recent-biased picks: recency
+    // bias keeps the depth growing like a real decomposed netlist.
+    std::size_t window = pool.size() < 4096 ? pool.size() : 4096;
+    NodeId a = pool[pool.size() - 1 - rng() % window];
+    if (rng() % 4 == 0) {
+      pool.push_back(net.add_inv(a));
+    } else {
+      NodeId b = pool[pool.size() - 1 - rng() % window];
+      pool.push_back(net.add_nand2(a, b));
+    }
+  }
+  // Last few nodes become outputs so everything upstream is live.
+  for (unsigned i = 0; i < 32; ++i)
+    net.add_output(pool[pool.size() - 1 - i], "po" + std::to_string(i));
+  *build_seconds = seconds_since(t0);
+  return net;
+}
+
+int run_workload(const char* label, const Network& net, double build_seconds) {
+  // First topology query: the one cache fill this session pays.
+  auto t0 = std::chrono::steady_clock::now();
+  const auto& order = net.topo_order();
+  double fill_seconds = seconds_since(t0);
+
+  // Warm topo walk + fanin reads, the labeler's access pattern.
+  std::uint64_t fanin_sum = 0;
+  t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < 5; ++rep)
+    for (NodeId id : order)
+      for (NodeId f : net.fanins(id)) fanin_sum += f;
+  double topo_seconds = seconds_since(t0) / 5;
+
+  // Fanout walk, the recovery/buffering access pattern.
+  FanoutView view = net.fanout_view();
+  std::uint64_t edges = 0;
+  std::uint64_t fanout_sum = 0;
+  t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < 5; ++rep) {
+    edges = 0;
+    for (NodeId id = 0; id < net.size(); ++id) {
+      auto readers = view[id];
+      edges += readers.size();
+      for (NodeId r : readers) fanout_sum += r;
+    }
+  }
+  double fanout_seconds = seconds_since(t0) / 5;
+
+  // Sanity: the two walks cover the same edge set (latch-free graphs).
+  std::uint64_t fanin_edges = 0;
+  for (NodeId id = 0; id < net.size(); ++id)
+    fanin_edges += net.fanins(id).size();
+  if (edges != fanin_edges || order.size() != net.size()) {
+    std::fprintf(stderr, "bench_graph: %s traversal mismatch\n", label);
+    return 1;
+  }
+
+  double nodes = static_cast<double>(net.size());
+  std::printf(
+      "{\"bench\": \"graph\", \"workload\": \"%s\", \"nodes\": %zu, "
+      "\"edges\": %llu, \"build_mnodes_per_sec\": %.2f, "
+      "\"topo_mnodes_per_sec\": %.2f, \"fanout_medges_per_sec\": %.2f, "
+      "\"topo_fill_ms\": %.2f, \"checksum\": %llu}\n",
+      label, net.size(), static_cast<unsigned long long>(edges),
+      nodes / build_seconds / 1e6, nodes / topo_seconds / 1e6,
+      static_cast<double>(edges) / fanout_seconds / 1e6, fill_seconds * 1e3,
+      static_cast<unsigned long long>(fanin_sum + fanout_sum));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t random_nodes =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 1000000;
+
+  double build_seconds = 0.0;
+  auto t0 = std::chrono::steady_clock::now();
+  Network mult16 = tech_decompose(make_array_multiplier(16));
+  build_seconds = seconds_since(t0);
+  int rc = run_workload("mult16", mult16, build_seconds);
+
+  Network big = build_random_subject(random_nodes, 0xDA61, &build_seconds);
+  rc |= run_workload("random1m", big, build_seconds);
+  return rc;
+}

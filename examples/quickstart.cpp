@@ -42,10 +42,9 @@ int main() {
   TimingReport timing = analyze_timing(mapped.netlist);
   std::printf("critical path (%zu stages):\n", timing.critical_path.size());
   for (InstId id : timing.critical_path) {
-    const Instance& inst = mapped.netlist.instance(id);
+    bool is_gate = mapped.netlist.kind(id) == Instance::Kind::GateInst;
     std::printf("  %-10s arrival %.2f\n",
-                inst.kind == Instance::Kind::GateInst ? inst.gate->name.c_str()
-                                                      : "input",
+                is_gate ? mapped.netlist.gate(id)->name.c_str() : "input",
                 timing.arrival[id]);
   }
   return eq.equivalent ? 0 : 1;

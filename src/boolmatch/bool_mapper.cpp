@@ -176,9 +176,9 @@ MapResult bool_map(const Network& subject, const GateLibrary& lib,
   const Gate* inv_gate = lib.inverter();
 
   for (NodeId pi : subject.inputs())
-    inst_of[pi] = out.add_input(subject.node(pi).name);
+    inst_of[pi] = out.add_input(subject.name(pi));
   for (NodeId l : subject.latches())
-    inst_of[l] = out.add_latch_placeholder(subject.node(l).name);
+    inst_of[l] = out.add_latch_placeholder(subject.name(l));
 
   auto negated = [&](NodeId n) {
     DAGMAP_ASSERT(inst_of[n] != kNullInst);
@@ -247,7 +247,7 @@ MapResult bool_map(const Network& subject, const GateLibrary& lib,
       bool neg = (m.rel.input_negate >> pin) & 1u;
       fanins.push_back(neg ? negated(leaf) : inst_of[leaf]);
     }
-    InstId g = out.add_gate(m.gate, std::move(fanins), subject.node(n).name);
+    InstId g = out.add_gate(m.gate, std::move(fanins), subject.name(n));
     inst_of[n] = m.rel.output_negate ? out.add_gate(inv_gate, {g}) : g;
   }
 

@@ -187,7 +187,7 @@ std::vector<Match> reference_matches_at(const Network& subject,
             // subject fanout must be entirely inside the match.
             if (mc == MatchClass::Exact) {
               auto out_deg = pg.out_degrees();
-              auto fanout = subject.fanout_counts();
+              const auto& fanout = subject.fanout_counts();
               for (std::uint32_t p = 0; p < pg.nodes.size(); ++p) {
                 if (p == pg.root ||
                     pg.nodes[p].kind == PatternNode::Kind::Leaf)

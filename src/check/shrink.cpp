@@ -50,26 +50,27 @@ Network rebuild(const Network& net,
   std::vector<NodeId> remap(net.size(), kNullNode);
   for (NodeId id : net.topo_order()) {
     if (!live[id] || resolve(id) != id) continue;
-    const Node& n = net.node(id);
-    switch (n.kind) {
+    std::span<const NodeId> fi = net.fanins(id);
+    switch (net.kind(id)) {
       case NodeKind::PrimaryInput:
-        remap[id] = out.add_input(n.name);
+        remap[id] = out.add_input(net.name(id));
         break;
       case NodeKind::Const0:
       case NodeKind::Const1:
-        remap[id] = out.add_constant(n.kind == NodeKind::Const1);
+        remap[id] = out.add_constant(net.kind(id) == NodeKind::Const1);
         break;
       case NodeKind::Inv:
-        remap[id] = out.add_inv(remap[resolve(n.fanins[0])], n.name);
+        remap[id] = out.add_inv(remap[resolve(fi[0])], net.name(id));
         break;
       case NodeKind::Nand2:
-        remap[id] = out.add_nand2(remap[resolve(n.fanins[0])],
-                                  remap[resolve(n.fanins[1])], n.name);
+        remap[id] = out.add_nand2(remap[resolve(fi[0])],
+                                  remap[resolve(fi[1])], net.name(id));
         break;
       case NodeKind::Logic: {
         std::vector<NodeId> fanins;
-        for (NodeId f : n.fanins) fanins.push_back(remap[resolve(f)]);
-        remap[id] = out.add_logic(std::move(fanins), n.function, n.name);
+        for (NodeId f : fi) fanins.push_back(remap[resolve(f)]);
+        remap[id] = out.add_logic(std::move(fanins), net.function(id),
+                                  net.name(id));
         break;
       }
       case NodeKind::Latch:

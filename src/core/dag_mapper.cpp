@@ -42,7 +42,7 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
   std::vector<std::vector<Match>> all_matches;
   if (options.area_recovery) all_matches.resize(subject.size());
 
-  auto order = subject.topo_order();
+  const auto& order = subject.topo_order();
 
   // Wavefront schedule: nodes grouped by depth level.  Every leaf of a
   // match rooted at level L is a strict transitive fanin (level < L), so
@@ -138,7 +138,7 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
     // Area flow (forward): af(n) estimates the per-use area of the best
     // cover of n's cone, amortizing multi-fanout nodes over their fanout
     // count — the standard heuristic for duplication-aware area costs.
-    auto fanout = subject.fanout_counts();
+    const auto& fanout = subject.fanout_counts();
     std::vector<double> area_flow(subject.size(), 0.0);
     auto match_area_flow = [&](const Match& m) {
       double af = m.gate->area;

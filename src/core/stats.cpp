@@ -16,18 +16,15 @@ MappingStats mapping_stats(const Network& subject,
                            const MappedNetlist& mapped) {
   MappingStats s;
   s.subject_internal = subject.num_internal();
-  auto counts = subject.fanout_counts();
+  const auto& counts = subject.fanout_counts();
   for (NodeId n = 0; n < subject.size(); ++n)
     if (!subject.is_source(n) && counts[n] >= 2) ++s.subject_multi_fanout;
 
   s.gates = mapped.num_gates();
   s.area = mapped.total_area();
-  std::vector<std::size_t> sinks(mapped.size(), 0);
   for (InstId id = 0; id < mapped.size(); ++id) {
-    const Instance& inst = mapped.instance(id);
-    for (InstId f : inst.fanins) ++sinks[f];
-    if (inst.kind == Instance::Kind::GateInst) {
-      std::size_t k = inst.fanins.size();
+    if (mapped.kind(id) == Instance::Kind::GateInst) {
+      std::size_t k = mapped.fanins(id).size();
       s.total_gate_inputs += k;
       // Clamp: a >16-input gate (wide AOI cells, generated supergate
       // libraries) lands in the overflow bucket instead of indexing out
@@ -35,10 +32,11 @@ MappingStats mapping_stats(const Network& subject,
       ++s.fanin_histogram[std::min(k, s.fanin_histogram.size() - 1)];
     }
   }
-  for (const Output& o : mapped.outputs()) ++sinks[o.node];
+  // Sink counts (fanin edges + PO references) are exactly the cached
+  // fanout counts of the mapped netlist.
+  const auto& sinks = mapped.fanout_counts();
   for (InstId id = 0; id < mapped.size(); ++id)
-    if (mapped.instance(id).kind == Instance::Kind::GateInst &&
-        sinks[id] >= 2)
+    if (mapped.kind(id) == Instance::Kind::GateInst && sinks[id] >= 2)
       ++s.mapped_multi_fanout;
   return s;
 }

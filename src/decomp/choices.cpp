@@ -27,9 +27,9 @@ ChoiceDecomposition tech_decompose_choices(const Network& src) {
     return (*current_fanins)[idx];
   });
 
-  for (NodeId pi : src.inputs()) map[pi] = net.add_input(src.node(pi).name);
+  for (NodeId pi : src.inputs()) map[pi] = net.add_input(src.name(pi));
   for (NodeId l : src.latches())
-    map[l] = net.add_latch_placeholder(src.node(l).name);
+    map[l] = net.add_latch_placeholder(src.name(l));
 
   auto note_choice = [&](NodeId a, NodeId b) {
     // Register a and b as one class (representative = a).  Strash often
@@ -42,11 +42,10 @@ ChoiceDecomposition tech_decompose_choices(const Network& src) {
 
   for (NodeId id : src.topo_order()) {
     if (map[id] != kNullNode) continue;
-    const Node& n = src.node(id);
     std::vector<NodeId> fanins;
-    fanins.reserve(n.fanins.size());
-    for (NodeId f : n.fanins) fanins.push_back(map[f]);
-    switch (n.kind) {
+    fanins.reserve(src.fanins(id).size());
+    for (NodeId f : src.fanins(id)) fanins.push_back(map[f]);
+    switch (src.kind(id)) {
       case NodeKind::Const0: map[id] = builder.make_const(false); break;
       case NodeKind::Const1: map[id] = builder.make_const(true); break;
       case NodeKind::Inv: map[id] = builder.make_inv(fanins[0]); break;
@@ -54,7 +53,7 @@ ChoiceDecomposition tech_decompose_choices(const Network& src) {
         map[id] = builder.make_nand2(fanins[0], fanins[1]);
         break;
       case NodeKind::Logic: {
-        const TruthTable& f = n.function;
+        const TruthTable& f = src.function(id);
         if (f.is_const0() || f.is_const1()) {
           map[id] = builder.make_const(f.is_const1());
           break;

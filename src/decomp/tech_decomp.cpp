@@ -70,20 +70,19 @@ Network tech_decompose(const Network& src, const TechDecompOptions& options) {
 
   // Sources first: PIs keep their names; latches become placeholders to be
   // wired after their D cones exist.
-  for (NodeId pi : src.inputs()) map[pi] = out.add_input(src.node(pi).name);
+  for (NodeId pi : src.inputs()) map[pi] = out.add_input(src.name(pi));
   for (NodeId l : src.latches())
-    map[l] = out.add_latch_placeholder(src.node(l).name);
+    map[l] = out.add_latch_placeholder(src.name(l));
 
   for (NodeId id : src.topo_order()) {
     if (map[id] != kNullNode) continue;  // sources already placed
-    const Node& n = src.node(id);
     std::vector<NodeId> fanins;
-    fanins.reserve(n.fanins.size());
-    for (NodeId f : n.fanins) {
+    fanins.reserve(src.fanins(id).size());
+    for (NodeId f : src.fanins(id)) {
       DAGMAP_ASSERT(map[f] != kNullNode);
       fanins.push_back(map[f]);
     }
-    switch (n.kind) {
+    switch (src.kind(id)) {
       case NodeKind::Const0: map[id] = builder.make_const(false); break;
       case NodeKind::Const1: map[id] = builder.make_const(true); break;
       case NodeKind::Inv: map[id] = builder.make_inv(fanins[0]); break;
@@ -91,7 +90,7 @@ Network tech_decompose(const Network& src, const TechDecompOptions& options) {
         map[id] = builder.make_nand2(fanins[0], fanins[1]);
         break;
       case NodeKind::Logic: {
-        const TruthTable& f = n.function;
+        const TruthTable& f = src.function(id);
         if (f.is_const0()) {
           map[id] = builder.make_const(false);
           break;

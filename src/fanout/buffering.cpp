@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <span>
 
 #include "netlist/assert.hpp"
 #include "timing/timing.hpp"
@@ -38,13 +39,12 @@ BufferResult buffer_fanouts(const MappedNetlist& net, const GateLibrary& lib,
   // Collect consumers per driver.
   std::vector<std::vector<Consumer>> consumers(net.size());
   for (InstId id = 0; id < net.size(); ++id) {
-    const Instance& inst = net.instance(id);
-    if (inst.kind != Instance::Kind::GateInst &&
-        inst.kind != Instance::Kind::Latch)
+    if (net.kind(id) != Instance::Kind::GateInst &&
+        net.kind(id) != Instance::Kind::Latch)
       continue;
-    for (std::size_t pin = 0; pin < inst.fanins.size(); ++pin)
-      consumers[inst.fanins[pin]].push_back(
-          {id, pin, 0, timing.slack[id]});
+    std::span<const InstId> fi = net.fanins(id);
+    for (std::size_t pin = 0; pin < fi.size(); ++pin)
+      consumers[fi[pin]].push_back({id, pin, 0, timing.slack[id]});
   }
   for (std::size_t i = 0; i < net.outputs().size(); ++i)
     consumers[net.outputs()[i].node].push_back(
@@ -86,25 +86,26 @@ BufferResult buffer_fanouts(const MappedNetlist& net, const GateLibrary& lib,
   };
 
   for (InstId id : net.topo_order()) {
-    const Instance& inst = net.instance(id);
-    switch (inst.kind) {
+    switch (net.kind(id)) {
       case Instance::Kind::PrimaryInput:
-        mapped[id] = out.add_input(inst.name);
+        mapped[id] = out.add_input(net.name(id));
         break;
       case Instance::Kind::Const0: mapped[id] = out.add_constant(false); break;
       case Instance::Kind::Const1: mapped[id] = out.add_constant(true); break;
       case Instance::Kind::Latch:
-        mapped[id] = out.add_latch_placeholder(inst.name);
+        mapped[id] = out.add_latch_placeholder(net.name(id));
         break;
       case Instance::Kind::GateInst: {
+        std::span<const InstId> fi = net.fanins(id);
         std::vector<InstId> fanins;
-        fanins.reserve(inst.fanins.size());
-        for (std::size_t pin = 0; pin < inst.fanins.size(); ++pin) {
+        fanins.reserve(fi.size());
+        for (std::size_t pin = 0; pin < fi.size(); ++pin) {
           auto it = fanin_tap.find({id, pin});
           fanins.push_back(it != fanin_tap.end() ? it->second
-                                                 : mapped[inst.fanins[pin]]);
+                                                 : mapped[fi[pin]]);
         }
-        mapped[id] = out.add_gate(inst.gate, std::move(fanins), inst.name);
+        mapped[id] =
+            out.add_gate(net.gate(id), std::move(fanins), net.name(id));
         break;
       }
     }
@@ -121,9 +122,8 @@ BufferResult buffer_fanouts(const MappedNetlist& net, const GateLibrary& lib,
 
   // Latch D inputs (possibly through taps).
   for (InstId l : net.latches()) {
-    const Instance& inst = net.instance(l);
     auto it = fanin_tap.find({l, std::size_t{0}});
-    InstId d = it != fanin_tap.end() ? it->second : mapped[inst.fanins.at(0)];
+    InstId d = it != fanin_tap.end() ? it->second : mapped[net.fanins(l)[0]];
     out.connect_latch(mapped[l], d);
   }
   for (std::size_t i = 0; i < net.outputs().size(); ++i) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 
 #include "netlist/assert.hpp"
 
@@ -15,26 +16,29 @@ LoadTimingReport analyze_timing_loaded(const MappedNetlist& net,
 
   // Output load of every instance: reading pins' input loads + wiring.
   for (InstId id = 0; id < net.size(); ++id) {
-    const Instance& inst = net.instance(id);
-    if (inst.kind == Instance::Kind::GateInst) {
-      for (std::size_t pin = 0; pin < inst.fanins.size(); ++pin)
-        r.net_load[inst.fanins[pin]] +=
-            inst.gate->pins[pin].input_load + model.wire_load_per_fanout;
-    } else if (inst.kind == Instance::Kind::Latch && !inst.fanins.empty()) {
-      r.net_load[inst.fanins[0]] +=
+    std::span<const InstId> fi = net.fanins(id);
+    if (net.kind(id) == Instance::Kind::GateInst) {
+      const Gate* gate = net.gate(id);
+      for (std::size_t pin = 0; pin < fi.size(); ++pin)
+        r.net_load[fi[pin]] +=
+            gate->pins[pin].input_load + model.wire_load_per_fanout;
+    } else if (net.kind(id) == Instance::Kind::Latch && !fi.empty()) {
+      r.net_load[fi[0]] +=
           model.latch_input_load + model.wire_load_per_fanout;
     }
   }
   for (const Output& o : net.outputs())
     r.net_load[o.node] += model.primary_output_load;
 
-  for (InstId id : net.topo_order()) {
-    const Instance& inst = net.instance(id);
-    if (inst.kind != Instance::Kind::GateInst) continue;
+  const auto& order = net.topo_order();
+  for (InstId id : order) {
+    if (net.kind(id) != Instance::Kind::GateInst) continue;
+    std::span<const InstId> fi = net.fanins(id);
+    const Gate* gate = net.gate(id);
     double a = 0.0;
-    for (std::size_t pin = 0; pin < inst.fanins.size(); ++pin) {
-      const GatePin& p = inst.gate->pins[pin];
-      a = std::max(a, r.arrival[inst.fanins[pin]] + p.delay() +
+    for (std::size_t pin = 0; pin < fi.size(); ++pin) {
+      const GatePin& p = gate->pins[pin];
+      a = std::max(a, r.arrival[fi[pin]] + p.delay() +
                           p.load_slope() * r.net_load[id]);
     }
     r.arrival[id] = a;
@@ -43,9 +47,8 @@ LoadTimingReport analyze_timing_loaded(const MappedNetlist& net,
   for (const Output& o : net.outputs())
     r.delay = std::max(r.delay, r.arrival[o.node]);
   for (InstId l : net.latches()) {
-    const Instance& inst = net.instance(l);
-    if (!inst.fanins.empty())
-      r.delay = std::max(r.delay, r.arrival[inst.fanins[0]]);
+    std::span<const InstId> fi = net.fanins(l);
+    if (!fi.empty()) r.delay = std::max(r.delay, r.arrival[fi[0]]);
   }
 
   // Backward pass: required times / slack against the measured delay.
@@ -54,22 +57,19 @@ LoadTimingReport analyze_timing_loaded(const MappedNetlist& net,
   for (const Output& o : net.outputs())
     r.required[o.node] = std::min(r.required[o.node], r.delay);
   for (InstId l : net.latches()) {
-    const Instance& inst = net.instance(l);
-    if (!inst.fanins.empty())
-      r.required[inst.fanins[0]] =
-          std::min(r.required[inst.fanins[0]], r.delay);
+    std::span<const InstId> fi = net.fanins(l);
+    if (!fi.empty()) r.required[fi[0]] = std::min(r.required[fi[0]], r.delay);
   }
-  auto order = net.topo_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const Instance& inst = net.instance(*it);
-    if (inst.kind != Instance::Kind::GateInst || r.required[*it] == kInf)
+    if (net.kind(*it) != Instance::Kind::GateInst || r.required[*it] == kInf)
       continue;
-    for (std::size_t pin = 0; pin < inst.fanins.size(); ++pin) {
-      const GatePin& p = inst.gate->pins[pin];
+    std::span<const InstId> fi = net.fanins(*it);
+    const Gate* gate = net.gate(*it);
+    for (std::size_t pin = 0; pin < fi.size(); ++pin) {
+      const GatePin& p = gate->pins[pin];
       double req =
           r.required[*it] - p.delay() - p.load_slope() * r.net_load[*it];
-      r.required[inst.fanins[pin]] =
-          std::min(r.required[inst.fanins[pin]], req);
+      r.required[fi[pin]] = std::min(r.required[fi[pin]], req);
     }
   }
   r.slack.assign(net.size(), kInf);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <span>
 
 #include "netlist/assert.hpp"
 
@@ -68,18 +69,19 @@ LtTreeResult buffer_fanouts_lt_tree(const MappedNetlist& net,
   // Collect sinks per driver.
   std::vector<std::vector<Sink>> sinks(net.size());
   for (InstId id = 0; id < net.size(); ++id) {
-    const Instance& inst = net.instance(id);
-    if (inst.kind == Instance::Kind::GateInst) {
-      for (std::size_t pin = 0; pin < inst.fanins.size(); ++pin) {
-        const GatePin& p = inst.gate->pins[pin];
+    std::span<const InstId> fi = net.fanins(id);
+    if (net.kind(id) == Instance::Kind::GateInst) {
+      const Gate* gate = net.gate(id);
+      for (std::size_t pin = 0; pin < fi.size(); ++pin) {
+        const GatePin& p = gate->pins[pin];
         double req = timing.required[id] - p.delay() -
                      p.load_slope() * timing.net_load[id];
-        sinks[inst.fanins[pin]].push_back(
+        sinks[fi[pin]].push_back(
             {id, pin, 0, req,
              p.input_load + options.load_model.wire_load_per_fanout});
       }
-    } else if (inst.kind == Instance::Kind::Latch && !inst.fanins.empty()) {
-      sinks[inst.fanins[0]].push_back(
+    } else if (net.kind(id) == Instance::Kind::Latch && !fi.empty()) {
+      sinks[fi[0]].push_back(
           {id, 0, 0, timing.delay,
            options.load_model.latch_input_load +
                options.load_model.wire_load_per_fanout});
@@ -187,9 +189,8 @@ LtTreeResult buffer_fanouts_lt_tree(const MappedNetlist& net,
     }
 
     // The driver wants maximal slack: required - slope * load maximal.
-    const Instance& dinst = net.instance(drv);
-    double slope = dinst.kind == Instance::Kind::GateInst
-                       ? dinst.gate->max_load_slope()
+    double slope = net.kind(drv) == Instance::Kind::GateInst
+                       ? net.gate(drv)->max_load_slope()
                        : 0.0;
     int best = -1;
     double best_score = -kInf;
@@ -209,24 +210,25 @@ LtTreeResult buffer_fanouts_lt_tree(const MappedNetlist& net,
   // Copy instances in topological order, realizing chain plans as soon
   // as their driver exists.
   for (InstId id : net.topo_order()) {
-    const Instance& inst = net.instance(id);
-    switch (inst.kind) {
+    switch (net.kind(id)) {
       case Instance::Kind::PrimaryInput:
-        mapped[id] = out.add_input(inst.name);
+        mapped[id] = out.add_input(net.name(id));
         break;
       case Instance::Kind::Const0: mapped[id] = out.add_constant(false); break;
       case Instance::Kind::Const1: mapped[id] = out.add_constant(true); break;
       case Instance::Kind::Latch:
-        mapped[id] = out.add_latch_placeholder(inst.name);
+        mapped[id] = out.add_latch_placeholder(net.name(id));
         break;
       case Instance::Kind::GateInst: {
+        std::span<const InstId> fi = net.fanins(id);
         std::vector<InstId> fanins;
-        for (std::size_t pin = 0; pin < inst.fanins.size(); ++pin) {
+        for (std::size_t pin = 0; pin < fi.size(); ++pin) {
           auto it = fanin_tap.find({id, pin});
           fanins.push_back(it != fanin_tap.end() ? it->second
-                                                 : mapped[inst.fanins[pin]]);
+                                                 : mapped[fi[pin]]);
         }
-        mapped[id] = out.add_gate(inst.gate, std::move(fanins), inst.name);
+        mapped[id] =
+            out.add_gate(net.gate(id), std::move(fanins), net.name(id));
         break;
       }
     }
@@ -237,9 +239,8 @@ LtTreeResult buffer_fanouts_lt_tree(const MappedNetlist& net,
 
   for (InstId l : net.latches()) {
     auto it = fanin_tap.find({l, std::size_t{0}});
-    InstId d = it != fanin_tap.end()
-                   ? it->second
-                   : mapped[net.instance(l).fanins.at(0)];
+    InstId d =
+        it != fanin_tap.end() ? it->second : mapped[net.fanins(l)[0]];
     out.connect_latch(mapped[l], d);
   }
   for (std::size_t i = 0; i < net.outputs().size(); ++i) {

@@ -1,6 +1,7 @@
 #include "fanout/sizing.hpp"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 
 #include "netlist/assert.hpp"
@@ -55,15 +56,18 @@ SizingResult size_gates(const MappedNetlist& net, const GateLibrary& lib,
     return &it->second;
   };
 
-  auto order = work.topo_order();
+  // replace_gate() does not invalidate the topology cache (pin-compatible
+  // swap, structure unchanged), so this reference stays valid across the
+  // sizing rounds.
+  const auto& order = work.topo_order();
   // Monotonicity guard: keep the best configuration seen; greedy local
   // moves can occasionally regress globally.
   std::vector<const Gate*> best_config(work.size(), nullptr);
   double best_delay = result.delay_before;
   auto snapshot = [&] {
     for (InstId id = 0; id < work.size(); ++id)
-      best_config[id] = work.instance(id).kind == Instance::Kind::GateInst
-                            ? work.instance(id).gate
+      best_config[id] = work.kind(id) == Instance::Kind::GateInst
+                            ? work.gate(id)
                             : nullptr;
   };
   snapshot();
@@ -74,9 +78,10 @@ SizingResult size_gates(const MappedNetlist& net, const GateLibrary& lib,
     // Reverse sweep: downstream loads settle first.
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
       InstId id = *it;
-      const Instance& inst = work.instance(id);
-      if (inst.kind != Instance::Kind::GateInst) continue;
-      const auto* cands = candidates(inst.gate);
+      if (work.kind(id) != Instance::Kind::GateInst) continue;
+      const Gate* cur = work.gate(id);
+      std::span<const InstId> fi = work.fanins(id);
+      const auto* cands = candidates(cur);
       if (!cands || cands->size() < 2) continue;
 
       // The load this instance drives does not depend on its own size;
@@ -86,15 +91,13 @@ SizingResult size_gates(const MappedNetlist& net, const GateLibrary& lib,
       double out_load = timing.net_load[id];
       auto arrival_with = [&](const Gate* g) {
         double a = 0.0;
-        for (std::size_t pin = 0; pin < inst.fanins.size(); ++pin) {
+        for (std::size_t pin = 0; pin < fi.size(); ++pin) {
           const GatePin& p = g->pins[pin];
-          InstId fanin = inst.fanins[pin];
+          InstId fanin = fi[pin];
           double fanin_arrival = timing.arrival[fanin];
-          const Instance& drv = work.instance(fanin);
-          if (drv.kind == Instance::Kind::GateInst) {
-            double delta =
-                p.input_load - inst.gate->pins[pin].input_load;
-            fanin_arrival += drv.gate->max_load_slope() * delta;
+          if (work.kind(fanin) == Instance::Kind::GateInst) {
+            double delta = p.input_load - cur->pins[pin].input_load;
+            fanin_arrival += work.gate(fanin)->max_load_slope() * delta;
           }
           a = std::max(a, fanin_arrival + p.delay() +
                               p.load_slope() * out_load);
@@ -107,11 +110,11 @@ SizingResult size_gates(const MappedNetlist& net, const GateLibrary& lib,
       // otherwise greedy sizing would blindly upsize the whole netlist.
       bool critical = timing.slack[id] < 1e-9;
       double budget = timing.required[id];
-      const Gate* best = inst.gate;
-      double best_arrival = arrival_with(inst.gate);
+      const Gate* best = cur;
+      double best_arrival = arrival_with(cur);
       for (const Gate* g : *cands) {
-        if (g == inst.gate || g->num_inputs() != inst.fanins.size() ||
-            !(g->function == inst.gate->function))
+        if (g == cur || g->num_inputs() != fi.size() ||
+            !(g->function == cur->function))
           continue;
         double a = arrival_with(g);
         if (critical) {
@@ -129,7 +132,7 @@ SizingResult size_gates(const MappedNetlist& net, const GateLibrary& lib,
           }
         }
       }
-      if (best != inst.gate) {
+      if (best != cur) {
         work.replace_gate(id, best);
         ++changed;
         ++result.resized;
@@ -144,12 +147,12 @@ SizingResult size_gates(const MappedNetlist& net, const GateLibrary& lib,
   }
   // Restore the best configuration seen and recount the real changes.
   for (InstId id = 0; id < work.size(); ++id)
-    if (best_config[id] && best_config[id] != work.instance(id).gate)
+    if (best_config[id] && best_config[id] != work.gate(id))
       work.replace_gate(id, best_config[id]);
   result.resized = 0;
   for (InstId id = 0; id < work.size(); ++id)
-    if (work.instance(id).kind == Instance::Kind::GateInst &&
-        work.instance(id).gate != net.instance(id).gate)
+    if (work.kind(id) == Instance::Kind::GateInst &&
+        work.gate(id) != net.gate(id))
       ++result.resized;
   result.delay_after = circuit_delay_loaded(work, model);
   DAGMAP_ASSERT(result.delay_after <= result.delay_before + 1e-9);

@@ -504,15 +504,14 @@ Network merge_networks(const std::string& name,
     std::string prefix = "m" + std::to_string(p) + "_";
     std::vector<NodeId> map(src.size(), kNullNode);
     for (NodeId pi : src.inputs())
-      map[pi] = out.add_input(prefix + src.node(pi).name);
+      map[pi] = out.add_input(prefix + src.name(pi));
     for (NodeId l : src.latches())
-      map[l] = out.add_latch_placeholder(prefix + src.node(l).name);
+      map[l] = out.add_latch_placeholder(prefix + src.name(l));
     for (NodeId id : src.topo_order()) {
       if (map[id] != kNullNode) continue;
-      const Node& nd = src.node(id);
       std::vector<NodeId> fanins;
-      for (NodeId f : nd.fanins) fanins.push_back(map[f]);
-      switch (nd.kind) {
+      for (NodeId f : src.fanins(id)) fanins.push_back(map[f]);
+      switch (src.kind(id)) {
         case NodeKind::Const0: map[id] = out.add_constant(false); break;
         case NodeKind::Const1: map[id] = out.add_constant(true); break;
         case NodeKind::Inv: map[id] = out.add_inv(fanins[0]); break;
@@ -520,7 +519,7 @@ Network merge_networks(const std::string& name,
           map[id] = out.add_nand2(fanins[0], fanins[1]);
           break;
         case NodeKind::Logic:
-          map[id] = out.add_logic(std::move(fanins), nd.function);
+          map[id] = out.add_logic(std::move(fanins), src.function(id));
           break;
         default: DAGMAP_ASSERT_MSG(false, "source not pre-mapped");
       }

@@ -232,11 +232,11 @@ std::vector<std::string> node_names(const Network& net) {
   // does not need alias buffers for them.
   std::vector<std::string> po_name(net.size());
   for (const Output& o : net.outputs())
-    if (!net.is_source(o.node) && net.node(o.node).name.empty() &&
+    if (!net.is_source(o.node) && net.name(o.node).empty() &&
         po_name[o.node].empty())
       po_name[o.node] = o.name;
   for (NodeId id = 0; id < net.size(); ++id) {
-    const std::string& given = net.node(id).name;
+    const std::string& given = net.name(id);
     std::string base = !given.empty()   ? given
                        : !po_name[id].empty() ? po_name[id]
                                               : "n" + std::to_string(id);
@@ -272,9 +272,8 @@ std::string write_blif(const Network& net) {
       continue;
     }
     if (net.is_source(id)) continue;
-    const Node& n = net.node(id);
     out << ".names";
-    for (NodeId f : n.fanins) out << " " << names[f];
+    for (NodeId f : net.fanins(id)) out << " " << names[f];
     out << " " << names[id] << "\n";
     TruthTable f = net.local_function(id);
     // Emit the smaller of ON-set / OFF-set as minterm rows.

@@ -241,7 +241,7 @@ LutMapResult flowmap(const Network& input, const LutMapOptions& options) {
 
   if (run_recovery) {
     // Area flow (one LUT = one area unit), amortized over fanout.
-    auto fanout = input.fanout_counts();
+    const auto& fanout = input.fanout_counts();
     std::vector<double> area_flow(input.size(), 0.0);
     auto cut_area_flow = [&](const Cut& c) {
       double af = 1.0;
@@ -250,7 +250,7 @@ LutMapResult flowmap(const Network& input, const LutMapOptions& options) {
           af += area_flow[x] / std::max<std::uint32_t>(1, fanout[x]);
       return af;
     };
-    auto order = input.topo_order();
+    const auto& order = input.topo_order();
     for (NodeId n : order) {
       if (input.is_source(n)) continue;
       double best = 1e300;
@@ -299,9 +299,9 @@ LutMapResult flowmap(const Network& input, const LutMapOptions& options) {
   // Backward queue pass: one LUT per needed node over its best cut.
   Network out(input.name());
   std::vector<NodeId> map(input.size(), kNullNode);
-  for (NodeId pi : input.inputs()) map[pi] = out.add_input(input.node(pi).name);
+  for (NodeId pi : input.inputs()) map[pi] = out.add_input(input.name(pi));
   for (NodeId l : input.latches())
-    map[l] = out.add_latch_placeholder(input.node(l).name);
+    map[l] = out.add_latch_placeholder(input.name(l));
 
   std::vector<NodeId> stack;
   auto require = [&](NodeId n) {
@@ -335,7 +335,7 @@ LutMapResult flowmap(const Network& input, const LutMapOptions& options) {
     fanins.reserve(cut.size());
     for (NodeId x : cut) fanins.push_back(map[x]);
     map[n] = out.add_logic(std::move(fanins), cone_function(input, n, cut),
-                           input.node(n).name);
+                           input.name(n));
     ++result.num_luts;
   }
 

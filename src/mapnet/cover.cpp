@@ -15,9 +15,9 @@ MappedNetlist build_cover(const Network& subject,
 
   // Sources first: PIs and latch outputs are the match leaves' anchors.
   for (NodeId pi : subject.inputs())
-    inst_of[pi] = out.add_input(subject.node(pi).name);
+    inst_of[pi] = out.add_input(subject.name(pi));
   for (NodeId l : subject.latches())
-    inst_of[l] = out.add_latch_placeholder(subject.node(l).name);
+    inst_of[l] = out.add_latch_placeholder(subject.name(l));
 
   // Iterative DFS: an internal node's instance is created after all of
   // its match leaves have instances.
@@ -60,7 +60,7 @@ MappedNetlist build_cover(const Network& subject,
     std::vector<InstId> fanins;
     fanins.reserve(m.pin_binding.size());
     for (NodeId leaf : m.pin_binding) fanins.push_back(inst_of[leaf]);
-    inst_of[n] = out.add_gate(m.gate, std::move(fanins), subject.node(n).name);
+    inst_of[n] = out.add_gate(m.gate, std::move(fanins), subject.name(n));
   }
 
   for (std::size_t i = 0; i < subject.latches().size(); ++i) {

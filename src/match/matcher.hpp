@@ -161,7 +161,9 @@ class Matcher {
   const GateLibrary& lib_;
   const Network& subject_;
   MatcherOptions options_;
-  std::vector<std::uint32_t> fanout_counts_;
+  /// View of the subject's cached fanout counts (no per-matcher copy;
+  /// valid while the subject is not structurally mutated).
+  std::span<const std::uint32_t> fanout_counts_;
   std::vector<NodeSignature> subject_sigs_;
   /// Patterns bucketed by root node kind (Inv / Nand2) for pruning.
   std::vector<PatternRef> inv_rooted_;

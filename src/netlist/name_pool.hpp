@@ -1,0 +1,63 @@
+// Interned string pool for node/instance names.
+//
+// Graph nodes frequently share names (or have none): the pool stores
+// each distinct name once and hands out 32-bit ids.  Id 0 is always the
+// empty string, so unnamed nodes cost one integer.  Strings live in a
+// deque (elements never move), and the intern map keys are views into
+// those elements — copying the pool rebuilds the map against the copy's
+// own storage.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+namespace dagmap {
+
+class NamePool {
+ public:
+  NamePool() { pool_.emplace_back(); }
+
+  NamePool(const NamePool& other) : pool_(other.pool_) { rebuild_map(); }
+  NamePool& operator=(const NamePool& other) {
+    if (this != &other) {
+      pool_ = other.pool_;
+      map_.clear();
+      rebuild_map();
+    }
+    return *this;
+  }
+  NamePool(NamePool&&) noexcept = default;
+  NamePool& operator=(NamePool&&) noexcept = default;
+
+  /// Returns the id of `name`, adding it to the pool if new.  The empty
+  /// string is always id 0.
+  std::uint32_t intern(std::string&& name) {
+    if (name.empty()) return 0;
+    auto it = map_.find(std::string_view(name));
+    if (it != map_.end()) return it->second;
+    std::uint32_t id = static_cast<std::uint32_t>(pool_.size());
+    pool_.push_back(std::move(name));
+    map_.emplace(pool_.back(), id);
+    return id;
+  }
+
+  const std::string& at(std::uint32_t id) const { return pool_[id]; }
+
+  /// Number of distinct names (including the empty string).
+  std::size_t size() const { return pool_.size(); }
+
+ private:
+  void rebuild_map() {
+    map_.reserve(pool_.size());
+    for (std::uint32_t i = 1; i < pool_.size(); ++i) map_.emplace(pool_[i], i);
+  }
+
+  std::deque<std::string> pool_;
+  std::unordered_map<std::string_view, std::uint32_t> map_;
+};
+
+}  // namespace dagmap

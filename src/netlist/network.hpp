@@ -11,14 +11,27 @@
 //     decomposition produces and what the mappers consume;
 //   * sequential circuits: `Latch` nodes are single-fanin, edge-triggered
 //     storage elements; their output is treated as a combinational source.
+//
+// Storage is struct-of-arrays with CSR fanins: one `kinds` array, fanin
+// slices in a chunked stable arena (`StablePool` — spans stay valid as
+// nodes are added), names interned in a single pool (shared by duplicate
+// names; the empty name costs nothing), and truth tables out-of-line
+// only for `Logic` nodes.  Topology queries (`topo_order()`,
+// `fanout_counts()`, `fanout_view()`) are served by a memoized
+// `TopologyCache` computed in one sweep and invalidated on mutation.
 #pragma once
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "netlist/name_pool.hpp"
+#include "netlist/stable_pool.hpp"
+#include "netlist/topology.hpp"
 #include "netlist/truth_table.hpp"
 
 namespace dagmap {
@@ -44,18 +57,6 @@ enum class NodeKind : std::uint8_t {
 /// Human-readable name of a node kind ("nand2", "pi", ...).
 const char* to_string(NodeKind kind);
 
-/// One node of a `Network`.  Plain data; invariants (fanin counts per
-/// kind, acyclicity) are maintained by the `Network` builder methods.
-struct Node {
-  NodeKind kind = NodeKind::Logic;
-  std::vector<NodeId> fanins;
-  /// Local function over `fanins` (meaningful for `Logic` nodes only;
-  /// the function of Nand2/Inv is implied by the kind).
-  TruthTable function;
-  /// Optional name (always set for primary inputs and latches).
-  std::string name;
-};
-
 /// A named primary output: a reference to the node that drives it.
 struct Output {
   NodeId node = kNullNode;
@@ -66,8 +67,13 @@ struct Output {
 /// cycles through latches are allowed).
 class Network {
  public:
-  Network() = default;
-  explicit Network(std::string name) : name_(std::move(name)) {}
+  Network();
+  explicit Network(std::string name);
+
+  Network(const Network& other);
+  Network& operator=(const Network& other);
+  Network(Network&&) noexcept = default;
+  Network& operator=(Network&&) noexcept = default;
 
   const std::string& name() const { return name_; }
   void set_name(std::string n) { name_ = std::move(n); }
@@ -125,10 +131,21 @@ class Network {
 
   // ---- access -----------------------------------------------------------
 
-  std::size_t size() const { return nodes_.size(); }
-  const Node& node(NodeId id) const;
-  NodeKind kind(NodeId id) const { return node(id).kind; }
-  std::span<const NodeId> fanins(NodeId id) const { return node(id).fanins; }
+  std::size_t size() const { return kinds_.size(); }
+  NodeKind kind(NodeId id) const;
+
+  /// Fanins of `id`, in pin order.  The span stays valid as further
+  /// nodes are added (chunked arena storage); an unconnected latch
+  /// placeholder reports no fanins.
+  std::span<const NodeId> fanins(NodeId id) const;
+
+  /// The node's name (empty unless set; always set for primary inputs).
+  /// Names are interned: duplicates share one pooled string.
+  const std::string& name(NodeId id) const;
+
+  /// Local function of a `Logic` node (other kinds have it implied and
+  /// are rejected; use `local_function` for a kind-generic table).
+  const TruthTable& function(NodeId id) const;
 
   std::span<const NodeId> inputs() const { return inputs_; }
   std::span<const NodeId> latches() const { return latches_; }
@@ -142,7 +159,7 @@ class Network {
   bool is_source(NodeId id) const;
 
   /// Number of internal (non-source) nodes.
-  std::size_t num_internal() const;
+  std::size_t num_internal() const { return size() - num_sources_; }
 
   /// Count of nodes of the given kind.
   std::size_t count_kind(NodeKind kind) const;
@@ -156,15 +173,18 @@ class Network {
 
   /// Nodes in a topological order of the combinational graph: every
   /// non-source node appears after all of its fanins; sources (PIs,
-  /// constants, latch outputs) appear first.
-  std::vector<NodeId> topo_order() const;
+  /// constants, latch outputs) appear first.  Memoized: the reference is
+  /// valid until the next structural mutation.
+  const std::vector<NodeId>& topo_order() const;
 
   /// Number of combinational fanouts of each node (edges to internal
   /// nodes, latch D-inputs, plus one per primary-output reference).
-  std::vector<std::uint32_t> fanout_counts() const;
+  /// Memoized; valid until the next structural mutation.
+  const std::vector<std::uint32_t>& fanout_counts() const;
 
-  /// Full fanout adjacency (latch D edges included, PO refs excluded).
-  std::vector<std::vector<NodeId>> fanout_lists() const;
+  /// CSR fanout adjacency (latch D edges included, PO refs excluded).
+  /// Memoized; valid until the next structural mutation.
+  FanoutView fanout_view() const;
 
   /// All nodes in the transitive fanin of `root` (root included),
   /// stopping at sources.
@@ -192,13 +212,33 @@ class Network {
   std::pair<Network, std::vector<NodeId>> cleaned_copy() const;
 
  private:
-  NodeId add_node(Node n);
+  /// Appends a node: kind row, fanin slice in the arena, interned name.
+  NodeId new_node(NodeKind kind, std::span<const NodeId> fanins,
+                  std::string&& name);
+  TopologyCache& cache() const;
+  void invalidate_topology();
+  void fill_topology(TopologyCache::Data& data) const;
 
   std::string name_;
-  std::vector<Node> nodes_;
+
+  // Struct-of-arrays node storage (one row per node).
+  std::vector<NodeKind> kinds_;
+  std::vector<StablePool<NodeId>::Handle> fanin_handles_;
+  std::vector<std::uint16_t> fanin_counts_;
+  std::vector<std::uint32_t> name_ids_;  ///< index into names_
+  std::vector<std::uint32_t> func_ids_;  ///< index into functions_, or ~0
+  StablePool<NodeId> fanin_pool_;
+  NamePool names_;
+
+  /// Out-of-line truth tables, one per `Logic` node.
+  std::vector<TruthTable> functions_;
+
   std::vector<NodeId> inputs_;
   std::vector<NodeId> latches_;
   std::vector<Output> outputs_;
+  std::size_t num_sources_ = 0;
+
+  mutable std::unique_ptr<TopologyCache> topo_cache_;
 };
 
 }  // namespace dagmap

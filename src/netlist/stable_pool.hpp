@@ -1,0 +1,117 @@
+// Chunked arena with stable storage: allocations never move.
+//
+// The CSR graph cores (`Network`, `MappedNetlist`) hand out
+// `std::span`s over a node's fanin slice and promise the spans stay
+// valid while further nodes are added.  A single flat `std::vector`
+// cannot keep that promise (growth reallocates), so edge slices live
+// in fixed chunks that are never resized or relocated once created.
+//
+// An allocation is addressed by an opaque 64-bit handle
+// (`chunk << 32 | offset-within-chunk`), which survives copying the
+// pool wholesale — copies reproduce the same chunk layout, so handles
+// stored next to the pool (e.g. per-node fanin references) stay
+// meaningful in the copy without fix-ups.
+//
+// Allocations never straddle a chunk boundary; requests larger than
+// the default chunk capacity get a dedicated chunk of exactly their
+// size.  Freeing is not supported — graph nodes are never removed
+// (dead logic is dropped by `cleaned_copy`, which rebuilds).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace dagmap {
+
+template <typename T>
+class StablePool {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "StablePool requires trivially copyable elements");
+
+ public:
+  using Handle = std::uint64_t;
+  /// Default chunk capacity, in elements (64Ki).
+  static constexpr std::size_t kChunkCapacity = std::size_t{1} << 16;
+
+  StablePool() = default;
+
+  StablePool(const StablePool& other) { copy_from(other); }
+  StablePool& operator=(const StablePool& other) {
+    if (this != &other) {
+      chunks_.clear();
+      copy_from(other);
+    }
+    return *this;
+  }
+  StablePool(StablePool&&) noexcept = default;
+  StablePool& operator=(StablePool&&) noexcept = default;
+
+  /// Allocates `n` contiguous elements (uninitialized) and returns a
+  /// handle.  `n == 0` returns a valid handle to an empty slice.
+  Handle allocate(std::size_t n) {
+    if (n > kChunkCapacity) {
+      // Oversized request: dedicated chunk, fully used.
+      chunks_.push_back(Chunk::make(n));
+      chunks_.back().used = n;
+      return pack(chunks_.size() - 1, 0);
+    }
+    if (chunks_.empty() || chunks_.back().capacity - chunks_.back().used < n ||
+        chunks_.back().capacity > kChunkCapacity) {
+      chunks_.push_back(Chunk::make(kChunkCapacity));
+    }
+    Chunk& c = chunks_.back();
+    std::size_t off = c.used;
+    c.used += n;
+    return pack(chunks_.size() - 1, off);
+  }
+
+  T* data(Handle h) { return chunks_[chunk_of(h)].data.get() + offset_of(h); }
+  const T* data(Handle h) const {
+    return chunks_[chunk_of(h)].data.get() + offset_of(h);
+  }
+
+  /// Total elements allocated across all chunks.
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const Chunk& c : chunks_) n += c.used;
+    return n;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<T[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+
+    static Chunk make(std::size_t cap) {
+      return {std::make_unique_for_overwrite<T[]>(cap), cap, 0};
+    }
+  };
+
+  static Handle pack(std::size_t chunk, std::size_t off) {
+    return (static_cast<Handle>(chunk) << 32) | static_cast<Handle>(off);
+  }
+  static std::size_t chunk_of(Handle h) { return static_cast<std::size_t>(h >> 32); }
+  static std::size_t offset_of(Handle h) {
+    return static_cast<std::size_t>(h & 0xFFFFFFFFu);
+  }
+
+  void copy_from(const StablePool& other) {
+    chunks_.reserve(other.chunks_.size());
+    for (const Chunk& c : other.chunks_) {
+      Chunk copy = Chunk::make(c.capacity);
+      copy.used = c.used;
+      if (c.used != 0)
+        std::memcpy(copy.data.get(), c.data.get(), c.used * sizeof(T));
+      chunks_.push_back(std::move(copy));
+    }
+  }
+
+  std::vector<Chunk> chunks_;
+};
+
+}  // namespace dagmap

@@ -1,0 +1,100 @@
+// Memoized topology views shared by the graph cores.
+//
+// `topo_order()`, `fanout_counts()` and the fanout adjacency used to be
+// recomputed (and reallocated) at every call site across the pipeline —
+// ~25 sites in match, lutmap, seq, sim, fanout, mapnet and timing.  A
+// `TopologyCache` owns all three products and computes them together in
+// one graph sweep (Kahn's algorithm needs the fanout adjacency anyway),
+// so a phase that asks for any combination of views pays for exactly
+// one traversal.  The `topo.recompute` obs counter counts fills; the
+// regression tests assert it stays at 1 per pipeline phase.
+//
+// Invalidation rules:
+//   * every structural mutation (`add_*`, `connect_latch`,
+//     `add_output`, `redirect_*`) marks the cache dirty without freeing
+//     its storage — the next query refills in place;
+//   * `MappedNetlist::replace_gate` swaps a gate for a pin-compatible
+//     one and does NOT invalidate (topology is unchanged); the sizing
+//     pass relies on holding a topo order across replacements;
+//   * references returned by the views are invalidated by the next
+//     structural mutation — don't hold one across `add_*`.
+//
+// Concurrency: filling uses double-checked locking (an acquire/release
+// `valid` flag plus a fill mutex), so concurrent *const* queries from
+// worker threads are race-free and fill exactly once.  Mutation is not
+// thread-safe, matching the owning graph classes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace dagmap {
+
+/// CSR view of the fanout adjacency: `view[n]` is the list of nodes
+/// (and latch D-inputs) that read `n`, in ascending reader-id order,
+/// one entry per edge (a node reading `n` twice appears twice).
+/// Primary-output references are not edges and are not included.
+/// Cheap value type; invalidated by the next structural mutation of
+/// the owning graph.
+class FanoutView {
+ public:
+  FanoutView() = default;
+  FanoutView(const std::uint32_t* offsets, const std::uint32_t* edges,
+             std::size_t num_nodes)
+      : offsets_(offsets), edges_(edges), num_nodes_(num_nodes) {}
+
+  std::span<const std::uint32_t> operator[](std::uint32_t n) const {
+    return {edges_ + offsets_[n], edges_ + offsets_[n + 1]};
+  }
+  std::uint32_t degree(std::uint32_t n) const {
+    return offsets_[n + 1] - offsets_[n];
+  }
+  std::size_t size() const { return num_nodes_; }
+
+ private:
+  const std::uint32_t* offsets_ = nullptr;
+  const std::uint32_t* edges_ = nullptr;
+  std::size_t num_nodes_ = 0;
+};
+
+/// Memoized topology products of one graph.  Owned by the graph class
+/// behind a `mutable` pointer; the graph supplies the fill procedure.
+class TopologyCache {
+ public:
+  struct Data {
+    std::vector<std::uint32_t> topo;           ///< topological node order
+    std::vector<std::uint32_t> fanout_counts;  ///< fanin edges + PO refs
+    std::vector<std::uint32_t> fanout_offsets; ///< CSR offsets, size()+1
+    std::vector<std::uint32_t> fanout_edges;   ///< CSR edges (no PO refs)
+  };
+
+  /// Marks the cache dirty.  Storage is kept for the next refill.
+  void invalidate() { valid_.store(false, std::memory_order_release); }
+
+  /// Returns the cached data, refilling via `fill(data)` if dirty.
+  /// Safe to call concurrently from const readers.
+  template <typename Fill>
+  const Data& get(Fill&& fill) const {
+    if (!valid_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(fill_mutex_);
+      if (!valid_.load(std::memory_order_relaxed)) {
+        fill(data_);
+        obs::counter_add("topo.recompute", 1);
+        valid_.store(true, std::memory_order_release);
+      }
+    }
+    return data_;
+  }
+
+ private:
+  mutable std::mutex fill_mutex_;
+  mutable std::atomic<bool> valid_{false};
+  mutable Data data_;
+};
+
+}  // namespace dagmap

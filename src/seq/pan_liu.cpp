@@ -93,7 +93,7 @@ std::vector<std::vector<SeqCut>> enumerate_expanded_cuts(
   std::vector<std::vector<std::vector<SeqCut>>> table(
       net.size(), std::vector<std::vector<SeqCut>>(J + 1));
 
-  auto topo = net.topo_order();
+  const auto& topo = net.topo_order();
   // Process offsets high-to-low; within one offset, original topological
   // order (expanded edges never decrease the offset).
   for (unsigned j = J + 1; j-- > 0;) {
@@ -156,7 +156,7 @@ bool seq_lut_period_feasible(const Network& net, unsigned phi,
   const double bound = (static_cast<double>(net.num_internal()) + 2) *
                            static_cast<double>(phi) +
                        1.0;
-  auto topo = net.topo_order();
+  const auto& topo = net.topo_order();
   std::size_t max_rounds = 4 * net.size() + 16;
 
   bool changed = true;
@@ -377,7 +377,7 @@ SeqLutMapping optimal_period_lut_map_construct(const Network& net,
   Network& res = out.netlist;
   res = Network(net.name());
   std::vector<NodeId> inst(net.size(), kNullNode);
-  for (NodeId pi : net.inputs()) inst[pi] = res.add_input(net.node(pi).name);
+  for (NodeId pi : net.inputs()) inst[pi] = res.add_input(net.name(pi));
 
   std::map<std::pair<NodeId, std::uint32_t>, NodeId> chain_cache;
   std::vector<std::pair<NodeId, NodeId>> chain_roots;  // (latch, driver)
@@ -414,7 +414,7 @@ SeqLutMapping optimal_period_lut_map_construct(const Network& net,
     }
     inst[v] = res.add_logic(std::move(fanins),
                             expanded_cone_function(net, v, cut),
-                            net.node(v).name);
+                            net.name(v));
   }
   for (std::size_t i = 0; i < po_edges.size(); ++i) {
     auto [drv, w] = po_edges[i];

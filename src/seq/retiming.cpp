@@ -147,9 +147,9 @@ std::pair<NodeId, std::int32_t> resolve_driver(const Network& net, NodeId n) {
 std::pair<InstId, std::int32_t> resolve_driver(const MappedNetlist& net,
                                                InstId n) {
   std::int32_t w = 0;
-  while (net.instance(n).kind == Instance::Kind::Latch) {
+  while (net.kind(n) == Instance::Kind::Latch) {
     ++w;
-    n = net.instance(n).fanins[0];
+    n = net.fanins(n)[0];
   }
   return {n, w};
 }
@@ -188,17 +188,15 @@ RetimingGraph retiming_graph_of(const MappedNetlist& net,
   g.delay.push_back(0.0);  // host
   std::vector<std::uint32_t> vid(net.size(), 0);
   for (InstId n = 0; n < net.size(); ++n) {
-    const Instance& inst = net.instance(n);
-    if (inst.kind == Instance::Kind::Latch) continue;
+    if (net.kind(n) == Instance::Kind::Latch) continue;
     vid[n] = static_cast<std::uint32_t>(g.delay.size());
-    g.delay.push_back(inst.kind == Instance::Kind::GateInst
-                          ? inst.gate->max_pin_delay()
+    g.delay.push_back(net.kind(n) == Instance::Kind::GateInst
+                          ? net.gate(n)->max_pin_delay()
                           : 0.0);
   }
   for (InstId n = 0; n < net.size(); ++n) {
-    const Instance& inst = net.instance(n);
-    if (inst.kind != Instance::Kind::GateInst) continue;
-    for (InstId f : inst.fanins) {
+    if (net.kind(n) != Instance::Kind::GateInst) continue;
+    for (InstId f : net.fanins(n)) {
       auto [drv, w] = resolve_driver(net, f);
       g.edges.push_back({vid[drv], vid[n], w});
     }
@@ -334,12 +332,11 @@ Network retime_min_period(const Network& net, double* achieved) {
         fanins.push_back(chains.get(drv, w));
       }
     }
-    const Node& src = net.node(n);
-    switch (src.kind) {
+    switch (net.kind(n)) {
       case NodeKind::PrimaryInput: {
         // A positive PI lag materializes as registers right after the
         // input pin (the host->PI edge weight).
-        NodeId cur = out.add_input(src.name);
+        NodeId cur = out.add_input(net.name(n));
         for (std::int32_t i = 0; i < r.lag[vid[n]]; ++i)
           cur = out.add_latch(cur);
         mapped[n] = cur;
@@ -347,12 +344,15 @@ Network retime_min_period(const Network& net, double* achieved) {
       }
       case NodeKind::Const0: mapped[n] = out.add_constant(false); break;
       case NodeKind::Const1: mapped[n] = out.add_constant(true); break;
-      case NodeKind::Inv: mapped[n] = out.add_inv(fanins[0], src.name); break;
+      case NodeKind::Inv:
+        mapped[n] = out.add_inv(fanins[0], net.name(n));
+        break;
       case NodeKind::Nand2:
-        mapped[n] = out.add_nand2(fanins[0], fanins[1], src.name);
+        mapped[n] = out.add_nand2(fanins[0], fanins[1], net.name(n));
         break;
       case NodeKind::Logic:
-        mapped[n] = out.add_logic(std::move(fanins), src.function, src.name);
+        mapped[n] = out.add_logic(std::move(fanins), net.function(n),
+                                  net.name(n));
         break;
       case NodeKind::Latch:
         DAGMAP_ASSERT_MSG(false, "latches are not combinational");
@@ -383,12 +383,11 @@ MappedNetlist retime_min_period(const MappedNetlist& net, double* achieved) {
 
   std::vector<std::uint32_t> combinational;
   for (InstId n = 0; n < net.size(); ++n)
-    if (net.instance(n).kind != Instance::Kind::Latch)
-      combinational.push_back(n);
+    if (net.kind(n) != Instance::Kind::Latch) combinational.push_back(n);
 
   auto fanin_edges = [&](InstId n) {
     std::vector<std::pair<std::uint32_t, std::int32_t>> edges;
-    for (InstId f : net.instance(n).fanins) {
+    for (InstId f : net.fanins(n)) {
       auto [drv, w] = resolve_driver(net, f);
       edges.push_back({drv, weight_of(drv, w, vid[n])});
     }
@@ -413,10 +412,9 @@ MappedNetlist retime_min_period(const MappedNetlist& net, double* achieved) {
         fanins.push_back(chains.get(drv, w));
       }
     }
-    const Instance& src = net.instance(n);
-    switch (src.kind) {
+    switch (net.kind(n)) {
       case Instance::Kind::PrimaryInput: {
-        InstId cur = out.add_input(src.name);
+        InstId cur = out.add_input(net.name(n));
         for (std::int32_t i = 0; i < r.lag[vid[n]]; ++i) {
           InstId latch = out.add_latch_placeholder();
           out.connect_latch(latch, cur);
@@ -428,7 +426,7 @@ MappedNetlist retime_min_period(const MappedNetlist& net, double* achieved) {
       case Instance::Kind::Const0: mapped[n] = out.add_constant(false); break;
       case Instance::Kind::Const1: mapped[n] = out.add_constant(true); break;
       case Instance::Kind::GateInst:
-        mapped[n] = out.add_gate(src.gate, std::move(fanins), src.name);
+        mapped[n] = out.add_gate(net.gate(n), std::move(fanins), net.name(n));
         break;
       case Instance::Kind::Latch:
         DAGMAP_ASSERT_MSG(false, "latches are not combinational");

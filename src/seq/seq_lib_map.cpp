@@ -65,7 +65,7 @@ ExpandedMatches enumerate_expanded_matches(const Network& subject,
   };
 
   std::unordered_map<std::uint64_t, NodeId> deep_leaf;
-  auto topo = subject.topo_order();
+  const auto& topo = subject.topo_order();
   for (unsigned j = J + 1; j-- > 0;) {
     for (NodeId v : topo) {
       NodeKind kind = subject.kind(v);
@@ -155,7 +155,7 @@ bool feasible_with(const Network& subject, const ExpandedMatches& matches,
   const double bound =
       (static_cast<double>(subject.num_internal()) + 2.0) * std::max(phi, 1.0) +
       1.0;
-  auto topo = subject.topo_order();
+  const auto& topo = subject.topo_order();
   std::size_t max_rounds = 4 * subject.size() + 16;
 
   bool changed = true;
@@ -300,7 +300,7 @@ SeqLibMapping optimal_period_lib_map_construct(const Network& subject,
   net = MappedNetlist(subject.name());
   std::vector<InstId> inst(subject.size(), kNullInst);
   for (NodeId pi : subject.inputs())
-    inst[pi] = net.add_input(subject.node(pi).name);
+    inst[pi] = net.add_input(subject.name(pi));
 
   auto edge_registers = [&](NodeId v, const ExpLeaf& leaf) {
     std::int64_t regs =
@@ -404,7 +404,7 @@ SeqLibMapping optimal_period_lib_map_construct(const Network& subject,
         fanins.push_back(through_registers(leaf.node, regs));
       }
     }
-    inst[v] = net.add_gate(m.gate, std::move(fanins), subject.node(v).name);
+    inst[v] = net.add_gate(m.gate, std::move(fanins), subject.name(v));
   }
   for (std::size_t i = 0; i < po_edges.size(); ++i) {
     auto [drv, w] = po_edges[i];

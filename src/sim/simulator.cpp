@@ -66,21 +66,21 @@ std::vector<std::uint64_t> simulate64(
 
   std::vector<std::uint64_t> fanin_words;
   for (NodeId id : net.topo_order()) {
-    const Node& n = net.node(id);
-    switch (n.kind) {
+    std::span<const NodeId> fi = net.fanins(id);
+    switch (net.kind(id)) {
       case NodeKind::PrimaryInput:
       case NodeKind::Latch:
         break;  // already seeded
       case NodeKind::Const0: value[id] = 0; break;
       case NodeKind::Const1: value[id] = ~std::uint64_t{0}; break;
-      case NodeKind::Inv: value[id] = ~value[n.fanins[0]]; break;
+      case NodeKind::Inv: value[id] = ~value[fi[0]]; break;
       case NodeKind::Nand2:
-        value[id] = ~(value[n.fanins[0]] & value[n.fanins[1]]);
+        value[id] = ~(value[fi[0]] & value[fi[1]]);
         break;
       case NodeKind::Logic: {
         fanin_words.clear();
-        for (NodeId f : n.fanins) fanin_words.push_back(value[f]);
-        value[id] = eval_logic(n.function, fanin_words);
+        for (NodeId f : fi) fanin_words.push_back(value[f]);
+        value[id] = eval_logic(net.function(id), fanin_words);
         break;
       }
     }
@@ -103,7 +103,7 @@ EquivalenceResult check_equivalence(const Network& a, const Network& b,
                     "interface mismatch");
   for (std::size_t i = 0; i < a.num_inputs(); ++i)
     DAGMAP_ASSERT_MSG(
-        a.node(a.inputs()[i]).name == b.node(b.inputs()[i]).name,
+        a.name(a.inputs()[i]) == b.name(b.inputs()[i]),
         "PI name mismatch at index " + std::to_string(i));
   for (std::size_t i = 0; i < a.num_outputs(); ++i)
     DAGMAP_ASSERT_MSG(a.outputs()[i].name == b.outputs()[i].name,

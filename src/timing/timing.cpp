@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 
 #include "netlist/assert.hpp"
 
@@ -12,16 +13,16 @@ TimingReport analyze_timing(const MappedNetlist& net, double target_delay) {
   TimingReport r;
   r.arrival.assign(net.size(), 0.0);
 
-  auto order = net.topo_order();
+  const auto& order = net.topo_order();
 
   // Forward pass: arrivals.
   for (InstId id : order) {
-    const Instance& inst = net.instance(id);
-    if (inst.kind != Instance::Kind::GateInst) continue;
+    if (net.kind(id) != Instance::Kind::GateInst) continue;
+    std::span<const InstId> fi = net.fanins(id);
+    const Gate* gate = net.gate(id);
     double a = 0.0;
-    for (std::size_t pin = 0; pin < inst.fanins.size(); ++pin)
-      a = std::max(a,
-                   r.arrival[inst.fanins[pin]] + inst.gate->pins[pin].delay());
+    for (std::size_t pin = 0; pin < fi.size(); ++pin)
+      a = std::max(a, r.arrival[fi[pin]] + gate->pins[pin].delay());
     r.arrival[id] = a;
   }
 
@@ -34,7 +35,7 @@ TimingReport analyze_timing(const MappedNetlist& net, double target_delay) {
     }
   }
   for (InstId l : net.latches()) {
-    InstId d = net.instance(l).fanins.at(0);
+    InstId d = net.fanins(l)[0];
     if (r.arrival[d] > r.delay || worst_endpoint == kNullInst) {
       r.delay = r.arrival[d];
       worst_endpoint = d;
@@ -47,17 +48,17 @@ TimingReport analyze_timing(const MappedNetlist& net, double target_delay) {
   for (const Output& o : net.outputs())
     r.required[o.node] = std::min(r.required[o.node], r.target);
   for (InstId l : net.latches()) {
-    InstId d = net.instance(l).fanins.at(0);
+    InstId d = net.fanins(l)[0];
     r.required[d] = std::min(r.required[d], r.target);
   }
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const Instance& inst = net.instance(*it);
-    if (inst.kind != Instance::Kind::GateInst) continue;
+    if (net.kind(*it) != Instance::Kind::GateInst) continue;
     if (r.required[*it] == kInf) continue;
-    for (std::size_t pin = 0; pin < inst.fanins.size(); ++pin) {
-      double req = r.required[*it] - inst.gate->pins[pin].delay();
-      r.required[inst.fanins[pin]] =
-          std::min(r.required[inst.fanins[pin]], req);
+    std::span<const InstId> fi = net.fanins(*it);
+    const Gate* gate = net.gate(*it);
+    for (std::size_t pin = 0; pin < fi.size(); ++pin) {
+      double req = r.required[*it] - gate->pins[pin].delay();
+      r.required[fi[pin]] = std::min(r.required[fi[pin]], req);
     }
   }
 
@@ -70,15 +71,16 @@ TimingReport analyze_timing(const MappedNetlist& net, double target_delay) {
   if (worst_endpoint != kNullInst) {
     InstId cur = worst_endpoint;
     std::vector<InstId> rev{cur};
-    while (net.instance(cur).kind == Instance::Kind::GateInst) {
-      const Instance& inst = net.instance(cur);
-      InstId worst_fanin = inst.fanins[0];
+    while (net.kind(cur) == Instance::Kind::GateInst) {
+      std::span<const InstId> fi = net.fanins(cur);
+      const Gate* gate = net.gate(cur);
+      InstId worst_fanin = fi[0];
       double worst_a = -kInf;
-      for (std::size_t pin = 0; pin < inst.fanins.size(); ++pin) {
-        double a = r.arrival[inst.fanins[pin]] + inst.gate->pins[pin].delay();
+      for (std::size_t pin = 0; pin < fi.size(); ++pin) {
+        double a = r.arrival[fi[pin]] + gate->pins[pin].delay();
         if (a > worst_a) {
           worst_a = a;
-          worst_fanin = inst.fanins[pin];
+          worst_fanin = fi[pin];
         }
       }
       cur = worst_fanin;

@@ -23,7 +23,7 @@ MapResult tree_map(const Network& subject, const GateLibrary& lib,
                     "library must contain INV and NAND2");
 
   Matcher matcher(lib, subject);
-  auto fanout = subject.fanout_counts();
+  const auto& fanout = subject.fanout_counts();
 
   MapResult result;
   result.label.assign(subject.size(), 0.0);   // DP cost per objective

@@ -78,7 +78,7 @@ TEST(Buffering, HighFanoutNetGetsTree) {
   // Every net in the result obeys the branching bound (count fanouts).
   std::vector<unsigned> fanout(r.netlist.size(), 0);
   for (InstId id = 0; id < r.netlist.size(); ++id)
-    for (InstId f : r.netlist.instance(id).fanins) ++fanout[f];
+    for (InstId f : r.netlist.fanins(id)) ++fanout[f];
   for (const Output& o : r.netlist.outputs()) ++fanout[o.node];
   for (InstId id = 0; id < r.netlist.size(); ++id)
     EXPECT_LE(fanout[id], opt.max_branch) << "instance " << id;

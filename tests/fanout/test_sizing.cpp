@@ -92,7 +92,7 @@ TEST(Sizing, NonCriticalGatesNotBlindlyUpsized) {
   SizingResult r = size_gates(net, sized);
   // None of the slack-rich nand2 cones may be upsized.
   for (InstId id : lazy)
-    EXPECT_EQ(r.netlist.instance(id).gate->name, "nand2") << id;
+    EXPECT_EQ(r.netlist.gate(id)->name, "nand2") << id;
   EXPECT_LE(r.delay_after, r.delay_before + 1e-9);
 }
 

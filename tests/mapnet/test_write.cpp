@@ -40,7 +40,7 @@ TEST(MappedWrite, BlifListsInterface) {
   MappedNetlist m = sample_mapping();
   std::string text = write_mapped_blif(m);
   for (InstId pi : m.inputs())
-    EXPECT_NE(text.find(m.instance(pi).name), std::string::npos);
+    EXPECT_NE(text.find(m.name(pi)), std::string::npos);
   for (const Output& o : m.outputs())
     EXPECT_NE(text.find(o.name), std::string::npos);
 }

@@ -216,7 +216,7 @@ TEST(Network, AddLogicArityMismatchRejected) {
                ContractError);
 }
 
-TEST(Network, FanoutListsMatchCounts) {
+TEST(Network, FanoutViewMatchesCounts) {
   Network n("f");
   NodeId a = n.add_input("a");
   NodeId b = n.add_input("b");
@@ -225,11 +225,14 @@ TEST(Network, FanoutListsMatchCounts) {
   NodeId i = n.add_inv(g);
   n.add_output(h, "h");
   n.add_output(i, "i");
-  auto lists = n.fanout_lists();
-  EXPECT_EQ(lists[g].size(), 2u);
-  auto counts = n.fanout_counts();
+  FanoutView view = n.fanout_view();
+  ASSERT_EQ(view.degree(g), 2u);
+  EXPECT_EQ(view[g][0], h);  // ascending reader-id order
+  EXPECT_EQ(view[g][1], i);
+  const auto& counts = n.fanout_counts();
   EXPECT_EQ(counts[g], 2u);
   EXPECT_EQ(counts[h], 1u);  // PO reference counts
+  EXPECT_EQ(view.degree(h), 0u);  // ... but is not a CSR edge
 }
 
 }  // namespace

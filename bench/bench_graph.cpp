@@ -30,8 +30,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <random>
-#include <vector>
 
 #include "decomp/tech_decomp.hpp"
 #include "gen/circuits.hpp"
@@ -44,35 +42,6 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
-}
-
-// Deterministic ~n-node NAND/INV subject graph (no Logic nodes, so the
-// build cost is pure graph-core work, no truth tables).
-Network build_random_subject(std::size_t n, std::uint64_t seed,
-                             double* build_seconds) {
-  std::mt19937_64 rng(seed);
-  auto t0 = std::chrono::steady_clock::now();
-  Network net("random1m");
-  std::vector<NodeId> pool;
-  for (unsigned i = 0; i < 64; ++i)
-    pool.push_back(net.add_input("pi" + std::to_string(i)));
-  while (net.size() < n) {
-    // 1-in-4 inverter, else NAND2 over two recent-biased picks: recency
-    // bias keeps the depth growing like a real decomposed netlist.
-    std::size_t window = pool.size() < 4096 ? pool.size() : 4096;
-    NodeId a = pool[pool.size() - 1 - rng() % window];
-    if (rng() % 4 == 0) {
-      pool.push_back(net.add_inv(a));
-    } else {
-      NodeId b = pool[pool.size() - 1 - rng() % window];
-      pool.push_back(net.add_nand2(a, b));
-    }
-  }
-  // Last few nodes become outputs so everything upstream is live.
-  for (unsigned i = 0; i < 32; ++i)
-    net.add_output(pool[pool.size() - 1 - i], "po" + std::to_string(i));
-  *build_seconds = seconds_since(t0);
-  return net;
 }
 
 int run_workload(const char* label, const Network& net, double build_seconds) {
@@ -138,7 +107,9 @@ int main(int argc, char** argv) {
   build_seconds = seconds_since(t0);
   int rc = run_workload("mult16", mult16, build_seconds);
 
-  Network big = build_random_subject(random_nodes, 0xDA61, &build_seconds);
+  t0 = std::chrono::steady_clock::now();
+  Network big = make_random_subject_graph(random_nodes, 64, 32, 0xDA61);
+  build_seconds = seconds_since(t0);
   rc |= run_workload("random1m", big, build_seconds);
   return rc;
 }

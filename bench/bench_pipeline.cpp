@@ -1,0 +1,126 @@
+// bench_pipeline — end-to-end partitioned mapping pipeline benchmark at
+// multi-million-node scale.
+//
+// Builds a seeded random NAND2/INV subject graph
+// (gen/make_random_subject_graph), maps it twice with the lib2-like
+// library:
+//
+//   single   — monolithic depth-wavefront schedule, 1 thread;
+//   parted   — partitioned pipeline (fanout-free windows, boundary
+//              arrival-time exchange), 8 threads;
+//
+// verifies the two runs are bit-identical (labels, delay, netlist
+// structural hash — the determinism contract), and writes one JSON
+// object with wall times, partition statistics, and per-phase timings
+// (`bench::phases_json`) for both runs.  `hardware_concurrency` is
+// recorded so speedup numbers are read against the cores the host
+// actually has — on a single-core host the 8-thread run cannot beat the
+// single-thread run no matter how well the pipeline scales.
+//
+// Exits nonzero only on a determinism violation, never on timing.
+//
+// Usage: bench_pipeline [nodes] [out.json]
+//        (defaults: 1000000 BENCH_pipeline.json)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "common/table_runner.hpp"
+#include "core/dag_mapper.hpp"
+#include "gen/circuits.hpp"
+#include "library/standard_libs.hpp"
+
+using namespace dagmap;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t nodes =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 1000000;
+  std::string out_path = argc > 2 ? argv[2] : "BENCH_pipeline.json";
+
+  auto t0 = std::chrono::steady_clock::now();
+  Network subject = make_random_subject_graph(nodes, 64, 32, 0xDA61);
+  double gen_seconds = seconds_since(t0);
+  std::size_t edges = 0;
+  for (NodeId n = 0; n < subject.size(); ++n)
+    edges += subject.fanins(n).size();
+  std::fprintf(stderr, "bench_pipeline: %zu nodes, %zu edges (%.2fs gen)\n",
+               subject.size(), edges, gen_seconds);
+
+  GateLibrary lib = make_lib2_library();
+
+  DagMapOptions single_opt;
+  single_opt.partition_mode = PartitionMode::Off;
+  single_opt.num_threads = 1;
+  single_opt.profile = true;
+  t0 = std::chrono::steady_clock::now();
+  MapResult single = dag_map(subject, lib, single_opt);
+  double single_seconds = seconds_since(t0);
+  std::fprintf(stderr, "bench_pipeline: single-thread %.2fs, delay %.3f\n",
+               single_seconds, single.optimal_delay);
+
+  DagMapOptions part_opt;
+  part_opt.partition_mode = PartitionMode::On;
+  part_opt.num_threads = 8;
+  part_opt.profile = true;
+  t0 = std::chrono::steady_clock::now();
+  MapResult parted = dag_map(subject, lib, part_opt);
+  double part_seconds = seconds_since(t0);
+  std::fprintf(stderr, "bench_pipeline: partitioned 8t %.2fs, delay %.3f\n",
+               part_seconds, parted.optimal_delay);
+
+  bool identical = single.label == parted.label &&
+                   single.optimal_delay == parted.optimal_delay &&
+                   single.netlist.structural_hash() ==
+                       parted.netlist.structural_hash();
+  if (!identical)
+    std::fprintf(stderr,
+                 "bench_pipeline: DETERMINISM VIOLATION — partitioned "
+                 "result differs from single-thread\n");
+
+  char buf[2048];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"bench\": \"pipeline\", \"nodes\": %zu, \"edges\": %zu, "
+      "\"gen_seconds\": %.3f, \"window\": %u, "
+      "\"hardware_concurrency\": %u, "
+      "\"single_thread_s\": %.3f, \"partitioned_8t_s\": %.3f, "
+      "\"speedup\": %.3f, "
+      "\"partitions\": %zu, \"waves\": %zu, \"boundary_edges\": %zu, "
+      "\"max_partition_nodes\": %zu, "
+      "\"delay\": %.6f, \"netlist_hash\": \"%016llx\", "
+      "\"gates\": %zu, \"identical\": %s",
+      subject.size(), edges, gen_seconds, part_opt.partition_window,
+      std::thread::hardware_concurrency(), single_seconds, part_seconds,
+      single_seconds / part_seconds, parted.num_partitions,
+      parted.partition_waves, parted.partition_boundary_edges,
+      parted.partition_max_nodes, parted.optimal_delay,
+      static_cast<unsigned long long>(parted.netlist.structural_hash()),
+      parted.netlist.num_gates(), identical ? "true" : "false");
+
+  std::string json = buf;
+  json += ", \"phases_single\": " + bench::phases_json(single.profile);
+  json += ", \"phases_partitioned\": " + bench::phases_json(parted.profile);
+  json += "}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_pipeline: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::fputs(json.c_str(), stdout);
+  return identical ? 0 : 1;
+}

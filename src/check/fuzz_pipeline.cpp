@@ -197,6 +197,43 @@ FuzzReport run_fuzz_instance(const FuzzInstance& instance,
     }
   }
 
+  if (options.invariants & kFuzzPartitionEquivalence) {
+    // The partitioned schedule (forced on; fuzz instances sit far below
+    // the auto threshold) must reproduce the monolithic result exactly —
+    // window size 1 maximizes boundary exchange, larger windows and
+    // thread counts vary the schedule.
+    std::string blif1 = write_mapped_blif(std_map.netlist);
+    std::uint64_t hash1 = std_map.netlist.structural_hash();
+    struct Config {
+      std::uint32_t window;
+      unsigned threads;
+    };
+    for (Config c : {Config{1, 1}, Config{3, 2}, Config{8, 0}}) {
+      MapResult r = dag_map(subject, lib,
+                            {.match_class = MatchClass::Standard,
+                             .num_threads = c.threads,
+                             .partition_mode = PartitionMode::On,
+                             .partition_window = c.window});
+      std::string where = " (window=" + std::to_string(c.window) +
+                          ", threads=" + std::to_string(c.threads) + ")";
+      if (!r.partitioned) {
+        fail("PartitionEquivalence",
+             "partition_mode=On did not run the partitioned schedule" + where);
+        continue;
+      }
+      if (r.label != std_map.label)
+        fail("PartitionEquivalence",
+             "labels differ from the monolithic schedule" + where);
+      if (r.optimal_delay != std_map.optimal_delay)
+        fail("PartitionEquivalence",
+             "optimal delay differs from the monolithic schedule" + where);
+      if (r.netlist.structural_hash() != hash1 ||
+          write_mapped_blif(r.netlist) != blif1)
+        fail("PartitionEquivalence",
+             "mapped netlist differs from the monolithic schedule" + where);
+    }
+  }
+
   return report;
 }
 

@@ -23,7 +23,12 @@
 //                      matches — the augmented library is a superset of
 //                      the base, so its match set can only improve
 //                      labels — and the augmented cover stays equivalent
-//                      to the source circuit.
+//                      to the source circuit;
+//   PartitionEquivalence  the partitioned pipeline (core/partition.hpp,
+//                      forced on with small windows and varying thread
+//                      counts) produces bit-identical labels, delay, and
+//                      mapped netlist (structural hash + BLIF bytes) to
+//                      the monolithic schedule.
 //
 // Every violation carries enough detail to reproduce: the seed rebuilds
 // the instance, and check/shrink.hpp minimizes it.  `inject_label_bug`
@@ -48,7 +53,8 @@ enum FuzzInvariant : unsigned {
   kFuzzExtendedVsStandard = 1u << 3,
   kFuzzThreadDeterminism = 1u << 4,
   kFuzzSupergateDominance = 1u << 5,
-  kFuzzAllInvariants = (1u << 6) - 1,
+  kFuzzPartitionEquivalence = 1u << 6,
+  kFuzzAllInvariants = (1u << 7) - 1,
 };
 
 /// Harness knobs.

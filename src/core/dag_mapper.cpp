@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <optional>
 
 #include "core/parallel.hpp"
+#include "core/partition.hpp"
 #include "mapnet/cover.hpp"
 #include "netlist/assert.hpp"
 
@@ -44,21 +46,43 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
 
   const auto& order = subject.topo_order();
 
-  // Wavefront schedule: nodes grouped by depth level.  Every leaf of a
+  // Schedule selection: monolithic depth wavefronts, or the partitioned
+  // pipeline (fanout-free windows labeled wave-by-wave with boundary
+  // arrival-time exchange; see core/partition.hpp).  Both visit every
+  // node with all match-leaf labels settled, so results are identical.
+  bool use_partitions =
+      options.partition_mode == PartitionMode::On ||
+      (options.partition_mode == PartitionMode::Auto &&
+       subject.num_internal() >= options.partition_auto_threshold);
+  std::optional<Partitioning> parts;
+  if (use_partitions) {
+    parts = partition_subject(subject,
+                              {.window_size = options.partition_window});
+    result.partitioned = true;
+    result.num_partitions = parts->num_partitions();
+    result.partition_waves = parts->num_waves();
+    result.partition_boundary_edges = parts->boundary_edges();
+    result.partition_max_nodes = parts->max_partition_nodes();
+  }
+
+  // Depth-wavefront schedule for the monolithic path: every leaf of a
   // match rooted at level L is a strict transitive fanin (level < L), so
   // one level's nodes read only finished labels and label independently.
-  std::vector<std::uint32_t> level(subject.size(), 0);
-  std::uint32_t max_level = 0;
-  for (NodeId n : order) {
-    if (subject.is_source(n)) continue;
-    std::uint32_t l = 0;
-    for (NodeId f : subject.fanins(n)) l = std::max(l, level[f]);
-    level[n] = l + 1;
-    max_level = std::max(max_level, level[n]);
+  std::vector<std::vector<NodeId>> waves;
+  if (!use_partitions) {
+    std::vector<std::uint32_t> level(subject.size(), 0);
+    std::uint32_t max_level = 0;
+    for (NodeId n : order) {
+      if (subject.is_source(n)) continue;
+      std::uint32_t l = 0;
+      for (NodeId f : subject.fanins(n)) l = std::max(l, level[f]);
+      level[n] = l + 1;
+      max_level = std::max(max_level, level[n]);
+    }
+    waves.resize(max_level + 1);
+    for (NodeId n : order)
+      if (!subject.is_source(n)) waves[level[n]].push_back(n);
   }
-  std::vector<std::vector<NodeId>> waves(max_level + 1);
-  for (NodeId n : order)
-    if (!subject.is_source(n)) waves[level[n]].push_back(n);
 
   unsigned num_threads = resolve_num_threads(options.num_threads);
   struct alignas(64) WorkerCounters {
@@ -95,10 +119,24 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
     result.label[n] = best;
   };
 
+  // The pool outlives labeling: the partitioned cover marking reuses it.
+  ThreadPool pool(num_threads);
   {
     obs::Scope scope("label");
-    {
-      ThreadPool pool(num_threads);
+    if (use_partitions) {
+      // Wave-by-wave with a barrier between waves: the boundary
+      // arrival-time exchange.  Within a partition, members label
+      // sequentially in topological order.
+      for (std::size_t w = 0; w < parts->num_waves(); ++w) {
+        std::span<const PartId> wave = parts->wave(w);
+        pool.parallel_for(
+            wave.size(),
+            [&](std::size_t i, unsigned worker) {
+              for (NodeId n : parts->members(wave[i])) label_node(n, worker);
+            },
+            "label.partition");
+      }
+    } else {
       for (const std::vector<NodeId>& wave : waves)
         pool.parallel_for(
             wave.size(),
@@ -113,7 +151,8 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
     result.match_prunes = matcher.pruned();
     result.truncations = matcher.truncations();
     if (obs::enabled()) {
-      obs::counter_add("label.waves", waves.size());
+      obs::counter_add("label.waves",
+                       use_partitions ? parts->num_waves() : waves.size());
       obs::counter_add("label.nodes", subject.num_internal());
       obs::counter_add("match.enumerated", result.matches_enumerated);
       obs::counter_add("match.index_misses", result.match_attempts);
@@ -201,31 +240,30 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
     obs::counter_add("area_recovery.labels_relaxed", labels_relaxed);
   }
 
-  result.netlist = build_cover(subject, chosen);
+  // Cover: needed-instance marking (partition-parallel when the
+  // partitioned schedule ran), then the sequential forward-topological
+  // emission — identical instance order in both modes by construction.
+  std::vector<std::uint8_t> needed;
+  {
+    obs::Scope scope("cover");
+    {
+      obs::Scope mark_scope("cover.mark");
+      needed = use_partitions
+                   ? mark_cover_partitioned(subject, chosen, *parts, pool)
+                   : mark_cover(subject, chosen);
+    }
+    result.netlist = emit_cover(subject, chosen, needed);
+  }
 
-  // Duplication accounting: walk the used matches (same reachability as
-  // the cover) and count how often each subject node is covered.
+  // Duplication accounting: walk the used matches (the marked internal
+  // nodes — the same reachability as the cover) and count how often each
+  // subject node is covered.
   {
     obs::Scope scope("stats");
     std::vector<std::uint32_t> covered_count(subject.size(), 0);
-    std::vector<bool> used(subject.size(), false);
-    std::vector<NodeId> stack;
-    auto use = [&](NodeId n) {
-      if (!used[n] && !subject.is_source(n) &&
-          subject.kind(n) != NodeKind::Const0 &&
-          subject.kind(n) != NodeKind::Const1) {
-        used[n] = true;
-        stack.push_back(n);
-      }
-    };
-    for (const Output& o : subject.outputs()) use(o.node);
-    for (NodeId l : subject.latches()) use(subject.fanins(l)[0]);
-    while (!stack.empty()) {
-      NodeId n = stack.back();
-      stack.pop_back();
-      const Match& m = *chosen[n];
-      for (NodeId c : m.covered) ++covered_count[c];
-      for (NodeId leaf : m.pin_binding) use(leaf);
+    for (NodeId n = 0; n < subject.size(); ++n) {
+      if (!needed[n] || subject.is_source(n)) continue;
+      for (NodeId c : chosen[n]->covered) ++covered_count[c];
     }
     for (NodeId n = 0; n < subject.size(); ++n) {
       if (covered_count[n] == 0) continue;

@@ -26,6 +26,16 @@
 // enumeration order, so the labels, selected gates, and mapped netlist
 // are bit-identical for every thread count.
 //
+// At multi-million-node scale the same dependency argument coarsens from
+// single nodes to fanout-free windows (core/partition.hpp): partitions
+// label wave-by-wave with boundary arrival-time exchange — a partition's
+// match leaves outside itself always sit in strictly lower-level
+// partitions, settled by the previous waves — and the cover marking runs
+// partition-parallel in reverse wave order.  `PartitionMode` selects the
+// schedule (auto above a node-count threshold); both schedules visit
+// every node with identical settled inputs, so the partitioned result is
+// bit-identical to the monolithic one at any thread/partition count.
+//
 // The optional area-recovery pass (§6's sketched extension) keeps the
 // optimal delay but relaxes non-critical nodes: during cover construction
 // each needed node receives a required time, and the cheapest match
@@ -43,6 +53,18 @@
 #include "obs/obs.hpp"
 
 namespace dagmap {
+
+/// Whether dag_map runs the partitioned pipeline (core/partition.hpp):
+/// fanout-free-window partitions labeled wave-by-wave with boundary
+/// arrival-time exchange, and a partition-parallel cover marking.  The
+/// result is bit-identical to the monolithic pipeline in every mode —
+/// the knob only selects the schedule.
+enum class PartitionMode : std::uint8_t {
+  Auto,  ///< partition iff the subject has >= partition_auto_threshold
+         ///< internal nodes (where scheduling granularity pays off)
+  Off,   ///< always the monolithic depth-wavefront schedule
+  On,    ///< always the partitioned schedule
+};
 
 /// Options for the DAG mapper.
 struct DagMapOptions {
@@ -77,6 +99,13 @@ struct DagMapOptions {
   /// spanning the whole pipeline), the mapper instruments into it and
   /// `MapResult::profile` snapshots that session.
   bool profile = false;
+  /// Partitioned-pipeline selection (see PartitionMode).
+  PartitionMode partition_mode = PartitionMode::Auto;
+  /// Maximum internal nodes per partition window
+  /// (PartitionOptions::window_size).
+  std::uint32_t partition_window = 1024;
+  /// Auto mode enables partitioning at this many internal nodes.
+  std::size_t partition_auto_threshold = 200000;
 };
 
 /// Result of a mapping run.
@@ -98,6 +127,13 @@ struct MapResult {
   std::size_t covered_instances = 0;
   std::size_t covered_distinct = 0;
   std::size_t duplicated_nodes = 0;
+  /// Partitioned-pipeline summary (zeros when the monolithic schedule
+  /// ran; see core/partition.hpp).
+  bool partitioned = false;
+  std::size_t num_partitions = 0;
+  std::size_t partition_waves = 0;
+  std::size_t partition_boundary_edges = 0;
+  std::size_t partition_max_nodes = 0;
   /// Per-phase timings, counters and trace events; only populated when
   /// `DagMapOptions::profile` is set (`profile.collected`).
   obs::ProfileData profile;

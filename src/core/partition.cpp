@@ -1,0 +1,236 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "core/parallel.hpp"
+#include "netlist/assert.hpp"
+#include "obs/obs.hpp"
+
+namespace dagmap {
+
+namespace {
+
+// Constants join the cover marking but never a partition (they are
+// sources: label 0, no match, no labeling work).
+bool marks_as_needed(const Network& subject, NodeId n) {
+  NodeKind k = subject.kind(n);
+  return k == NodeKind::Const0 || k == NodeKind::Const1 ||
+         !subject.is_source(n);
+}
+
+}  // namespace
+
+Partitioning partition_subject(const Network& subject,
+                               const PartitionOptions& options) {
+  obs::Scope scope("partition.build");
+  DAGMAP_ASSERT_MSG(options.window_size >= 1, "window_size must be positive");
+  const auto& order = subject.topo_order();
+  FanoutView fanout = subject.fanout_view();
+
+  Partitioning p;
+  p.part_of_.assign(subject.size(), kNullPart);
+  std::vector<std::uint32_t> part_size;
+
+  // Reverse topological assignment: readers are already assigned when a
+  // node is visited.  A node merges into its readers' partition iff all
+  // internal readers agree on one and the window has room; otherwise it
+  // becomes the root of a new partition.  Latch D edges are in the
+  // fanout view but a latch is a source — like a PO reference, it does
+  // not constrain membership (the driver's label is read after all
+  // waves, not inside one).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    NodeId n = *it;
+    if (subject.is_source(n)) continue;
+    PartId target = kNullPart;
+    bool joinable = true;
+    for (NodeId r : fanout[n]) {
+      if (subject.is_source(r)) continue;  // latch D use
+      PartId pr = p.part_of_[r];
+      if (target == kNullPart) target = pr;
+      else if (pr != target) {
+        joinable = false;
+        break;
+      }
+    }
+    if (joinable && target != kNullPart &&
+        part_size[target] < options.window_size) {
+      p.part_of_[n] = target;
+      ++part_size[target];
+    } else {
+      p.part_of_[n] = static_cast<PartId>(part_size.size());
+      part_size.push_back(1);
+    }
+  }
+
+  // Member CSR, filled in forward topological order so each partition's
+  // slice is topologically sorted (root last).
+  std::size_t num_parts = part_size.size();
+  p.member_offsets_.assign(num_parts + 1, 0);
+  for (std::size_t i = 0; i < num_parts; ++i) {
+    p.member_offsets_[i + 1] = p.member_offsets_[i] + part_size[i];
+    p.max_partition_nodes_ =
+        std::max<std::size_t>(p.max_partition_nodes_, part_size[i]);
+  }
+  p.members_.resize(p.member_offsets_[num_parts]);
+  std::vector<std::uint32_t> fill(p.member_offsets_.begin(),
+                                  p.member_offsets_.end() - 1);
+  for (NodeId n : order)
+    if (!subject.is_source(n)) p.members_[fill[p.part_of_[n]]++] = n;
+
+  // Levels in one forward sweep: every cross edge leaves from a root,
+  // and a root is topologically after all members of its partition, so
+  // a partition's level is final before any cross reader looks at it.
+  p.level_.assign(num_parts, 0);
+  std::uint32_t max_level = 0;
+  for (NodeId n : order) {
+    if (subject.is_source(n)) continue;
+    PartId q = p.part_of_[n];
+    for (NodeId f : subject.fanins(n)) {
+      if (subject.is_source(f)) continue;
+      PartId pf = p.part_of_[f];
+      if (pf == q) continue;
+      ++p.boundary_edges_;
+      p.level_[q] = std::max(p.level_[q], p.level_[pf] + 1);
+      max_level = std::max(max_level, p.level_[q]);
+    }
+  }
+
+  // Wave CSR: partitions grouped by level, ascending id within a wave.
+  std::size_t num_waves = num_parts == 0 ? 0 : max_level + 1;
+  p.wave_offsets_.assign(num_waves + 1, 0);
+  for (std::size_t q = 0; q < num_parts; ++q) ++p.wave_offsets_[p.level_[q] + 1];
+  for (std::size_t w = 0; w < num_waves; ++w)
+    p.wave_offsets_[w + 1] += p.wave_offsets_[w];
+  p.waves_.resize(num_parts);
+  std::vector<std::uint32_t> wfill(p.wave_offsets_.begin(),
+                                   p.wave_offsets_.end() - 1);
+  for (std::size_t q = 0; q < num_parts; ++q)
+    p.waves_[wfill[p.level_[q]]++] = static_cast<PartId>(q);
+
+  obs::counter_add("partition.count", num_parts);
+  obs::counter_add("partition.waves", p.num_waves());
+  obs::counter_add("partition.boundary_edges", p.boundary_edges_);
+  obs::counter_add("partition.max_nodes", p.max_partition_nodes_);
+  return p;
+}
+
+void Partitioning::validate(const Network& subject,
+                            const PartitionOptions& options) const {
+  std::size_t np = num_partitions();
+  DAGMAP_ASSERT_MSG(part_of_.size() == subject.size(),
+                    "part_of size mismatch");
+  DAGMAP_ASSERT_MSG(members_.size() == subject.num_internal(),
+                    "members must cover exactly the internal nodes");
+
+  // Topological positions for order checks.
+  std::vector<std::uint32_t> topo_pos(subject.size(), 0);
+  const auto& order = subject.topo_order();
+  for (std::uint32_t i = 0; i < order.size(); ++i) topo_pos[order[i]] = i;
+
+  // part_of: sources unassigned, internal nodes in range; CSR slices
+  // disjoint, consistent with part_of, topologically sorted, capped.
+  std::vector<std::uint8_t> seen(subject.size(), 0);
+  for (PartId q = 0; q < np; ++q) {
+    std::span<const NodeId> mem = members(q);
+    DAGMAP_ASSERT_MSG(!mem.empty(), "empty partition");
+    DAGMAP_ASSERT_MSG(mem.size() <= options.window_size,
+                      "partition exceeds window_size");
+    for (std::size_t j = 0; j < mem.size(); ++j) {
+      NodeId n = mem[j];
+      DAGMAP_ASSERT_MSG(!subject.is_source(n), "source inside a partition");
+      DAGMAP_ASSERT_MSG(!seen[n], "node in two partitions");
+      seen[n] = 1;
+      DAGMAP_ASSERT_MSG(part_of_[n] == q, "part_of disagrees with members");
+      DAGMAP_ASSERT_MSG(j == 0 || topo_pos[mem[j - 1]] < topo_pos[n],
+                        "partition members out of topological order");
+    }
+  }
+  for (NodeId n = 0; n < subject.size(); ++n) {
+    if (subject.is_source(n))
+      DAGMAP_ASSERT_MSG(part_of_[n] == kNullPart, "source has a partition");
+    else
+      DAGMAP_ASSERT_MSG(seen[n], "internal node missing from every partition");
+  }
+
+  // Fanout-free-window rule: every non-root member's internal readers
+  // all live in its own partition (hence cross edges leave from roots
+  // only), and the root is the topologically last member.
+  FanoutView fanout = subject.fanout_view();
+  for (PartId q = 0; q < np; ++q) {
+    std::span<const NodeId> mem = members(q);
+    for (std::size_t j = 0; j + 1 < mem.size(); ++j) {
+      bool has_internal_reader = false;
+      for (NodeId r : fanout[mem[j]]) {
+        if (subject.is_source(r)) continue;
+        has_internal_reader = true;
+        DAGMAP_ASSERT_MSG(part_of_[r] == q,
+                          "non-root member has a reader outside its window");
+      }
+      DAGMAP_ASSERT_MSG(has_internal_reader,
+                        "non-root member with no internal readers");
+    }
+  }
+
+  // Levels strictly increase along cross edges; waves group by level.
+  DAGMAP_ASSERT_MSG(level_.size() == np, "level size mismatch");
+  for (NodeId n = 0; n < subject.size(); ++n) {
+    if (subject.is_source(n)) continue;
+    for (NodeId f : subject.fanins(n)) {
+      if (subject.is_source(f)) continue;
+      if (part_of_[f] == part_of_[n]) continue;
+      DAGMAP_ASSERT_MSG(level_[part_of_[f]] < level_[part_of_[n]],
+                        "level does not increase along a cross edge");
+    }
+  }
+  DAGMAP_ASSERT_MSG(waves_.size() == np, "waves must list every partition");
+  std::vector<std::uint8_t> listed(np, 0);
+  for (std::size_t w = 0; w < num_waves(); ++w) {
+    for (PartId q : wave(w)) {
+      DAGMAP_ASSERT_MSG(q < np && !listed[q], "wave entry invalid/duplicate");
+      listed[q] = 1;
+      DAGMAP_ASSERT_MSG(level_[q] == w, "partition in the wrong wave");
+    }
+  }
+}
+
+std::vector<std::uint8_t> mark_cover_partitioned(
+    const Network& subject, std::span<const std::optional<Match>> chosen,
+    const Partitioning& parts, ThreadPool& pool) {
+  DAGMAP_ASSERT(chosen.size() == subject.size());
+  // Same-wave partitions may concurrently mark one shared leaf in a
+  // lower-level partition; the flag is a monotone 0->1 latch, so relaxed
+  // atomics suffice — ordering between waves comes from the pool's
+  // parallel_for barrier.
+  std::vector<std::atomic<std::uint8_t>> flag(subject.size());
+  auto touch = [&](NodeId x) {
+    if (marks_as_needed(subject, x))
+      flag[x].store(1, std::memory_order_relaxed);
+  };
+  for (const Output& o : subject.outputs()) touch(o.node);
+  for (NodeId l : subject.latches()) touch(subject.fanins(l)[0]);
+
+  for (std::size_t w = parts.num_waves(); w-- > 0;) {
+    std::span<const PartId> wave = parts.wave(w);
+    pool.parallel_for(
+        wave.size(),
+        [&](std::size_t i, unsigned) {
+          std::span<const NodeId> mem = parts.members(wave[i]);
+          for (std::size_t j = mem.size(); j-- > 0;) {
+            NodeId n = mem[j];
+            if (!flag[n].load(std::memory_order_relaxed)) continue;
+            DAGMAP_ASSERT_MSG(chosen[n].has_value(),
+                              "needed subject node has no selected match");
+            for (NodeId leaf : chosen[n]->pin_binding) touch(leaf);
+          }
+        },
+        "cover.mark.wave");
+  }
+
+  std::vector<std::uint8_t> needed(subject.size());
+  for (NodeId n = 0; n < subject.size(); ++n)
+    needed[n] = flag[n].load(std::memory_order_relaxed);
+  return needed;
+}
+
+}  // namespace dagmap

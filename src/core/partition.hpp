@@ -1,0 +1,141 @@
+// Subject-graph partitioning for the parallel mapping pipeline.
+//
+// The labeler's dependency structure is the subject DAG itself: a match
+// rooted at node n reads only labels of strict transitive fanins of n.
+// The depth-wavefront schedule (dag_mapper.cpp) exploits this one node
+// at a time; at multi-million-node scale the per-wave scheduling and the
+// scattered per-depth memory traffic dominate.  This module coarsens the
+// schedule: the subject is partitioned into *fanout-free windows* — in
+// reverse topological order, a node joins the partition of its readers
+// iff ALL of its internal readers already sit in one partition and the
+// window is below the size cap; otherwise it roots a new partition.
+//
+// Properties (each one asserted by `validate`):
+//   * partitions are convex and disjoint, and cover every internal node;
+//   * within a partition, members are stored in topological order and
+//     the root (the unique member with a reader outside the partition,
+//     or none) is last;
+//   * every cross-partition edge leaves from a partition *root* — a
+//     non-root member's readers are all internal to its partition;
+//   * therefore the quotient graph is a DAG, and `level` (longest
+//     cross-edge path from any leaf partition) strictly increases along
+//     every cross edge.
+//
+// Waves group partitions by level.  Scheduling wave 0, 1, ... with a
+// barrier between waves is the *boundary arrival-time exchange*: when a
+// partition labels, every match leaf outside it lies in a strictly
+// lower-level partition (cross edges leave only from roots and levels
+// strictly increase), so its arrival is already settled — the leaf
+// arrivals of a partition are the settled arrivals of its fanin
+// partitions.  Within a partition, members label sequentially in
+// topological order.  The schedule visits each node once with all match
+// leaves settled, exactly like the monolithic order, so labels — and,
+// with the (arrival, area, name) tie-break, selected matches — are
+// bit-identical at any thread or partition count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "match/matcher.hpp"
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+class ThreadPool;
+
+/// Index of a partition inside a `Partitioning`.
+using PartId = std::uint32_t;
+
+inline constexpr PartId kNullPart = 0xFFFFFFFFu;
+
+/// Knobs for `partition_subject`.
+struct PartitionOptions {
+  /// Maximum internal nodes per partition window.  Small windows expose
+  /// more parallelism (more partitions per wave); large windows amortize
+  /// scheduling.  Reconvergence bounds window growth anyway: a node with
+  /// readers in two partitions always roots its own.
+  std::uint32_t window_size = 1024;
+};
+
+/// A fanout-free-window partitioning of a subject graph's internal
+/// nodes (sources — PIs, constants, latch outputs — belong to no
+/// partition).  Value type; all views index into CSR storage.
+class Partitioning {
+ public:
+  std::size_t num_partitions() const { return member_offsets_.size() - 1; }
+  std::size_t num_waves() const { return wave_offsets_.size() - 1; }
+
+  /// Members of partition `p` in topological order; the root is last.
+  std::span<const NodeId> members(PartId p) const {
+    return {members_.data() + member_offsets_[p],
+            members_.data() + member_offsets_[p + 1]};
+  }
+
+  /// The unique member with readers outside the partition (or no
+  /// internal readers at all) — topologically last by construction.
+  NodeId root(PartId p) const { return members(p).back(); }
+
+  /// Partition of node `n`; `kNullPart` for sources.
+  PartId part_of(NodeId n) const { return part_of_[n]; }
+
+  /// Longest cross-edge distance of `p` from a leaf partition; strictly
+  /// increases along every cross-partition edge.
+  std::uint32_t level(PartId p) const { return level_[p]; }
+
+  /// Partitions of wave `w` (== partitions at level `w`), ascending id.
+  std::span<const PartId> wave(std::size_t w) const {
+    return {waves_.data() + wave_offsets_[w],
+            waves_.data() + wave_offsets_[w + 1]};
+  }
+
+  /// Cross-partition fanin edges (internal node -> internal node in a
+  /// different partition) — the arrivals exchanged between waves.
+  std::size_t boundary_edges() const { return boundary_edges_; }
+
+  /// Internal nodes in the largest partition.
+  std::size_t max_partition_nodes() const { return max_partition_nodes_; }
+
+  /// Re-derives every structural property from scratch against
+  /// `subject` and throws `ContractError` on the first violation:
+  /// cover/disjointness of internal nodes, per-partition topological
+  /// member order and size cap, the all-readers-inside rule for
+  /// non-root members, strict level increase along cross edges, and
+  /// wave/level consistency.
+  void validate(const Network& subject, const PartitionOptions& options) const;
+
+ private:
+  friend Partitioning partition_subject(const Network&,
+                                        const PartitionOptions&);
+
+  std::vector<NodeId> members_;                 ///< CSR payload
+  std::vector<std::uint32_t> member_offsets_;   ///< CSR offsets, n_parts+1
+  std::vector<PartId> part_of_;                 ///< per subject node
+  std::vector<std::uint32_t> level_;            ///< per partition
+  std::vector<PartId> waves_;                   ///< CSR payload by level
+  std::vector<std::uint32_t> wave_offsets_;     ///< CSR offsets, n_waves+1
+  std::size_t boundary_edges_ = 0;
+  std::size_t max_partition_nodes_ = 0;
+};
+
+/// Builds the fanout-free-window partitioning of `subject`'s internal
+/// nodes over the cached CSR fanout view.  Deterministic: depends only
+/// on the subject graph and `options`.
+Partitioning partition_subject(const Network& subject,
+                               const PartitionOptions& options = {});
+
+/// Partition-parallel equivalent of `mark_cover` (mapnet/cover.hpp):
+/// processes waves in descending level with intra-partition reverse
+/// topological sweeps on `pool`.  Any marker of a node in partition Q
+/// lives in Q itself (handled by Q's own sequential sweep) or in a
+/// strictly higher-level partition (settled in an earlier wave, ordered
+/// by the pool barrier), so the fixpoint — and hence the emitted cover —
+/// is bit-identical to the sequential marking.
+std::vector<std::uint8_t> mark_cover_partitioned(
+    const Network& subject, std::span<const std::optional<Match>> chosen,
+    const Partitioning& parts, ThreadPool& pool);
+
+}  // namespace dagmap

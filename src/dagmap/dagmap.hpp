@@ -24,6 +24,7 @@
 #include "check/reference_cover.hpp"
 #include "check/shrink.hpp"
 #include "core/dag_mapper.hpp"
+#include "core/partition.hpp"
 #include "decomp/isop.hpp"
 #include "decomp/lowering.hpp"
 #include "decomp/tech_decomp.hpp"

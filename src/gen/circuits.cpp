@@ -405,8 +405,10 @@ Network make_random_dag(unsigned num_inputs, unsigned num_nodes,
   DAGMAP_ASSERT(num_inputs >= 2 && num_nodes >= num_outputs);
   Network n("rand_i" + std::to_string(num_inputs) + "_n" +
             std::to_string(num_nodes) + "_s" + std::to_string(seed));
+  n.reserve(num_inputs + num_nodes, 3 * static_cast<std::size_t>(num_nodes));
   Rng rng(seed);
   std::vector<NodeId> pool;
+  pool.reserve(num_inputs + num_nodes);
   for (unsigned i = 0; i < num_inputs; ++i)
     pool.push_back(n.add_input(idx_name("x", i)));
   for (unsigned i = 0; i < num_nodes; ++i) {
@@ -444,6 +446,50 @@ Network make_random_dag(unsigned num_inputs, unsigned num_nodes,
   }
   for (unsigned i = 0; i < num_outputs; ++i)
     n.add_output(pool[pool.size() - 1 - i], idx_name("y", i));
+  return n;
+}
+
+Network make_random_subject_graph(std::size_t num_nodes, unsigned num_inputs,
+                                  unsigned num_outputs, std::uint64_t seed) {
+  DAGMAP_ASSERT(num_inputs >= 2 && num_nodes >= num_outputs &&
+                num_outputs >= 1);
+  Network n("randsub_n" + std::to_string(num_nodes) + "_s" +
+            std::to_string(seed));
+  // One arena chunk for everything: NAND2s dominate, so ~2 fanin slots
+  // per node.  Internal nodes are unnamed (NamePool id 0 is free), so
+  // only the PI/PO names intern.
+  n.reserve(num_inputs + num_nodes, 2 * num_nodes);
+  Rng rng(seed);
+  std::vector<NodeId> pool;
+  pool.reserve(num_inputs + num_nodes);
+  for (unsigned i = 0; i < num_inputs; ++i)
+    pool.push_back(n.add_input(idx_name("x", i)));
+  // A wide recency window keeps depth logarithmic-ish without the
+  // quadratic pitfalls of uniform picks over a growing prefix (uniform
+  // picks give O(log n) depth too but a hub-free, unrealistically flat
+  // fanout profile).
+  constexpr std::uint32_t kWindow = 4096;
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    auto pick = [&]() -> NodeId {
+      std::uint32_t window = std::min<std::uint32_t>(
+          static_cast<std::uint32_t>(pool.size()), kWindow);
+      return pool[pool.size() - 1 - rng.below(window)];
+    };
+    NodeId g;
+    if (rng.below(4) == 0) {
+      g = n.add_inv(pick());
+    } else {
+      NodeId f0 = pick();
+      NodeId f1 = pick();
+      int tries = 0;
+      while (f1 == f0 && tries++ < 4) f1 = pick();
+      g = n.add_nand2(f0, f1);
+    }
+    pool.push_back(g);
+  }
+  for (unsigned i = 0; i < num_outputs; ++i)
+    n.add_output(pool[pool.size() - 1 - i], idx_name("y", i));
+  DAGMAP_ASSERT(n.is_subject_graph());
   return n;
 }
 

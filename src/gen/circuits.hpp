@@ -69,6 +69,15 @@ Network make_interrupt_controller(unsigned channels);
 Network make_random_dag(unsigned num_inputs, unsigned num_nodes,
                         unsigned num_outputs, std::uint64_t seed);
 
+/// Seeded random NAND2/INV subject graph at scale: `num_nodes` internal
+/// gates (3:1 NAND2:INV mix, fanins biased towards recent nodes) over
+/// `num_inputs` PIs, the last `num_outputs` distinct gates as POs.
+/// Built for multi-million-node runs: O(num_nodes) work and allocation
+/// (arenas pre-reserved, internal nodes unnamed), no tech decomposition
+/// needed — feed the result straight to dag_map.
+Network make_random_subject_graph(std::size_t num_nodes, unsigned num_inputs,
+                                  unsigned num_outputs, std::uint64_t seed);
+
 /// Sequential benchmark: `stages`-deep pipeline of random logic of the
 /// given `width`, with latches between stages and a feedback path.
 /// `levels` controls the logic depth of each stage (default 1).

@@ -5,12 +5,61 @@
 
 namespace dagmap {
 
-MappedNetlist build_cover(const Network& subject,
-                          std::span<const std::optional<Match>> chosen,
-                          std::string name) {
-  obs::Scope obs_scope("cover");
+namespace {
+
+// Constants need instances (they are match leaves / PO drivers with no
+// pre-created anchor) but are `is_source` like PIs and latch outputs,
+// which are created up front instead of marked.
+bool marks_as_needed(const Network& subject, NodeId n) {
+  NodeKind k = subject.kind(n);
+  return k == NodeKind::Const0 || k == NodeKind::Const1 ||
+         !subject.is_source(n);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> mark_cover(
+    const Network& subject, std::span<const std::optional<Match>> chosen) {
   DAGMAP_ASSERT(chosen.size() == subject.size());
+  std::vector<std::uint8_t> needed(subject.size(), 0);
+  auto touch = [&](NodeId n) {
+    if (marks_as_needed(subject, n)) needed[n] = 1;
+  };
+  for (const Output& o : subject.outputs()) touch(o.node);
+  for (NodeId l : subject.latches()) touch(subject.fanins(l)[0]);
+
+  // Reverse topological sweep: every marker of a node (a needed match
+  // root having it as a leaf) sits strictly later in topological order,
+  // so one pass reaches the fixpoint.
+  const auto& order = subject.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    NodeId n = *it;
+    if (!needed[n] || subject.is_source(n)) continue;
+    DAGMAP_ASSERT_MSG(chosen[n].has_value(),
+                      "needed subject node has no selected match");
+    for (NodeId leaf : chosen[n]->pin_binding) touch(leaf);
+  }
+  return needed;
+}
+
+MappedNetlist emit_cover(const Network& subject,
+                         std::span<const std::optional<Match>> chosen,
+                         std::span<const std::uint8_t> needed,
+                         std::string name) {
+  obs::Scope obs_scope("cover.emit");
+  DAGMAP_ASSERT(chosen.size() == subject.size());
+  DAGMAP_ASSERT(needed.size() == subject.size());
   MappedNetlist out(name.empty() ? subject.name() : std::move(name));
+
+  std::size_t num_needed = 0, fanin_edges = 0;
+  for (NodeId n = 0; n < subject.size(); ++n) {
+    if (!needed[n]) continue;
+    ++num_needed;
+    if (!subject.is_source(n)) fanin_edges += chosen[n]->pin_binding.size();
+  }
+  out.reserve(subject.num_inputs() + subject.num_latches() + num_needed,
+              fanin_edges + subject.num_latches());
+
   std::vector<InstId> inst_of(subject.size(), kNullInst);
 
   // Sources first: PIs and latch outputs are the match leaves' anchors.
@@ -19,59 +68,70 @@ MappedNetlist build_cover(const Network& subject,
   for (NodeId l : subject.latches())
     inst_of[l] = out.add_latch_placeholder(subject.name(l));
 
-  // Iterative DFS: an internal node's instance is created after all of
-  // its match leaves have instances.
+  // Emission order: seed a depth-first walk from each needed node in
+  // subject topological order, descending through unemitted match leaves
+  // first.  When every leaf precedes its match root topologically (the
+  // plain mapper), the walk degenerates to the forward loop; choice
+  // covers re-point leaves at class-best variants that may sit later in
+  // the order, and the descent builds them on demand.  Either way the
+  // order is a pure function of (subject, chosen, needed) — never of the
+  // schedule that produced the marking.
+  std::vector<InstId> fanins;
   std::vector<NodeId> stack;
-  auto require = [&](NodeId n) {
-    if (inst_of[n] == kNullInst) stack.push_back(n);
-  };
-  for (const Output& o : subject.outputs()) require(o.node);
-  for (NodeId l : subject.latches()) require(subject.fanins(l)[0]);
-
-  while (!stack.empty()) {
-    NodeId n = stack.back();
-    if (inst_of[n] != kNullInst) {
-      stack.pop_back();
-      continue;
-    }
-    switch (subject.kind(n)) {
-      case NodeKind::Const0:
-        inst_of[n] = out.add_constant(false);
+  for (NodeId seed : subject.topo_order()) {
+    if (!needed[seed] || inst_of[seed] != kNullInst) continue;
+    stack.push_back(seed);
+    while (!stack.empty()) {
+      NodeId n = stack.back();
+      if (inst_of[n] != kNullInst) {
         stack.pop_back();
         continue;
-      case NodeKind::Const1:
-        inst_of[n] = out.add_constant(true);
-        stack.pop_back();
-        continue;
-      default:
-        break;
-    }
-    DAGMAP_ASSERT_MSG(chosen[n].has_value(),
-                      "needed subject node has no selected match");
-    const Match& m = *chosen[n];
-    bool ready = true;
-    for (NodeId leaf : m.pin_binding)
-      if (inst_of[leaf] == kNullInst) {
-        if (ready) ready = false;
-        stack.push_back(leaf);
       }
-    if (!ready) continue;
-    stack.pop_back();
-    std::vector<InstId> fanins;
-    fanins.reserve(m.pin_binding.size());
-    for (NodeId leaf : m.pin_binding) fanins.push_back(inst_of[leaf]);
-    inst_of[n] = out.add_gate(m.gate, std::move(fanins), subject.name(n));
+      switch (subject.kind(n)) {
+        case NodeKind::Const0:
+          inst_of[n] = out.add_constant(false);
+          stack.pop_back();
+          continue;
+        case NodeKind::Const1:
+          inst_of[n] = out.add_constant(true);
+          stack.pop_back();
+          continue;
+        default:
+          break;
+      }
+      const Match& m = *chosen[n];
+      bool ready = true;
+      for (NodeId leaf : m.pin_binding) {
+        if (inst_of[leaf] != kNullInst) continue;
+        DAGMAP_ASSERT_MSG(needed[leaf],
+                          "match leaf missing from the cover marking");
+        stack.push_back(leaf);
+        ready = false;
+      }
+      if (!ready) continue;
+      fanins.clear();
+      fanins.reserve(m.pin_binding.size());
+      for (NodeId leaf : m.pin_binding) fanins.push_back(inst_of[leaf]);
+      inst_of[n] = out.add_gate(m.gate, fanins, subject.name(n));
+      stack.pop_back();
+    }
   }
 
-  for (std::size_t i = 0; i < subject.latches().size(); ++i) {
-    NodeId l = subject.latches()[i];
+  for (NodeId l : subject.latches())
     out.connect_latch(inst_of[l], inst_of[subject.fanins(l)[0]]);
-  }
   for (const Output& o : subject.outputs())
     out.add_output(inst_of[o.node], o.name);
   out.check();
   obs::counter_add("cover.gates", out.num_gates());
   return out;
+}
+
+MappedNetlist build_cover(const Network& subject,
+                          std::span<const std::optional<Match>> chosen,
+                          std::string name) {
+  obs::Scope obs_scope("cover");
+  return emit_cover(subject, chosen, mark_cover(subject, chosen),
+                    std::move(name));
 }
 
 }  // namespace dagmap

@@ -7,11 +7,24 @@
 // inside matches never get instances of their own — under DAG covering
 // this is exactly where logic duplication happens automatically, and
 // under tree covering (exact matches) it never does.
+//
+// The pass is split in two so the partitioned pipeline can parallelize
+// the reachability half while keeping the construction half sequential:
+//   * `mark_cover` — reverse-topological "needed" marking: a node needs
+//     an instance iff it drives a PO / latch D or is a leaf of a needed
+//     node's selected match (constants included);
+//   * `emit_cover` — one forward-topological sweep creating exactly the
+//     marked instances.  The instance order is a function of the subject
+//     graph alone, never of the marking schedule, which is what makes
+//     partitioned and monolithic covers bit-identical by construction.
+// `build_cover` composes the two (the sequential mappers' entry point).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "mapnet/mapped_netlist.hpp"
 #include "match/matcher.hpp"
@@ -19,10 +32,28 @@
 
 namespace dagmap {
 
+/// Reverse-topological needed-instance marking: returns one flag per
+/// subject node (1 = the cover instantiates it).  Marked nodes are the
+/// internal nodes and constants reachable from the PO / latch-D drivers
+/// through selected-match leaves; every marked internal node must have a
+/// `chosen` entry.
+std::vector<std::uint8_t> mark_cover(
+    const Network& subject, std::span<const std::optional<Match>> chosen);
+
+/// Builds the mapped netlist for a precomputed `needed` marking (from
+/// `mark_cover` or the partitioned equivalent): PIs and latch
+/// placeholders first, then one forward-topological sweep over the
+/// subject emitting each marked constant / selected gate.
+MappedNetlist emit_cover(const Network& subject,
+                         std::span<const std::optional<Match>> chosen,
+                         std::span<const std::uint8_t> needed,
+                         std::string name = {});
+
 /// Builds the mapped netlist implied by `chosen`, a per-subject-node
 /// selected match (indexed by NodeId; entries may be empty for nodes that
 /// are never needed).  Every internal node reachable as a PO/latch-D
 /// driver or as a leaf of a selected match must have a match.
+/// Equivalent to `emit_cover(subject, chosen, mark_cover(...))`.
 MappedNetlist build_cover(const Network& subject,
                           std::span<const std::optional<Match>> chosen,
                           std::string name = {});

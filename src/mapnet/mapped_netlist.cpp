@@ -42,6 +42,15 @@ TopologyCache& MappedNetlist::cache() const {
 
 void MappedNetlist::invalidate_topology() { cache().invalidate(); }
 
+void MappedNetlist::reserve(std::size_t instances, std::size_t fanin_edges) {
+  kinds_.reserve(instances);
+  gates_.reserve(instances);
+  fanin_handles_.reserve(instances);
+  fanin_counts_.reserve(instances);
+  name_ids_.reserve(instances);
+  fanin_pool_.reserve(fanin_edges);
+}
+
 InstId MappedNetlist::new_instance(Instance::Kind kind, const Gate* gate,
                                    std::span<const InstId> fanins,
                                    std::string&& name) {
@@ -248,6 +257,40 @@ void MappedNetlist::check() const {
   }
   for (const Output& o : outputs_) DAGMAP_ASSERT(o.node < kinds_.size());
   (void)topo_order();
+}
+
+std::uint64_t MappedNetlist::structural_hash() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix_byte = [&](std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;  // FNV-1a prime
+  };
+  auto mix_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  auto mix_str = [&](const std::string& s) {
+    mix_u64(s.size());
+    for (char c : s) mix_byte(static_cast<std::uint8_t>(c));
+  };
+  mix_u64(size());
+  for (InstId i = 0; i < size(); ++i) {
+    mix_byte(static_cast<std::uint8_t>(kinds_[i]));
+    if (kinds_[i] == Instance::Kind::GateInst) mix_str(gates_[i]->name);
+    std::span<const InstId> fi = fanins(i);
+    mix_u64(fi.size());
+    for (InstId f : fi) mix_u64(f);
+    mix_str(name(i));
+  }
+  mix_u64(inputs_.size());
+  for (InstId i : inputs_) mix_u64(i);
+  mix_u64(latches_.size());
+  for (InstId l : latches_) mix_u64(l);
+  mix_u64(outputs_.size());
+  for (const Output& o : outputs_) {
+    mix_u64(o.node);
+    mix_str(o.name);
+  }
+  return h;
 }
 
 Network MappedNetlist::to_network() const {

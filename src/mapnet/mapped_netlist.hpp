@@ -61,6 +61,11 @@ class MappedNetlist {
 
   const std::string& name() const { return name_; }
 
+  /// Growth hint for bulk construction (multi-million-instance covers):
+  /// pre-sizes the instance arrays for `instances` total rows and the
+  /// fanin arena for `fanin_edges` further edges.  Never required.
+  void reserve(std::size_t instances, std::size_t fanin_edges);
+
   InstId add_input(std::string name);
   InstId add_latch_placeholder(std::string name = {});
   void connect_latch(InstId latch, InstId d);
@@ -115,6 +120,14 @@ class MappedNetlist {
 
   /// Structural sanity check (fanin arity vs pin count, acyclicity).
   void check() const;
+
+  /// Order-sensitive FNV-1a hash over the full structure: instance
+  /// kinds, gate names, fanins, instance names, inputs, latches and
+  /// outputs.  Two netlists built through the same construction sequence
+  /// hash equal iff they are bit-identical — the cheap large-scale
+  /// equality check used by the partitioned-vs-monolithic pipeline
+  /// comparisons, where materializing BLIF text would dominate.
+  std::uint64_t structural_hash() const;
 
   /// Converts to a logic network for simulation/equivalence: gate
   /// instances become `Logic` nodes with the gate's truth table.

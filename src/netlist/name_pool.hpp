@@ -45,6 +45,11 @@ class NamePool {
     return id;
   }
 
+  /// Growth hint for batch interning: pre-sizes the intern map for about
+  /// `extra` additional distinct names (the deque needs no help — its
+  /// elements never move).  Unnamed nodes are free either way (id 0).
+  void reserve(std::size_t extra) { map_.reserve(map_.size() + extra); }
+
   const std::string& at(std::uint32_t id) const { return pool_[id]; }
 
   /// Number of distinct names (including the empty string).

@@ -60,6 +60,15 @@ TopologyCache& Network::cache() const {
 
 void Network::invalidate_topology() { cache().invalidate(); }
 
+void Network::reserve(std::size_t nodes, std::size_t fanin_edges) {
+  kinds_.reserve(nodes);
+  fanin_handles_.reserve(nodes);
+  fanin_counts_.reserve(nodes);
+  name_ids_.reserve(nodes);
+  func_ids_.reserve(nodes);
+  fanin_pool_.reserve(fanin_edges);
+}
+
 NodeId Network::new_node(NodeKind kind, std::span<const NodeId> fanins,
                          std::string&& name) {
   for (NodeId f : fanins)

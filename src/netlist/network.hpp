@@ -80,6 +80,12 @@ class Network {
 
   // ---- construction -----------------------------------------------------
 
+  /// Growth hint for bulk construction: pre-sizes the node arrays for
+  /// `nodes` total nodes and the fanin arena for `fanin_edges` further
+  /// edges, so multi-million-node generators append without incremental
+  /// reallocation.  Purely an optimization — never required.
+  void reserve(std::size_t nodes, std::size_t fanin_edges);
+
   /// Adds a primary input named `name` (names must be unique among PIs).
   NodeId add_input(std::string name);
 

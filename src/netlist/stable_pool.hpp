@@ -53,20 +53,24 @@ class StablePool {
   /// Allocates `n` contiguous elements (uninitialized) and returns a
   /// handle.  `n == 0` returns a valid handle to an empty slice.
   Handle allocate(std::size_t n) {
-    if (n > kChunkCapacity) {
-      // Oversized request: dedicated chunk, fully used.
-      chunks_.push_back(Chunk::make(n));
-      chunks_.back().used = n;
-      return pack(chunks_.size() - 1, 0);
-    }
-    if (chunks_.empty() || chunks_.back().capacity - chunks_.back().used < n ||
-        chunks_.back().capacity > kChunkCapacity) {
-      chunks_.push_back(Chunk::make(kChunkCapacity));
+    if (chunks_.empty() || chunks_.back().capacity - chunks_.back().used < n) {
+      chunks_.push_back(Chunk::make(std::max(n, kChunkCapacity)));
     }
     Chunk& c = chunks_.back();
     std::size_t off = c.used;
     c.used += n;
     return pack(chunks_.size() - 1, off);
+  }
+
+  /// Ensures the next `n` elements' worth of allocations need no further
+  /// chunk creation (they may still split across the reserved chunk's
+  /// boundary into later chunks; this is a growth hint, not a layout
+  /// promise).  Handles already handed out are unaffected.
+  void reserve(std::size_t n) {
+    if (n == 0) return;
+    std::size_t free =
+        chunks_.empty() ? 0 : chunks_.back().capacity - chunks_.back().used;
+    if (free < n) chunks_.push_back(Chunk::make(std::max(n, kChunkCapacity)));
   }
 
   T* data(Handle h) { return chunks_[chunk_of(h)].data.get() + offset_of(h); }

@@ -1,0 +1,318 @@
+// Partitioned mapping pipeline (core/partition.hpp): structural
+// invariants of the fanout-free-window partitioning, and bit-identity of
+// the partitioned schedule against the monolithic one — on crafted
+// reconvergent circuits, the small suite, and the golden corpus, across
+// window sizes and thread counts.  Carries the `tsan` CTest label so
+// -DDAGMAP_SANITIZE=thread sweeps the wave-parallel labeler and the
+// partition-parallel cover marking.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/dag_mapper.hpp"
+#include "core/parallel.hpp"
+#include "core/partition.hpp"
+#include "decomp/tech_decomp.hpp"
+#include "gen/circuits.hpp"
+#include "io/blif.hpp"
+#include "io/genlib.hpp"
+#include "library/standard_libs.hpp"
+#include "mapnet/cover.hpp"
+#include "mapnet/write.hpp"
+#include "supergate/supergate.hpp"
+
+namespace dagmap {
+namespace {
+
+// ---- partition_subject invariants ---------------------------------------
+
+TEST(Partition, ValidatesOnSmallSuite) {
+  for (const BenchmarkCircuit& bc : make_small_suite()) {
+    SCOPED_TRACE(bc.name);
+    Network subject = tech_decompose(bc.network);
+    for (std::uint32_t window : {1u, 4u, 64u, 1024u}) {
+      SCOPED_TRACE(window);
+      PartitionOptions po{.window_size = window};
+      Partitioning parts = partition_subject(subject, po);
+      parts.validate(subject, po);
+      // Every internal node is in exactly one partition (validate checks
+      // disjointness; the totals confirm the cover).
+      std::size_t total = 0;
+      for (PartId q = 0; q < parts.num_partitions(); ++q)
+        total += parts.members(q).size();
+      EXPECT_EQ(total, subject.num_internal());
+    }
+  }
+}
+
+TEST(Partition, ValidatesOnRandomSubjects) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    Network subject = make_random_subject_graph(3000, 16, 8, seed);
+    for (std::uint32_t window : {1u, 4u, 64u, 1024u}) {
+      PartitionOptions po{.window_size = window};
+      Partitioning parts = partition_subject(subject, po);
+      parts.validate(subject, po);
+      EXPECT_LE(parts.max_partition_nodes(), window);
+    }
+  }
+}
+
+TEST(Partition, WindowOneIsOnePartitionPerNode) {
+  Network subject = tech_decompose(make_ripple_carry_adder(6));
+  PartitionOptions po{.window_size = 1};
+  Partitioning parts = partition_subject(subject, po);
+  parts.validate(subject, po);
+  EXPECT_EQ(parts.num_partitions(), subject.num_internal());
+  EXPECT_EQ(parts.boundary_edges(),
+            [&] {
+              std::size_t internal_edges = 0;
+              for (NodeId n = 0; n < subject.size(); ++n) {
+                if (subject.is_source(n)) continue;
+                for (NodeId f : subject.fanins(n))
+                  if (!subject.is_source(f)) ++internal_edges;
+              }
+              return internal_edges;
+            }());
+}
+
+TEST(Partition, SequentialCircuitPartitions) {
+  // Latches are sources: their D-edge reads must not constrain
+  // membership, and the partitioning must still cover all gates.
+  Network subject = tech_decompose(make_sequential_pipeline(3, 6, 11, 2));
+  ASSERT_GT(subject.num_latches(), 0u);
+  for (std::uint32_t window : {1u, 16u, 256u}) {
+    PartitionOptions po{.window_size = window};
+    Partitioning parts = partition_subject(subject, po);
+    parts.validate(subject, po);
+  }
+}
+
+// ---- bit-identity: partitioned vs monolithic ----------------------------
+
+// Maps `subject` monolithically at one thread, then partitioned at the
+// given window across thread counts, requiring byte-identical results.
+void expect_partition_identity(const Network& subject, const GateLibrary& lib,
+                               DagMapOptions base, std::uint32_t window) {
+  DagMapOptions mono = base;
+  mono.partition_mode = PartitionMode::Off;
+  mono.num_threads = 1;
+  MapResult ref = dag_map(subject, lib, mono);
+  EXPECT_FALSE(ref.partitioned);
+  std::string ref_blif = write_mapped_blif(ref.netlist);
+  std::uint64_t ref_hash = ref.netlist.structural_hash();
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "window=" << window
+                                    << " threads=" << threads);
+    DagMapOptions part = base;
+    part.partition_mode = PartitionMode::On;
+    part.partition_window = window;
+    part.num_threads = threads;
+    MapResult r = dag_map(subject, lib, part);
+    EXPECT_TRUE(r.partitioned);
+    EXPECT_GE(r.num_partitions, 1u);
+    ASSERT_EQ(r.label.size(), ref.label.size());
+    for (std::size_t i = 0; i < ref.label.size(); ++i)
+      ASSERT_EQ(r.label[i], ref.label[i]) << "label of node " << i;
+    EXPECT_EQ(r.optimal_delay, ref.optimal_delay);
+    EXPECT_EQ(r.netlist.structural_hash(), ref_hash);
+    EXPECT_EQ(write_mapped_blif(r.netlist), ref_blif);
+  }
+}
+
+TEST(PartitionIdentity, ReconvergentDiamonds) {
+  // Chained diamonds: every apex reconverges two fanout branches, so
+  // small windows force the reconvergence paths across partition
+  // boundaries and exercise the arrival exchange hard.
+  Network n("diamonds");
+  NodeId a = n.add_input("a");
+  NodeId b = n.add_input("b");
+  NodeId cur = n.add_nand2(a, b);
+  for (int i = 0; i < 12; ++i) {
+    NodeId l = n.add_nand2(cur, a);
+    NodeId r = n.add_inv(cur);
+    NodeId rr = n.add_nand2(r, b);
+    cur = n.add_nand2(l, rr);
+  }
+  n.add_output(cur, "y");
+  ASSERT_TRUE(n.is_subject_graph());
+  GateLibrary lib = make_lib2_library();
+  for (std::uint32_t window : {1u, 2u, 5u, 64u})
+    expect_partition_identity(n, lib, {}, window);
+}
+
+TEST(PartitionIdentity, SharedFanoutLadder) {
+  // A wide multi-fanout hub: one node read by many partitions, so a
+  // match leaf is exchanged across many boundary edges at once.
+  Network n("ladder");
+  NodeId x = n.add_input("x");
+  NodeId y = n.add_input("y");
+  NodeId hub = n.add_nand2(x, y);
+  std::vector<NodeId> tips;
+  for (int i = 0; i < 16; ++i) {
+    NodeId t = n.add_nand2(hub, i % 2 ? x : y);
+    tips.push_back(n.add_inv(t));
+  }
+  NodeId acc = tips[0];
+  for (std::size_t i = 1; i < tips.size(); ++i)
+    acc = n.add_nand2(acc, tips[i]);
+  n.add_output(acc, "z");
+  ASSERT_TRUE(n.is_subject_graph());
+  GateLibrary lib = make_lib2_library();
+  for (std::uint32_t window : {1u, 3u, 8u})
+    expect_partition_identity(n, lib, {}, window);
+}
+
+TEST(PartitionIdentity, SmallSuiteAcrossWindows) {
+  GateLibrary lib = make_lib2_library();
+  for (const BenchmarkCircuit& bc : make_small_suite()) {
+    SCOPED_TRACE(bc.name);
+    Network subject = tech_decompose(bc.network);
+    for (std::uint32_t window : {1u, 16u, 256u})
+      expect_partition_identity(subject, lib, {}, window);
+  }
+}
+
+TEST(PartitionIdentity, ComposesWithAreaRecoveryAndExtendedMatches) {
+  GateLibrary lib = make_44_library(2);
+  Network subject = tech_decompose(make_alu(6));
+  DagMapOptions ar;
+  ar.area_recovery = true;
+  expect_partition_identity(subject, lib, ar, 16);
+  DagMapOptions ext;
+  ext.match_class = MatchClass::Extended;
+  expect_partition_identity(subject, lib, ext, 16);
+}
+
+TEST(PartitionIdentity, SequentialCircuit) {
+  GateLibrary lib = make_lib2_library();
+  Network subject = tech_decompose(make_sequential_pipeline(2, 8, 5, 2));
+  ASSERT_GT(subject.num_latches(), 0u);
+  for (std::uint32_t window : {1u, 32u})
+    expect_partition_identity(subject, lib, {}, window);
+}
+
+TEST(PartitionIdentity, RandomSubjectGraph) {
+  GateLibrary lib = make_lib2_library();
+  Network subject = make_random_subject_graph(2000, 24, 8, 0xBEEF);
+  for (std::uint32_t window : {7u, 128u})
+    expect_partition_identity(subject, lib, {}, window);
+}
+
+// ---- golden corpus ------------------------------------------------------
+
+struct GoldenEntry {
+  std::string name;
+  std::string stem() const {
+    std::size_t plus = name.find('+');
+    return plus == std::string::npos ? name : name.substr(0, plus);
+  }
+  bool with_supergates() const { return name.find('+') != std::string::npos; }
+};
+
+std::string data_path(const std::string& rel) {
+  return std::string(DAGMAP_TEST_DATA_DIR) + "/golden/" + rel;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(PartitionIdentity, GoldenCorpus) {
+  // Every corpus pair (including the supergate-augmented entries) maps
+  // bit-identically under the partitioned schedule at 1/2/8 threads.
+  std::ifstream in(data_path("golden.expect"));
+  ASSERT_TRUE(in.good()) << "missing tests/data/golden/golden.expect";
+  std::vector<GoldenEntry> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    GoldenEntry e;
+    ls >> e.name;
+    entries.push_back(e);
+  }
+  ASSERT_GE(entries.size(), 4u);
+  for (const GoldenEntry& e : entries) {
+    SCOPED_TRACE(e.name);
+    Network circuit = parse_blif(slurp(data_path(e.stem() + ".blif")));
+    std::vector<GenlibGate> gates =
+        parse_genlib(slurp(data_path(e.stem() + ".genlib")));
+    GateLibrary lib =
+        e.with_supergates()
+            ? std::move(generate_supergates(gates, {}, e.name).library)
+            : GateLibrary::from_genlib(gates, e.name);
+    Network subject = tech_decompose(circuit);
+    expect_partition_identity(subject, lib, {}, 16);
+  }
+}
+
+// ---- mode selection -----------------------------------------------------
+
+TEST(PartitionMode, AutoThresholdSelectsSchedule) {
+  GateLibrary lib = make_lib2_library();
+  Network subject = tech_decompose(make_ripple_carry_adder(8));
+  DagMapOptions below;
+  below.partition_auto_threshold = subject.num_internal() + 1;
+  EXPECT_FALSE(dag_map(subject, lib, below).partitioned);
+  DagMapOptions at;
+  at.partition_auto_threshold = subject.num_internal();
+  EXPECT_TRUE(dag_map(subject, lib, at).partitioned);
+}
+
+TEST(PartitionMode, MarkCoverPartitionedMatchesSequential) {
+  // The partition-parallel marking alone (not just end-to-end dag_map)
+  // reproduces the sequential fixpoint.
+  GateLibrary lib = make_lib2_library();
+  Network subject = tech_decompose(make_comparator(8));
+  std::vector<std::optional<Match>> chosen(subject.size());
+  {
+    // Re-derive a fastest-match cover with the mapper's own tie-break so
+    // the markers run on a realistic chosen set.
+    Matcher matcher(lib, subject, {});
+    std::vector<double> label(subject.size(), 0.0);
+    for (NodeId n : subject.topo_order()) {
+      if (subject.is_source(n)) continue;
+      double best = std::numeric_limits<double>::infinity();
+      double best_area = best;
+      const Gate* best_gate = nullptr;
+      matcher.for_each_match(n, MatchClass::Standard, [&](const MatchView& m) {
+        double a = match_arrival(m, label);
+        bool take = a < best - 1e-9;
+        if (!take && a < best + 1e-9)
+          take = m.gate->area < best_area ||
+                 (m.gate->area == best_area && best_gate != nullptr &&
+                  m.gate->name < best_gate->name);
+        if (take) {
+          best = a;
+          best_area = m.gate->area;
+          best_gate = m.gate;
+          chosen[n] = Match(m);
+        }
+      });
+      label[n] = best;
+    }
+  }
+  std::vector<std::uint8_t> seq = mark_cover(subject, chosen);
+  for (std::uint32_t window : {1u, 8u, 512u}) {
+    Partitioning parts =
+        partition_subject(subject, {.window_size = window});
+    for (unsigned threads : {1u, 4u}) {
+      ThreadPool pool(threads);
+      EXPECT_EQ(mark_cover_partitioned(subject, chosen, parts, pool), seq)
+          << "window=" << window << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dagmap

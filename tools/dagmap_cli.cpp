@@ -12,6 +12,10 @@
 //                             supergates before mapping (depth default 2)
 //   --threads <n>             labeling worker threads (0 = all cores,
 //                             default 1; output is identical either way)
+//   --partition[=window]      force the partitioned mapping pipeline
+//                             (fanout-free windows, default size 1024);
+//                             auto-enabled above 200k subject nodes
+//   --no-partition            force the monolithic schedule
 //   --profile[=trace.json]    per-phase timing/counter summary; with a
 //                             path, also write Chrome trace-event JSON
 //                             (chrome://tracing) with per-thread tracks
@@ -55,6 +59,8 @@ struct CliOptions {
   std::string match = "standard";
   unsigned supergate_depth = 0;  ///< 0 = off; --supergates defaults to 2
   unsigned threads = 1;
+  int partition = -1;  ///< -1 auto, 0 off, 1 on
+  unsigned partition_window = 0;  ///< 0 = the DagMapOptions default
   bool profile = false;
   std::string trace_path;  ///< --profile=trace.json
   bool area_recovery = false;
@@ -74,7 +80,8 @@ struct CliOptions {
                "usage: dagmap_cli [--library F.genlib | --lib44 N] "
                "[--mapper dag|tree|choice] [--match standard|extended] "
                "[--supergates[=D]] "
-               "[--threads N] [--profile[=trace.json]] [--area-recovery] "
+               "[--threads N] [--partition[=W] | --no-partition] "
+               "[--profile[=trace.json]] [--area-recovery] "
                "[--buffer N] [--retime] "
                "[--lut K] [--out F] [--no-verify] circuit.blif\n");
   std::exit(2);
@@ -96,6 +103,13 @@ CliOptions parse_args(int argc, char** argv) {
     else if (a.rfind("--supergates=", 0) == 0)
       o.supergate_depth = std::stoul(a.substr(std::strlen("--supergates=")));
     else if (a == "--threads") o.threads = std::stoul(next());
+    else if (a == "--partition") o.partition = 1;
+    else if (a.rfind("--partition=", 0) == 0) {
+      o.partition = 1;
+      o.partition_window = std::stoul(a.substr(std::strlen("--partition=")));
+      if (o.partition_window == 0) usage("zero --partition= window");
+    }
+    else if (a == "--no-partition") o.partition = 0;
     else if (a == "--profile") o.profile = true;
     else if (a.rfind("--profile=", 0) == 0) {
       o.profile = true;
@@ -210,6 +224,10 @@ int main(int argc, char** argv) try {
   mopt.area_recovery = opt.area_recovery;
   mopt.num_threads = opt.threads;
   mopt.profile = opt.profile;
+  if (opt.partition >= 0)
+    mopt.partition_mode =
+        opt.partition ? PartitionMode::On : PartitionMode::Off;
+  if (opt.partition_window > 0) mopt.partition_window = opt.partition_window;
   if (opt.match == "extended") mopt.match_class = MatchClass::Extended;
   else if (opt.match != "standard") usage("bad --match value");
 
@@ -226,6 +244,12 @@ int main(int argc, char** argv) try {
     else usage("bad --mapper value");
   }
   std::printf("subject graph: %zu internal nodes\n", subject.num_internal());
+  if (result.partitioned)
+    std::printf(
+        "partitioned: %zu partitions in %zu waves, %zu boundary edges, "
+        "largest %zu nodes\n",
+        result.num_partitions, result.partition_waves,
+        result.partition_boundary_edges, result.partition_max_nodes);
   std::printf("%s mapping: delay %.3f, area %.1f, %zu gates (%.2fs)\n",
               opt.mapper.c_str(), result.optimal_delay,
               result.netlist.total_area(), result.netlist.num_gates(),

@@ -33,13 +33,15 @@ struct Args {
   bool inject_bug = false;
   std::string out_dir = ".";
   std::string replay_blif, replay_genlib;
+  unsigned min_nodes = 8;
   unsigned max_nodes = 40;
 };
 
 int usage() {
   std::fprintf(
       stderr,
-      "usage: dagmap_fuzz [--seeds N] [--seed S] [--max-nodes N] [--shrink]\n"
+      "usage: dagmap_fuzz [--seeds N] [--seed S] [--min-nodes N] "
+      "[--max-nodes N] [--shrink]\n"
       "                   [--inject-bug] [--out DIR]\n"
       "       dagmap_fuzz --replay circuit.blif library.genlib\n");
   return 2;
@@ -47,6 +49,7 @@ int usage() {
 
 FuzzOptions fuzz_options(const Args& args) {
   FuzzOptions opt;
+  opt.min_nodes = args.min_nodes;
   opt.max_nodes = args.max_nodes;
   opt.inject_label_bug = args.inject_bug;
   return opt;
@@ -101,6 +104,10 @@ int main(int argc, char** argv) try {
       if (!v) return usage();
       args.seed_base = std::strtoull(v, nullptr, 10);
       args.num_seeds = 1;
+    } else if (a == "--min-nodes") {
+      const char* v = value();
+      if (!v) return usage();
+      args.min_nodes = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if (a == "--max-nodes") {
       const char* v = value();
       if (!v) return usage();

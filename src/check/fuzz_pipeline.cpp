@@ -9,6 +9,7 @@
 #include "gen/circuits.hpp"
 #include "gen/libraries.hpp"
 #include "io/genlib.hpp"
+#include "libcache/compiled_library.hpp"
 #include "mapnet/write.hpp"
 #include "sim/simulator.hpp"
 #include "supergate/supergate.hpp"
@@ -231,6 +232,56 @@ FuzzReport run_fuzz_instance(const FuzzInstance& instance,
           write_mapped_blif(r.netlist) != blif1)
         fail("PartitionEquivalence",
              "mapped netlist differs from the monolithic schedule" + where);
+    }
+  }
+
+  if (options.invariants & kFuzzLibCache) {
+    try {
+      CompiledLibrary fresh =
+          compile_library(instance.library_text, {},
+                          "fuzz-lc" + std::to_string(instance.seed));
+      std::string bytes = serialize_compiled_library(fresh);
+      LibraryLoadResult loaded = deserialize_compiled_library(bytes);
+      if (!loaded.ok) {
+        fail("LibCache", "round-trip load failed: " + loaded.error);
+      } else {
+        if (serialize_compiled_library(loaded.lib) != bytes)
+          fail("LibCache", "save -> load -> save is not byte-stable");
+        MapResult r = dag_map(subject, loaded.lib.library,
+                              {.match_class = MatchClass::Standard,
+                               .pattern_index = &loaded.lib.index});
+        if (r.label != std_map.label)
+          fail("LibCache", "labels differ between the fresh and the "
+                           "cache-loaded library");
+        else if (r.optimal_delay != std_map.optimal_delay)
+          fail("LibCache", "optimal delay differs: fresh " +
+                               std::to_string(std_map.optimal_delay) +
+                               ", loaded " + std::to_string(r.optimal_delay));
+        else if (r.netlist.structural_hash() !=
+                     std_map.netlist.structural_hash() ||
+                 write_mapped_blif(r.netlist) !=
+                     write_mapped_blif(std_map.netlist))
+          fail("LibCache", "mapped netlist differs between the fresh and "
+                           "the cache-loaded library");
+      }
+      // Any single flipped bit must be rejected: payload flips break the
+      // FNV-1a checksum, header flips break magic/version/size/hash
+      // validation.  Positions are seed-derived, so every seed probes
+      // different offsets and reruns reproduce exactly.
+      for (unsigned k = 0; k < 8; ++k) {
+        std::size_t pos = static_cast<std::size_t>(
+            mix(instance.seed, 100 + k) % bytes.size());
+        std::string corrupt = bytes;
+        corrupt[pos] = static_cast<char>(
+            corrupt[pos] ^ (1u << (mix(instance.seed, 200 + k) % 8)));
+        if (deserialize_compiled_library(corrupt).ok) {
+          fail("LibCache", "artifact with byte " + std::to_string(pos) +
+                               " flipped was accepted");
+          break;
+        }
+      }
+    } catch (const std::exception& e) {
+      fail("LibCache", std::string("unexpected exception: ") + e.what());
     }
   }
 

@@ -28,7 +28,15 @@
 //                      forced on with small windows and varying thread
 //                      counts) produces bit-identical labels, delay, and
 //                      mapped netlist (structural hash + BLIF bytes) to
-//                      the monolithic schedule.
+//                      the monolithic schedule;
+//   LibCache           the compiled-library cache is transparent: mapping
+//                      with a serialize->deserialize round-tripped library
+//                      (libcache/compiled_library.hpp) is bit-identical to
+//                      mapping with the fresh one, save->load->save is
+//                      byte-stable, and an artifact with any single bit
+//                      flipped is rejected with a clean error (the FNV-1a
+//                      payload checksum makes this exact, not
+//                      probabilistic).
 //
 // Every violation carries enough detail to reproduce: the seed rebuilds
 // the instance, and check/shrink.hpp minimizes it.  `inject_label_bug`
@@ -54,7 +62,8 @@ enum FuzzInvariant : unsigned {
   kFuzzThreadDeterminism = 1u << 4,
   kFuzzSupergateDominance = 1u << 5,
   kFuzzPartitionEquivalence = 1u << 6,
-  kFuzzAllInvariants = (1u << 7) - 1,
+  kFuzzLibCache = 1u << 7,
+  kFuzzAllInvariants = (1u << 8) - 1,
 };
 
 /// Harness knobs.

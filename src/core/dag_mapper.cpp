@@ -33,7 +33,8 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
   Matcher matcher = [&] {
     obs::Scope scope("match.build");
     return Matcher(lib, subject,
-                   {.use_signature_index = options.use_signature_index});
+                   {.use_signature_index = options.use_signature_index},
+                   options.pattern_index);
   }();
   obs::counter_add("library.patterns", lib.total_patterns());
   result.label.assign(subject.size(), 0.0);

@@ -106,6 +106,13 @@ struct DagMapOptions {
   std::uint32_t partition_window = 1024;
   /// Auto mode enables partitioning at this many internal nodes.
   std::size_t partition_auto_threshold = 200000;
+  /// Library-side match pre-index to reuse (match/pattern_index.hpp).
+  /// Null builds one per call (the historical behaviour); a persistent
+  /// caller — the compiled-library cache, serve mode — passes the index
+  /// it computed (or deserialized) once per library.  Must be the index
+  /// of the library being mapped against and must outlive the call.
+  /// The mapped result is bit-identical either way.
+  const PatternIndex* pattern_index = nullptr;
 };
 
 /// Result of a mapping run.

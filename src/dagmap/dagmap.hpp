@@ -33,6 +33,9 @@
 #include "io/blif.hpp"
 #include "io/expr.hpp"
 #include "io/genlib.hpp"
+#include "libcache/compiled_library.hpp"
+#include "libcache/registry.hpp"
+#include "libcache/serve.hpp"
 #include "library/gate_library.hpp"
 #include "library/pattern.hpp"
 #include "library/standard_libs.hpp"

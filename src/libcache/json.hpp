@@ -1,0 +1,58 @@
+// Minimal JSON for the serve-mode wire protocol (libcache/serve.hpp).
+//
+// The repo deliberately has no external dependencies, so serve mode
+// carries its own parser: a strict recursive-descent reader for the
+// request lines (objects, arrays, strings with escapes, numbers, bools,
+// null; bounded nesting depth so hostile input cannot blow the stack)
+// and quoting helpers for emitting response lines.  Malformed text
+// throws libcache::FormatError, which the serve loop converts into a
+// per-line JSON error response — one bad request never takes the
+// daemon down.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "libcache/binio.hpp"
+
+namespace dagmap::libcache {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Object, Array };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< Object
+  std::vector<JsonValue> elements;                         ///< Array
+
+  bool is_null() const { return kind == Kind::Null; }
+  bool is_object() const { return kind == Kind::Object; }
+
+  /// First member named `key` (objects keep source order); null if the
+  /// value is not an object or has no such member.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Typed accessors with defaults — `find("x") ? ... : fallback`
+  /// convenience for the flat request schema.
+  std::string get_string(std::string_view key, std::string fallback = "") const;
+  double get_number(std::string_view key, double fallback = 0.0) const;
+  bool get_bool(std::string_view key, bool fallback = false) const;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an
+/// error.  Throws FormatError with an offset on malformed input.
+JsonValue parse_json(std::string_view text);
+
+/// `s` as a quoted JSON string ("..." with escapes; control characters
+/// become \u00XX).
+std::string json_quote(std::string_view s);
+
+/// Shortest lossless rendering of `v` (round-trips bit-exactly through
+/// strtod), so identical doubles always serialize to identical bytes.
+std::string json_number(double v);
+
+}  // namespace dagmap::libcache

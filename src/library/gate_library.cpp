@@ -81,18 +81,31 @@ GateLibrary GateLibrary::from_genlib(const std::vector<GenlibGate>& gates,
     lib.gates_.push_back(std::move(g));
   }
 
+  lib.select_base_gates();
+  return lib;
+}
+
+void GateLibrary::select_base_gates() {
   // Base gates: minimum-area implementations of INV and NAND2.
   TruthTable inv_f = ~TruthTable::variable(0, 1);
   TruthTable nand_f = ~(TruthTable::variable(0, 2) & TruthTable::variable(1, 2));
-  for (const Gate& g : lib.gates_) {
-    if (g.function == inv_f &&
-        (!lib.inverter_ || g.area < lib.inverter_->area))
-      lib.inverter_ = &g;
-    if (g.function == nand_f && (!lib.nand2_ || g.area < lib.nand2_->area))
-      lib.nand2_ = &g;
-    if (g.is_buffer() && (!lib.buffer_ || g.area < lib.buffer_->area))
-      lib.buffer_ = &g;
+  inverter_ = nand2_ = buffer_ = nullptr;
+  for (const Gate& g : gates_) {
+    if (g.function == inv_f && (!inverter_ || g.area < inverter_->area))
+      inverter_ = &g;
+    if (g.function == nand_f && (!nand2_ || g.area < nand2_->area))
+      nand2_ = &g;
+    if (g.is_buffer() && (!buffer_ || g.area < buffer_->area))
+      buffer_ = &g;
   }
+}
+
+GateLibrary GateLibrary::from_compiled(std::vector<Gate> gates,
+                                       std::string name) {
+  GateLibrary lib;
+  lib.name_ = std::move(name);
+  lib.gates_ = std::move(gates);
+  lib.select_base_gates();
   return lib;
 }
 

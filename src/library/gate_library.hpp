@@ -66,6 +66,11 @@ struct Gate {
 /// An immutable collection of gates ready for mapping.
 class GateLibrary {
  public:
+  /// An empty placeholder library (no gates, not complete for mapping):
+  /// what aggregates like CompiledLibrary hold until a real library is
+  /// move-assigned in.
+  GateLibrary() = default;
+
   // The base-gate pointers refer into `gates_`: moves are safe (the heap
   // buffer transfers), copies are not, so copying is disabled.
   GateLibrary(const GateLibrary&) = delete;
@@ -82,6 +87,16 @@ class GateLibrary {
   /// Convenience: parse GENLIB text then build.
   static GateLibrary from_genlib_text(const std::string& text,
                                       std::string name = "library");
+
+  /// Builds a library from fully materialized gates (truth tables and
+  /// pattern graphs already computed — the compiled-library cache's
+  /// deserialization path).  Skips parsing, truth-table evaluation and
+  /// pattern generation entirely; only the base-gate selection scan
+  /// (inverter/NAND2/buffer, identical to `from_genlib`'s) runs.  Given
+  /// the gates `from_genlib` would produce, the result is behaviourally
+  /// bit-identical to `from_genlib`'s.
+  static GateLibrary from_compiled(std::vector<Gate> gates,
+                                   std::string name = "library");
 
   const std::string& name() const { return name_; }
   const std::vector<Gate>& gates() const { return gates_; }
@@ -107,7 +122,9 @@ class GateLibrary {
   unsigned max_gate_inputs() const;
 
  private:
-  GateLibrary() = default;
+  /// Scans `gates_` for the minimum-area INV/NAND2/buffer (shared tail
+  /// of `from_genlib` and `from_compiled`).
+  void select_base_gates();
 
   std::string name_;
   std::vector<Gate> gates_;

@@ -34,56 +34,6 @@ double match_arrival(const MatchView& m, std::span<const double> leaf_arrival) {
 
 namespace {
 
-// Symmetry hash of each pattern subtree: leaves hash by their pin's
-// *delay*, not its index, so two children of a NAND with equal hashes are
-// interchangeable both structurally and in cost.  Trying both child
-// orders for such children only permutes cost-equivalent pins, so the
-// swapped order is pruned.
-//
-// That argument only holds for *private* subtrees (no node shared with
-// the rest of the pattern).  Leaf-DAG patterns — best-phase ISOP forms
-// of non-read-once functions like XOR or majority, and most generated
-// supergates — share leaf nodes between sibling subtrees, and there a
-// swap is not an automorphism: it changes which already-bound shared
-// leaf each position must agree with, so pruning it loses real matches
-// (e.g. the balanced ISOP of majority at its own decomposition).  Any
-// subtree containing a shared node therefore mixes its root index into
-// the hash, forcing distinct hashes and full two-order exploration,
-// while pure tree subtrees keep the cheap symmetric pruning.
-std::vector<std::uint64_t> symmetry_hashes(const PatternGraph& pg,
-                                           const Gate& gate,
-                                           const std::vector<std::uint32_t>& out_deg) {
-  std::vector<std::uint64_t> h(pg.nodes.size());
-  std::vector<unsigned char> shared(pg.nodes.size(), 0);
-  for (std::size_t i = 0; i < pg.nodes.size(); ++i) {
-    const PatternNode& n = pg.nodes[i];
-    switch (n.kind) {
-      case PatternNode::Kind::Leaf: {
-        double d = gate.pins[n.pin].delay();
-        std::uint64_t bits;
-        static_assert(sizeof(bits) == sizeof(d));
-        __builtin_memcpy(&bits, &d, sizeof(bits));
-        h[i] = bits * 0x9E3779B97F4A7C15ull + 0x51ED0BADull;
-        break;
-      }
-      case PatternNode::Kind::Inv:
-        h[i] = h[n.fanin0] * 0xBF58476D1CE4E5B9ull + 0x94D049BB133111EBull;
-        shared[i] = shared[n.fanin0];
-        break;
-      case PatternNode::Kind::Nand2: {
-        std::uint64_t a = h[n.fanin0], b = h[n.fanin1];
-        if (a > b) std::swap(a, b);
-        h[i] = (a ^ (b * 0xFF51AFD7ED558CCDull)) + 0xC4CEB9FE1A85EC53ull;
-        shared[i] = shared[n.fanin0] | shared[n.fanin1];
-        break;
-      }
-    }
-    if (out_deg[i] > 1) shared[i] = 1;
-    if (shared[i]) h[i] += (i + 1) * 0x2545F4914F6CDD1Dull;
-  }
-  return h;
-}
-
 // Per-thread scratch arena: every buffer the enumeration needs, reused
 // across patterns, roots, and `for_each_match` calls so the steady state
 // allocates nothing.  Holds no matcher state, so one thread may
@@ -203,26 +153,16 @@ class Enumerator {
 }  // namespace
 
 Matcher::Matcher(const GateLibrary& lib, const Network& subject,
-                 MatcherOptions options)
+                 MatcherOptions options, const PatternIndex* index)
     : lib_(lib), subject_(subject), options_(options),
       fanout_counts_(subject.fanout_counts()),
-      subject_sigs_(compute_subject_signatures(subject)) {
+      subject_sigs_(compute_subject_signatures(subject)),
+      owned_index_(index ? PatternIndex{} : PatternIndex::build(lib)),
+      index_(index ? index : &owned_index_) {
   DAGMAP_ASSERT_MSG(subject.is_subject_graph(),
                     "matcher requires a NAND2/INV subject graph");
-  for (const Gate& g : lib_.gates()) {
-    for (const PatternGraph& p : g.patterns) {
-      const PatternNode& root = p.nodes[p.root];
-      std::vector<std::uint32_t> out_deg = p.out_degrees();
-      std::vector<std::uint64_t> sym = symmetry_hashes(p, g, out_deg);
-      PatternRef ref{&g, &p, std::move(sym), std::move(out_deg),
-                     compute_pattern_signature(p)};
-      if (root.kind == PatternNode::Kind::Inv)
-        inv_rooted_.push_back(std::move(ref));
-      else if (root.kind == PatternNode::Kind::Nand2)
-        nand_rooted_.push_back(std::move(ref));
-      // Leaf-rooted patterns (buffers) are excluded by pattern generation.
-    }
-  }
+  DAGMAP_ASSERT_MSG(index_->matches_shape(lib_),
+                    "pattern index does not belong to this library");
 }
 
 void Matcher::for_each_match(NodeId root, MatchClass mc,
@@ -230,8 +170,8 @@ void Matcher::for_each_match(NodeId root, MatchClass mc,
   NodeKind rk = subject_.kind(root);
   DAGMAP_ASSERT_MSG(rk == NodeKind::Nand2 || rk == NodeKind::Inv,
                     "matching roots must be internal subject nodes");
-  const std::vector<PatternRef>& candidates =
-      rk == NodeKind::Inv ? inv_rooted_ : nand_rooted_;
+  const std::vector<PatternEntry>& candidates =
+      rk == NodeKind::Inv ? index_->inv_rooted : index_->nand_rooted;
   const NodeSignature& root_sig = subject_sigs_[root];
 
   MatchScratch& sc = thread_scratch();
@@ -240,13 +180,14 @@ void Matcher::for_each_match(NodeId root, MatchClass mc,
   sc.seen.clear();
   MatchStats local;
 
-  for (const PatternRef& ref : candidates) {
+  for (const PatternEntry& ref : candidates) {
     if (options_.use_signature_index &&
         !signature_admits(ref.sig, root_sig, mc)) {
       ++local.pruned;
       continue;
     }
-    const PatternGraph& pg = *ref.pattern;
+    const Gate* gate = &lib_.gates()[ref.gate_index];
+    const PatternGraph& pg = gate->patterns[ref.pattern_index];
     ++local.attempts;
     Enumerator en(subject_, pg, ref.sym_hash, kEnumerationBudget, sc);
     en.run(root, [&] {
@@ -272,7 +213,7 @@ void Matcher::for_each_match(NodeId root, MatchClass mc,
         }
       }
 
-      sc.pins.assign(ref.gate->num_inputs(), kNullNode);
+      sc.pins.assign(gate->num_inputs(), kNullNode);
       sc.covered.clear();
       for (std::uint32_t p = 0; p < pg.nodes.size(); ++p) {
         const PatternNode& pn = pg.nodes[p];
@@ -283,12 +224,12 @@ void Matcher::for_each_match(NodeId root, MatchClass mc,
       }
       for (NodeId leaf : sc.pins) DAGMAP_ASSERT(leaf != kNullNode);
 
-      std::uint64_t key = std::hash<const void*>{}(ref.gate);
+      std::uint64_t key = std::hash<const void*>{}(gate);
       for (NodeId leaf : sc.pins)
         key = key * 0x100000001B3ull ^ (leaf + 1);
       if (!sc.seen.insert(key).second) return;
 
-      cb(MatchView(ref.gate, ref.pattern, sc.pins, sc.covered));
+      cb(MatchView(gate, &pg, sc.pins, sc.covered));
     });
     if (en.truncated()) ++local.truncations;
   }

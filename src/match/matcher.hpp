@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "library/gate_library.hpp"
+#include "match/pattern_index.hpp"
 #include "match/signature.hpp"
 #include "netlist/network.hpp"
 
@@ -113,9 +114,13 @@ struct MatcherOptions {
 class Matcher {
  public:
   /// Both references must outlive the matcher.  Precondition: `subject`
-  /// is a NAND2/INV subject graph.
+  /// is a NAND2/INV subject graph.  When `index` is non-null it must be
+  /// the PatternIndex of `lib` (same build order; checked) and must
+  /// outlive the matcher — the per-construction index build is skipped,
+  /// which is what the compiled-library cache and serve mode rely on.
+  /// Null builds a private index (the historical behaviour, same bytes).
   Matcher(const GateLibrary& lib, const Network& subject,
-          MatcherOptions options = {});
+          MatcherOptions options = {}, const PatternIndex* index = nullptr);
 
   using MatchCallback = std::function<void(const MatchView&)>;
 
@@ -150,14 +155,6 @@ class Matcher {
   static constexpr std::uint64_t kEnumerationBudget = 50'000;
 
  private:
-  struct PatternRef {
-    const Gate* gate;
-    const PatternGraph* pattern;
-    std::vector<std::uint64_t> sym_hash;
-    std::vector<std::uint32_t> out_deg;  ///< pattern out-degrees (Exact check)
-    PatternSignature sig;
-  };
-
   const GateLibrary& lib_;
   const Network& subject_;
   MatcherOptions options_;
@@ -165,9 +162,11 @@ class Matcher {
   /// valid while the subject is not structurally mutated).
   std::span<const std::uint32_t> fanout_counts_;
   std::vector<NodeSignature> subject_sigs_;
-  /// Patterns bucketed by root node kind (Inv / Nand2) for pruning.
-  std::vector<PatternRef> inv_rooted_;
-  std::vector<PatternRef> nand_rooted_;
+  /// Library-side pre-index (match/pattern_index.hpp): built privately
+  /// when the constructor receives no external one, otherwise empty.
+  PatternIndex owned_index_;
+  /// The index actually consulted (&owned_index_ or the external one).
+  const PatternIndex* index_;
   mutable std::atomic<std::uint64_t> attempts_{0};
   mutable std::atomic<std::uint64_t> pruned_{0};
   mutable std::atomic<std::uint64_t> truncations_{0};

@@ -1,0 +1,102 @@
+#include "match/pattern_index.hpp"
+
+#include <utility>
+
+namespace dagmap {
+
+namespace {
+
+// Symmetry hash of each pattern subtree: leaves hash by their pin's
+// *delay*, not its index, so two children of a NAND with equal hashes are
+// interchangeable both structurally and in cost.  Trying both child
+// orders for such children only permutes cost-equivalent pins, so the
+// swapped order is pruned.
+//
+// That argument only holds for *private* subtrees (no node shared with
+// the rest of the pattern).  Leaf-DAG patterns — best-phase ISOP forms
+// of non-read-once functions like XOR or majority, and most generated
+// supergates — share leaf nodes between sibling subtrees, and there a
+// swap is not an automorphism: it changes which already-bound shared
+// leaf each position must agree with, so pruning it loses real matches
+// (e.g. the balanced ISOP of majority at its own decomposition).  Any
+// subtree containing a shared node therefore mixes its root index into
+// the hash, forcing distinct hashes and full two-order exploration,
+// while pure tree subtrees keep the cheap symmetric pruning.
+std::vector<std::uint64_t> symmetry_hashes(
+    const PatternGraph& pg, const Gate& gate,
+    const std::vector<std::uint32_t>& out_deg) {
+  std::vector<std::uint64_t> h(pg.nodes.size());
+  std::vector<unsigned char> shared(pg.nodes.size(), 0);
+  for (std::size_t i = 0; i < pg.nodes.size(); ++i) {
+    const PatternNode& n = pg.nodes[i];
+    switch (n.kind) {
+      case PatternNode::Kind::Leaf: {
+        double d = gate.pins[n.pin].delay();
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(d));
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        h[i] = bits * 0x9E3779B97F4A7C15ull + 0x51ED0BADull;
+        break;
+      }
+      case PatternNode::Kind::Inv:
+        h[i] = h[n.fanin0] * 0xBF58476D1CE4E5B9ull + 0x94D049BB133111EBull;
+        shared[i] = shared[n.fanin0];
+        break;
+      case PatternNode::Kind::Nand2: {
+        std::uint64_t a = h[n.fanin0], b = h[n.fanin1];
+        if (a > b) std::swap(a, b);
+        h[i] = (a ^ (b * 0xFF51AFD7ED558CCDull)) + 0xC4CEB9FE1A85EC53ull;
+        shared[i] = shared[n.fanin0] | shared[n.fanin1];
+        break;
+      }
+    }
+    if (out_deg[i] > 1) shared[i] = 1;
+    if (shared[i]) h[i] += (i + 1) * 0x2545F4914F6CDD1Dull;
+  }
+  return h;
+}
+
+}  // namespace
+
+PatternIndex PatternIndex::build(const GateLibrary& lib) {
+  PatternIndex index;
+  const std::vector<Gate>& gates = lib.gates();
+  for (std::uint32_t gi = 0; gi < gates.size(); ++gi) {
+    const Gate& g = gates[gi];
+    for (std::uint32_t pi = 0; pi < g.patterns.size(); ++pi) {
+      const PatternGraph& p = g.patterns[pi];
+      const PatternNode& root = p.nodes[p.root];
+      PatternEntry e;
+      e.gate_index = gi;
+      e.pattern_index = pi;
+      e.out_deg = p.out_degrees();
+      e.sym_hash = symmetry_hashes(p, g, e.out_deg);
+      e.sig = compute_pattern_signature(p);
+      if (root.kind == PatternNode::Kind::Inv)
+        index.inv_rooted.push_back(std::move(e));
+      else if (root.kind == PatternNode::Kind::Nand2)
+        index.nand_rooted.push_back(std::move(e));
+      // Leaf-rooted patterns (buffers) are excluded by pattern generation.
+    }
+  }
+  return index;
+}
+
+bool PatternIndex::matches_shape(const GateLibrary& lib) const {
+  const std::vector<Gate>& gates = lib.gates();
+  auto check = [&](const std::vector<PatternEntry>& bucket) {
+    for (const PatternEntry& e : bucket) {
+      if (e.gate_index >= gates.size()) return false;
+      const Gate& g = gates[e.gate_index];
+      if (e.pattern_index >= g.patterns.size()) return false;
+      const PatternGraph& p = g.patterns[e.pattern_index];
+      if (e.sym_hash.size() != p.nodes.size()) return false;
+      if (e.out_deg.size() != p.nodes.size()) return false;
+    }
+    return true;
+  };
+  return check(inv_rooted) && check(nand_rooted) &&
+         size() == lib.total_patterns();
+}
+
+}  // namespace dagmap

@@ -1,0 +1,60 @@
+// Library-side match pre-index, decoupled from the Matcher.
+//
+// Everything the matcher derives from the *library* alone — per-pattern
+// symmetry hashes, out-degrees, and structural signatures, bucketed by
+// pattern-root kind — lives here.  Historically the Matcher recomputed
+// this in its constructor for every mapping run; for a library that is
+// mapped against once that is fine, but a persistent mapping service
+// (libcache/serve) pays the cost once per *library*, not once per
+// *request*: the index is built a single time (or deserialized from a
+// compiled-library artifact) and shared read-only by every Matcher.
+//
+// Entries reference gates and patterns by index rather than pointer so
+// the structure is trivially serializable and remains valid for any
+// GateLibrary with the same gate/pattern shape (`matches_shape`).
+// `build` iterates gates and patterns in library order, so the entry
+// order — and therefore match-enumeration order — is identical to what
+// the legacy in-constructor build produced.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "library/gate_library.hpp"
+#include "match/signature.hpp"
+
+namespace dagmap {
+
+/// Precomputed match data for one pattern graph of one gate.
+struct PatternEntry {
+  std::uint32_t gate_index = 0;     ///< index into GateLibrary::gates()
+  std::uint32_t pattern_index = 0;  ///< index into Gate::patterns
+  /// Symmetry hash per pattern node (equal hashes on a NAND's children
+  /// make the swapped child order redundant; see matcher.cpp).
+  std::vector<std::uint64_t> sym_hash;
+  /// Pattern-internal out-degrees (Exact-match fanout condition).
+  std::vector<std::uint32_t> out_deg;
+  /// Signature for O(1) (root, pattern) rejection.
+  PatternSignature sig;
+};
+
+/// The full library-side index: patterns bucketed by root node kind.
+struct PatternIndex {
+  std::vector<PatternEntry> inv_rooted;
+  std::vector<PatternEntry> nand_rooted;
+
+  /// Builds the index for `lib` (gates in order, patterns in order —
+  /// the bucket order the matcher enumerates).
+  static PatternIndex build(const GateLibrary& lib);
+
+  /// Cheap structural compatibility check: every entry's
+  /// (gate_index, pattern_index) must exist in `lib` and reference a
+  /// pattern with the expected node count.  True means the index is
+  /// safe to use with `lib` (it was built from a library of identical
+  /// shape).
+  bool matches_shape(const GateLibrary& lib) const;
+
+  std::size_t size() const { return inv_rooted.size() + nand_rooted.size(); }
+};
+
+}  // namespace dagmap

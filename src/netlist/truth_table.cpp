@@ -66,6 +66,18 @@ TruthTable TruthTable::from_binary_string(const std::string& s) {
   return t;
 }
 
+TruthTable TruthTable::from_words(unsigned num_vars,
+                                  std::vector<std::uint64_t> words) {
+  TruthTable t(num_vars);
+  DAGMAP_ASSERT_MSG(words.size() == t.num_words(),
+                    "truth table word count does not match num_vars");
+  t.words_ = std::move(words);
+  if (num_vars < 6)
+    DAGMAP_ASSERT_MSG((t.words_[0] >> t.num_minterms()) == 0,
+                      "truth table tail bits must be zero");
+  return t;
+}
+
 bool TruthTable::bit(std::size_t m) const {
   DAGMAP_ASSERT(m < num_minterms());
   return (words_[m >> 6] >> (m & 63)) & 1;

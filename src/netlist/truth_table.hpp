@@ -87,6 +87,19 @@ class TruthTable {
   /// and for deduplicating gates by function.
   std::string to_hex() const;
 
+  /// Raw 64-bit words, least significant minterms first (bit m of the
+  /// function is bit (m & 63) of word (m >> 6)).  Exposed for bit-exact
+  /// binary serialization (libcache); the tail beyond 2^num_vars bits is
+  /// always zero.
+  std::span<const std::uint64_t> words() const { return words_; }
+
+  /// Rebuilds a table from `words` as produced by `words()`.  The word
+  /// count must match `num_vars` (1 word for <= 6 variables, 2^(n-6)
+  /// otherwise) and tail bits beyond 2^num_vars must be zero; violations
+  /// throw.  Inverse of `words()` — round-trips bit-exactly.
+  static TruthTable from_words(unsigned num_vars,
+                               std::vector<std::uint64_t> words);
+
   /// 64-bit hash of (num_vars, table bits).
   std::uint64_t hash() const;
 

@@ -29,12 +29,25 @@
 //   --out <file.blif|file.v>  write the mapped netlist
 //   --verify                  simulation equivalence check (default on)
 //   --no-verify               skip verification
+//   --save-lib <file.dmlc>    compile the selected library (with
+//                             --supergates options) to a cache artifact;
+//                             without a circuit, exits after saving
+//   --load-lib <file.dmlc>    map with a compiled-library artifact; with
+//                             --library also given, the artifact is
+//                             validated against the genlib source and a
+//                             stale artifact is an error
+//   --serve                   persistent batched serve mode: map JSONL
+//                             requests from stdin (see
+//                             src/libcache/serve.hpp for the protocol)
 //
 // Prints a one-screen report: subject statistics, delay/area, gate
 // histogram, and the equivalence verdict.  Exits nonzero on any failure.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
 
 #include "core/choice_map.hpp"
@@ -58,6 +71,7 @@ struct CliOptions {
   std::string mapper = "dag";
   std::string match = "standard";
   unsigned supergate_depth = 0;  ///< 0 = off; --supergates defaults to 2
+  bool supergates_set = false;   ///< --supergates given explicitly
   unsigned threads = 1;
   int partition = -1;  ///< -1 auto, 0 off, 1 on
   unsigned partition_window = 0;  ///< 0 = the DagMapOptions default
@@ -72,6 +86,9 @@ struct CliOptions {
   unsigned lut_k = 0;
   std::string out_path;
   bool verify = true;
+  std::string save_lib_path;
+  std::string load_lib_path;
+  bool serve = false;
 };
 
 [[noreturn]] void usage(const char* msg = nullptr) {
@@ -83,7 +100,9 @@ struct CliOptions {
                "[--threads N] [--partition[=W] | --no-partition] "
                "[--profile[=trace.json]] [--area-recovery] "
                "[--buffer N] [--retime] "
-               "[--lut K] [--out F] [--no-verify] circuit.blif\n");
+               "[--lut K] [--out F] [--no-verify] "
+               "[--save-lib F.dmlc] [--load-lib F.dmlc] [--serve] "
+               "circuit.blif\n");
   std::exit(2);
 }
 
@@ -99,9 +118,11 @@ CliOptions parse_args(int argc, char** argv) {
     else if (a == "--lib44") o.lib44 = std::stoi(next());
     else if (a == "--mapper") o.mapper = next();
     else if (a == "--match") o.match = next();
-    else if (a == "--supergates") o.supergate_depth = 2;
-    else if (a.rfind("--supergates=", 0) == 0)
+    else if (a == "--supergates") o.supergate_depth = 2, o.supergates_set = true;
+    else if (a.rfind("--supergates=", 0) == 0) {
       o.supergate_depth = std::stoul(a.substr(std::strlen("--supergates=")));
+      o.supergates_set = true;
+    }
     else if (a == "--threads") o.threads = std::stoul(next());
     else if (a == "--partition") o.partition = 1;
     else if (a.rfind("--partition=", 0) == 0) {
@@ -126,12 +147,18 @@ CliOptions parse_args(int argc, char** argv) {
     else if (a == "--out") o.out_path = next();
     else if (a == "--verify") o.verify = true;
     else if (a == "--no-verify") o.verify = false;
+    else if (a == "--save-lib") o.save_lib_path = next();
+    else if (a == "--load-lib") o.load_lib_path = next();
+    else if (a == "--serve") o.serve = true;
     else if (a == "--help" || a == "-h") usage();
     else if (!a.empty() && a[0] == '-') usage(("unknown option " + a).c_str());
     else if (o.circuit_path.empty()) o.circuit_path = a;
     else usage("multiple circuit files");
   }
-  if (o.circuit_path.empty()) usage("no circuit file");
+  if (o.circuit_path.empty() && o.save_lib_path.empty() && !o.serve)
+    usage("no circuit file");
+  if (o.serve && !o.circuit_path.empty())
+    usage("--serve takes circuits on stdin, not an argument");
   return o;
 }
 
@@ -139,6 +166,89 @@ CliOptions parse_args(int argc, char** argv) {
 
 int main(int argc, char** argv) try {
   CliOptions opt = parse_args(argc, argv);
+
+  // ---- serve mode ---------------------------------------------------------
+  if (opt.serve) {
+    ServeOptions sopt;
+    sopt.num_threads = opt.threads;
+    sopt.default_library = opt.library_path;  // empty = per-request only
+    sopt.default_compile.supergate_depth = opt.supergate_depth;
+    sopt.default_compile.num_threads = opt.threads;
+    ServeSummary s = run_serve(std::cin, std::cout, sopt);
+    std::fprintf(stderr,
+                 "serve: %llu request(s), %llu error(s), %llu batch(es); "
+                 "registry: %llu hit(s), %llu compile(s), %llu artifact "
+                 "load(s), %llu artifact reject(s)\n",
+                 (unsigned long long)s.requests, (unsigned long long)s.errors,
+                 (unsigned long long)s.batches,
+                 (unsigned long long)s.registry.hits,
+                 (unsigned long long)s.registry.compiles,
+                 (unsigned long long)s.registry.artifact_loads,
+                 (unsigned long long)s.registry.artifact_rejects);
+    return 0;
+  }
+
+  // ---- compiled-library cache (--save-lib / --load-lib) -------------------
+  // The untouched default path below rebuilds the library from source on
+  // every run; these flags route through libcache/ instead.
+  std::string lib_name =
+      !opt.library_path.empty() ? opt.library_path
+      : opt.lib44 > 0 ? "44-" + std::to_string(opt.lib44) + "-like"
+                      : "lib2-like";
+  auto genlib_source_text = [&]() -> std::string {
+    if (!opt.library_path.empty()) {
+      std::ifstream in(opt.library_path, std::ios::binary);
+      if (!in) usage("cannot read --library file");
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      return ss.str();
+    }
+    if (opt.lib44 > 0) return write_genlib(make_44_genlib(opt.lib44));
+    return lib2_genlib_text();
+  };
+  LibCompileOptions copt;
+  copt.supergate_depth = opt.supergate_depth;
+  copt.num_threads = opt.threads;
+
+  std::optional<CompiledLibrary> clib;
+  if (!opt.load_lib_path.empty()) {
+    LibraryLoadResult loaded = load_compiled_library_file(opt.load_lib_path);
+    if (!loaded.ok) {
+      std::fprintf(stderr, "dagmap_cli: %s: %s\n", opt.load_lib_path.c_str(),
+                   loaded.error.c_str());
+      return 1;
+    }
+    if (!opt.library_path.empty() || opt.lib44 > 0) {
+      // Without an explicit --supergates the artifact defines the
+      // generation options, so validation only asks whether the genlib
+      // source still matches; with one, the options must match too.
+      const LibCompileOptions& want =
+          opt.supergates_set ? copt : loaded.lib.options;
+      std::string why;
+      if (!validate_compiled_library(loaded.lib, genlib_source_text(), want,
+                                     &why)) {
+        std::fprintf(stderr,
+                     "dagmap_cli: stale artifact %s: %s "
+                     "(regenerate with --save-lib)\n",
+                     opt.load_lib_path.c_str(), why.c_str());
+        return 1;
+      }
+    }
+    std::printf("loaded compiled library %s: %zu gates\n",
+                loaded.lib.library.name().c_str(), loaded.lib.library.size());
+    clib = std::move(loaded.lib);
+  } else if (!opt.save_lib_path.empty()) {
+    clib = compile_library(genlib_source_text(), copt,
+                           opt.supergate_depth > 0 ? lib_name + "+supergates"
+                                                   : lib_name);
+  }
+  if (clib && !opt.save_lib_path.empty()) {
+    save_compiled_library_file(*clib, opt.save_lib_path);
+    std::printf("wrote compiled library %s: %zu gates, %zu patterns\n",
+                opt.save_lib_path.c_str(), clib->library.size(),
+                clib->library.total_patterns());
+    if (opt.circuit_path.empty()) return 0;
+  }
 
   // One profiling session spans the whole run (read -> decompose ->
   // supergates -> map -> verify -> write); dag_map joins it instead of
@@ -189,16 +299,14 @@ int main(int argc, char** argv) try {
   // Gather the parsed gate list first so --supergates can augment any of
   // the three sources before the GateLibrary is built.
   std::vector<GenlibGate> base_gates = [&] {
+    if (clib) return std::vector<GenlibGate>{};  // came precompiled
     obs::Scope scope("library.read");
     return !opt.library_path.empty() ? read_genlib_file(opt.library_path)
          : opt.lib44 > 0             ? make_44_genlib(opt.lib44)
                                      : parse_genlib(lib2_genlib_text());
   }();
-  std::string lib_name =
-      !opt.library_path.empty() ? opt.library_path
-      : opt.lib44 > 0 ? "44-" + std::to_string(opt.lib44) + "-like"
-                      : "lib2-like";
   GateLibrary lib = [&]() -> GateLibrary {
+    if (clib) return std::move(clib->library);
     if (opt.supergate_depth == 0) {
       // Pattern generation dominates for rich libraries (hundreds of
       // gates); --supergates times it inside supergate.generate.
@@ -230,6 +338,7 @@ int main(int argc, char** argv) try {
   if (opt.partition_window > 0) mopt.partition_window = opt.partition_window;
   if (opt.match == "extended") mopt.match_class = MatchClass::Extended;
   else if (opt.match != "standard") usage("bad --match value");
+  if (clib) mopt.pattern_index = &clib->index;
 
   MapResult result;
   Network subject;

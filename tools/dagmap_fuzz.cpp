@@ -31,6 +31,7 @@ struct Args {
   std::uint64_t num_seeds = 500;
   bool shrink = false;
   bool inject_bug = false;
+  bool lib_cache_only = false;
   std::string out_dir = ".";
   std::string replay_blif, replay_genlib;
   unsigned min_nodes = 8;
@@ -42,7 +43,7 @@ int usage() {
       stderr,
       "usage: dagmap_fuzz [--seeds N] [--seed S] [--min-nodes N] "
       "[--max-nodes N] [--shrink]\n"
-      "                   [--inject-bug] [--out DIR]\n"
+      "                   [--inject-bug] [--lib-cache] [--out DIR]\n"
       "       dagmap_fuzz --replay circuit.blif library.genlib\n");
   return 2;
 }
@@ -52,6 +53,10 @@ FuzzOptions fuzz_options(const Args& args) {
   opt.min_nodes = args.min_nodes;
   opt.max_nodes = args.max_nodes;
   opt.inject_label_bug = args.inject_bug;
+  // --lib-cache: restrict to the compiled-library round-trip/corruption
+  // invariant (plus the equivalence baseline it compares against is not
+  // needed — std_map is always computed).
+  if (args.lib_cache_only) opt.invariants = kFuzzLibCache;
   return opt;
 }
 
@@ -120,6 +125,8 @@ int main(int argc, char** argv) try {
       args.shrink = true;
     } else if (a == "--inject-bug") {
       args.inject_bug = true;
+    } else if (a == "--lib-cache") {
+      args.lib_cache_only = true;
     } else if (a == "--replay") {
       const char* b = value();
       const char* g = value();

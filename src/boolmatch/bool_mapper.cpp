@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <optional>
 #include <unordered_map>
 
-#include "lutmap/cuts.hpp"
+#include "boolmatch/npn_index.hpp"
+#include "cutmap/cuts.hpp"
 #include "netlist/assert.hpp"
 
 namespace dagmap {
@@ -13,13 +15,6 @@ namespace dagmap {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-// One library entry: gate plus the transform from its (padded) function
-// to the canonical representative.
-struct LibEntry {
-  const Gate* gate;
-  NpnTransform to_canonical;
-};
 
 // A selected Boolean match at a subject node.
 struct BoolChosen {
@@ -47,20 +42,12 @@ MapResult bool_map(const Network& subject, const GateLibrary& lib,
   const double inv_delay = lib.inverter()->pins[0].delay();
   const double inv_gate_area = lib.inverter()->area;
 
-  // Library index: canonical function -> entries.
-  std::unordered_map<std::uint16_t, std::vector<LibEntry>> index;
-  for (const Gate& g : lib.gates()) {
-    if (g.num_inputs() == 0 || g.num_inputs() > kNpnMaxVars) continue;
-    // Every pin must matter, or pin binding below would be ambiguous.
-    bool full_support = true;
-    for (unsigned v = 0; v < g.num_inputs(); ++v)
-      full_support = full_support && g.function.depends_on(v);
-    if (!full_support) continue;
-    LibEntry e;
-    e.gate = &g;
-    std::uint16_t canon = npn_canonical(pack_tt4(g.function), &e.to_canonical);
-    index[canon].push_back(e);
-  }
+  // Library index: canonical function -> entries (boolmatch/npn_index.hpp;
+  // shared with the priority-cut engine).  Built per call unless the
+  // caller passes a persistent one.
+  std::optional<NpnLibraryIndex> owned_index;
+  const NpnLibraryIndex* index = options.npn_index;
+  if (!index) index = &owned_index.emplace(lib);
 
   auto cuts = enumerate_cuts(subject, options.cut_size);
 
@@ -124,11 +111,11 @@ MapResult bool_map(const Network& subject, const GateLibrary& lib,
       }
       auto [cc, inserted] = canon_cache.try_emplace(tt);
       if (inserted) cc->second.first = npn_canonical(tt, &cc->second.second);
-      auto bucket = index.find(cc->second.first);
-      if (bucket == index.end()) continue;
+      const std::vector<NpnLibEntry>* bucket = index->find(cc->second.first);
+      if (!bucket) continue;
       const NpnTransform& cut_to_canon = cc->second.second;
 
-      for (const LibEntry& e : bucket->second) {
+      for (const NpnLibEntry& e : *bucket) {
         // tt == apply(gate_tt, R) with R = compose(gate->canon,
         // inverse(cut->canon)).
         NpnTransform rel =

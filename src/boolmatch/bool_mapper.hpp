@@ -16,6 +16,7 @@
 #pragma once
 
 #include "boolmatch/npn.hpp"
+#include "boolmatch/npn_index.hpp"
 #include "core/dag_mapper.hpp"  // MapResult
 #include "library/gate_library.hpp"
 #include "netlist/network.hpp"
@@ -27,6 +28,10 @@ struct BoolMapOptions {
   /// Cut size (2..4; bounded by the NPN machinery).
   unsigned cut_size = 4;
   double epsilon = 1e-9;
+  /// Precomputed NPN library index to reuse (must be the index of the
+  /// library being mapped against and must outlive the call).  Null
+  /// builds one per call; the result is bit-identical either way.
+  const NpnLibraryIndex* npn_index = nullptr;
 };
 
 /// Maps a NAND2/INV subject graph by Boolean matching.  The library must

@@ -61,6 +61,25 @@ std::uint16_t npn_canonical(std::uint16_t tt, NpnTransform* to_canonical) {
   return best;
 }
 
+bool npn_transform_to(std::uint16_t tt, std::uint16_t target,
+                      NpnTransform* out) {
+  for (const auto& perm : all_perms()) {
+    for (unsigned neg = 0; neg < 16; ++neg) {
+      for (unsigned o = 0; o < 2; ++o) {
+        NpnTransform t;
+        t.perm = perm;
+        t.input_negate = static_cast<std::uint8_t>(neg);
+        t.output_negate = o != 0;
+        if (npn_apply(tt, t) == target) {
+          if (out) *out = t;
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
 NpnTransform npn_inverse(const NpnTransform& t) {
   NpnTransform u;
   for (unsigned i = 0; i < 4; ++i) {

@@ -42,6 +42,16 @@ std::uint16_t npn_apply(std::uint16_t tt, const NpnTransform& t);
 std::uint16_t npn_canonical(std::uint16_t tt,
                             NpnTransform* to_canonical = nullptr);
 
+/// Finds one transform with npn_apply(tt, *out) == target, scanning
+/// transforms in the same order as npn_canonical but stopping at the
+/// first hit.  Returns false (leaving *out untouched) when `target` is
+/// not NPN-equivalent to `tt`.  With `target` a known canonical
+/// representative (e.g. from a compiled library's NPN classes) this
+/// replaces the full 768-transform minimum scan of npn_canonical with an
+/// early-exiting search.
+bool npn_transform_to(std::uint16_t tt, std::uint16_t target,
+                      NpnTransform* out);
+
 /// Inverse transform: npn_apply(npn_apply(tt, t), npn_inverse(t)) == tt.
 NpnTransform npn_inverse(const NpnTransform& t);
 

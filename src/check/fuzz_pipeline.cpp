@@ -5,6 +5,7 @@
 
 #include "check/reference_cover.hpp"
 #include "core/dag_mapper.hpp"
+#include "cutmap/cut_mapper.hpp"
 #include "decomp/tech_decomp.hpp"
 #include "gen/circuits.hpp"
 #include "gen/libraries.hpp"
@@ -233,6 +234,31 @@ FuzzReport run_fuzz_instance(const FuzzInstance& instance,
         fail("PartitionEquivalence",
              "mapped netlist differs from the monolithic schedule" + where);
     }
+  }
+
+  if (options.invariants & kFuzzBackendCross) {
+    // The cut backend considers every structural match plus the NPN cut
+    // matches, so its delay can never exceed the structural backend's.
+    // Tight knobs (cut_count 4) exercise the truncation path without
+    // weakening the bound: the structural matches are always candidates.
+    CutMapOptions copt;
+    copt.match_class = MatchClass::Standard;
+    copt.cut_count = 4;
+    MapResult cut = cut_map(subject, lib, copt);
+    if (options.inject_backend_bug)
+      cut.optimal_delay = std_map.optimal_delay + 1.0;
+    if (cut.optimal_delay > std_map.optimal_delay + kEps)
+      fail("BackendCross",
+           "cut-backend delay " + std::to_string(cut.optimal_delay) +
+               " worse than structural delay " +
+               std::to_string(std_map.optimal_delay));
+    EquivalenceResult e =
+        check_equivalence(instance.circuit, cut.netlist.to_network());
+    if (!e.equivalent)
+      fail("BackendCross",
+           "cut-backend cover differs from the circuit: output " +
+               std::to_string(e.failing_output) + " cex " +
+               e.counterexample_hex());
   }
 
   if (options.invariants & kFuzzLibCache) {

@@ -36,7 +36,14 @@
 //                      byte-stable, and an artifact with any single bit
 //                      flipped is rejected with a clean error (the FNV-1a
 //                      payload checksum makes this exact, not
-//                      probabilistic).
+//                      probabilistic);
+//   BackendCross       the priority-cut Boolean backend (cutmap/) maps
+//                      the same subject with delay <= the structural
+//                      backend's delay — its per-node candidate set is a
+//                      superset of the structural matcher's, so by
+//                      induction over the topological order its labels
+//                      are pointwise no worse — and its cover stays
+//                      simulation-equivalent to the source circuit.
 //
 // Every violation carries enough detail to reproduce: the seed rebuilds
 // the instance, and check/shrink.hpp minimizes it.  `inject_label_bug`
@@ -63,7 +70,8 @@ enum FuzzInvariant : unsigned {
   kFuzzSupergateDominance = 1u << 5,
   kFuzzPartitionEquivalence = 1u << 6,
   kFuzzLibCache = 1u << 7,
-  kFuzzAllInvariants = (1u << 8) - 1,
+  kFuzzBackendCross = 1u << 8,
+  kFuzzAllInvariants = (1u << 9) - 1,
 };
 
 /// Harness knobs.
@@ -82,6 +90,10 @@ struct FuzzOptions {
   /// dominance comparison, making SupergateDominance fail on every
   /// instance — the sixth invariant's detection + shrink path.
   bool inject_supergate_bug = false;
+  /// Test hook: report the cut-backend delay as structural + 1.0 before
+  /// the BackendCross comparison, making it fail on every instance — the
+  /// ninth invariant's detection + shrink path.
+  bool inject_backend_bug = false;
 
   // Instance-generation ranges (inclusive), used by make_fuzz_instance.
   unsigned min_inputs = 3, max_inputs = 8;

@@ -1,0 +1,499 @@
+#include "cutmap/cut_mapper.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "core/parallel.hpp"
+#include "core/partition.hpp"
+#include "cutmap/cut_set.hpp"
+#include "mapnet/cover.hpp"
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// One candidate implementation of a subject node: a structural match
+// (`view` valid only during the enumeration callback) or an NPN cut
+// match (cut leaves + the transform relating cut and gate functions).
+struct Candidate {
+  double arrival = 0.0;
+  double area = 0.0;  ///< gate area plus materialized inverters
+  const Gate* gate = nullptr;
+  bool is_npn = false;
+  const MatchView* view = nullptr;     ///< structural only
+  std::span<const NodeId> cut_leaves;  ///< NPN only
+  NpnTransform rel;                    ///< NPN only
+};
+
+// Turns a candidate into the owning Match the cover machinery consumes.
+// NPN matches: gate pin i reads cut leaf rel.perm[i], negated iff bit i
+// of rel.input_negate (same relation as boolmatch/bool_mapper.cpp).
+Match materialize(const Candidate& c) {
+  if (!c.is_npn) return Match(*c.view);
+  Match m;
+  m.gate = c.gate;
+  unsigned ni = c.gate->num_inputs();
+  m.pin_binding.resize(ni);
+  for (unsigned pin = 0; pin < ni; ++pin)
+    m.pin_binding[pin] = c.cut_leaves[c.rel.perm[pin]];
+  m.input_negate =
+      static_cast<std::uint8_t>(c.rel.input_negate & ((1u << ni) - 1u));
+  m.output_negate = c.rel.output_negate;
+  return m;
+}
+
+}  // namespace
+
+MapResult cut_map(const Network& subject, const GateLibrary& lib,
+                  const CutMapOptions& options) {
+  auto t0 = std::chrono::steady_clock::now();
+  DAGMAP_ASSERT_MSG(subject.is_subject_graph(),
+                    "cut_map requires a NAND2/INV subject graph");
+  DAGMAP_ASSERT_MSG(lib.is_complete_for_mapping(),
+                    "library must contain INV and NAND2");
+  DAGMAP_ASSERT(options.cut_size >= 2 && options.cut_size <= kNpnMaxVars);
+  DAGMAP_ASSERT(options.cut_count >= 1);
+
+  bool own_session = options.profile && !obs::enabled();
+  if (own_session) obs::start();
+
+  const Gate* inv_gate = lib.inverter();
+  const double inv_delay = inv_gate->pins[0].delay();
+  const double inv_area = inv_gate->area;
+
+  // The NPN library index (boolmatch/npn_index.hpp): built per call
+  // unless serve mode / the compiled-library cache passes one in.
+  std::optional<NpnLibraryIndex> owned_npn;
+  const NpnLibraryIndex* npn = options.npn_index;
+  if (!npn) {
+    obs::Scope scope("cutmap.npn_index");
+    npn = &owned_npn.emplace(lib);
+  }
+
+  MapResult result;
+  Matcher matcher = [&] {
+    obs::Scope scope("match.build");
+    return Matcher(lib, subject,
+                   {.use_signature_index = options.use_signature_index},
+                   options.pattern_index);
+  }();
+  obs::counter_add("library.patterns", lib.total_patterns());
+  obs::counter_add("cutmap.npn_gates", npn->num_entries());
+
+  result.label.assign(subject.size(), 0.0);
+  // Area-flow estimate of each node's selected cover (cut-ranking input;
+  // frozen after the labeling pass so recomputed cut sets are identical).
+  std::vector<double> node_af(subject.size(), 0.0);
+  std::vector<CutSet> cuts(subject.size());
+  std::vector<std::optional<Match>> fastest(subject.size());
+
+  const auto& order = subject.topo_order();
+  const auto& fanout = subject.fanout_counts();
+  PriorityCutParams cut_params{options.cut_size, options.cut_count};
+
+  // ---- schedule selection (same machinery as dag_map) -----------------
+  bool use_partitions =
+      options.partition_mode == PartitionMode::On ||
+      (options.partition_mode == PartitionMode::Auto &&
+       subject.num_internal() >= options.partition_auto_threshold);
+  std::optional<Partitioning> parts;
+  if (use_partitions) {
+    parts = partition_subject(subject,
+                              {.window_size = options.partition_window});
+    result.partitioned = true;
+    result.num_partitions = parts->num_partitions();
+    result.partition_waves = parts->num_waves();
+    result.partition_boundary_edges = parts->boundary_edges();
+    result.partition_max_nodes = parts->max_partition_nodes();
+  }
+  std::vector<std::vector<NodeId>> waves;
+  if (!use_partitions) {
+    std::vector<std::uint32_t> level(subject.size(), 0);
+    std::uint32_t max_level = 0;
+    for (NodeId n : order) {
+      if (subject.is_source(n)) continue;
+      std::uint32_t l = 0;
+      for (NodeId f : subject.fanins(n)) l = std::max(l, level[f]);
+      level[n] = l + 1;
+      max_level = std::max(max_level, level[n]);
+    }
+    waves.resize(max_level + 1);
+    for (NodeId n : order)
+      if (!subject.is_source(n)) waves[level[n]].push_back(n);
+  }
+
+  unsigned num_threads = resolve_num_threads(options.num_threads);
+  struct alignas(64) WorkerState {
+    CutScratch scratch;
+    /// Flat per-worker canonicalization memo (lazy 64K tables): a node's
+    /// cut functions concentrate into few NPN classes, so the 768-
+    /// transform scan runs once per distinct table per worker.
+    std::vector<std::int32_t> canon;
+    std::vector<NpnTransform> canon_t;
+    std::uint64_t enumerated = 0;
+  };
+  std::vector<WorkerState> workers(num_threads);
+
+  auto canon_of = [&](std::uint16_t tt, WorkerState& w)
+      -> std::pair<std::uint16_t, const NpnTransform&> {
+    if (w.canon.empty()) {
+      w.canon.assign(std::size_t{1} << 16, -1);
+      w.canon_t.resize(std::size_t{1} << 16);
+    }
+    if (w.canon[tt] < 0) w.canon[tt] = npn_canonical(tt, &w.canon_t[tt]);
+    return {static_cast<std::uint16_t>(w.canon[tt]), w.canon_t[tt]};
+  };
+
+  // Candidate union at a node: structural matches first, then NPN
+  // matches of every stored non-trivial cut.  Per-node enumeration order
+  // is deterministic (matcher order, then cut rank order, then library
+  // order), independent of thread count and schedule.
+  auto for_each_candidate = [&](NodeId n, WorkerState& w, auto&& cb) {
+    matcher.for_each_match(n, options.match_class, [&](const MatchView& m) {
+      ++w.enumerated;
+      Candidate c;
+      c.arrival = match_arrival(m, result.label);
+      c.area = m.gate->area;
+      c.gate = m.gate;
+      c.view = &m;
+      cb(c);
+    });
+    const CutSet& cs = cuts[n];
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      CutSet::View cut = cs.cut(i);
+      if (cut.leaves.size() == 1 && cut.leaves[0] == n) continue;  // trivial
+      if (cut.tt == 0x0000 || cut.tt == 0xFFFF) continue;  // constant cone
+      auto [canon, to_canon] = canon_of(cut.tt, w);
+      const std::vector<NpnLibEntry>* bucket = npn->find(canon);
+      if (!bucket) continue;
+      NpnTransform from_canon = npn_inverse(to_canon);
+      for (const NpnLibEntry& e : *bucket) {
+        ++w.enumerated;
+        // cut tt == npn_apply(gate tt, rel) with
+        // rel = compose(gate->canonical, inverse(cut->canonical)).
+        NpnTransform rel = npn_compose(e.to_canonical, from_canon);
+        unsigned ni = e.gate->num_inputs();
+        double arrival = 0.0;
+        double area = e.gate->area;
+        bool valid = true;
+        for (unsigned pin = 0; pin < ni; ++pin) {
+          unsigned leaf_idx = rel.perm[pin];
+          if (leaf_idx >= cut.leaves.size()) {
+            // Pin bound to a padded variable: impossible for full-support
+            // gates when the (support-reduced) tables match.
+            valid = false;
+            break;
+          }
+          double a = result.label[cut.leaves[leaf_idx]];
+          if ((rel.input_negate >> pin) & 1u) {
+            a += inv_delay;
+            area += inv_area;
+          }
+          arrival = std::max(arrival, a + e.gate->pins[pin].delay());
+        }
+        if (!valid) continue;
+        if (rel.output_negate) {
+          arrival += inv_delay;
+          area += inv_area;
+        }
+        Candidate c;
+        c.arrival = arrival;
+        c.area = area;
+        c.gate = e.gate;
+        c.is_npn = true;
+        c.cut_leaves = cut.leaves;
+        c.rel = rel;
+        cb(c);
+      }
+    }
+  };
+
+  auto for_each_pin_leaf = [&](const Candidate& c, auto&& fn) {
+    if (c.is_npn) {
+      unsigned ni = c.gate->num_inputs();
+      for (unsigned pin = 0; pin < ni; ++pin)
+        fn(c.cut_leaves[c.rel.perm[pin]]);
+    } else {
+      for (NodeId leaf : c.view->pin_binding) fn(leaf);
+    }
+  };
+
+  // Runs `body(node, worker)` over every internal node with all fanins
+  // settled, under the selected schedule (barrier between waves).
+  ThreadPool pool(num_threads);
+  auto run_schedule = [&](auto&& body, const char* trace) {
+    if (use_partitions) {
+      for (std::size_t w = 0; w < parts->num_waves(); ++w) {
+        std::span<const PartId> wave = parts->wave(w);
+        pool.parallel_for(
+            wave.size(),
+            [&](std::size_t i, unsigned worker) {
+              for (NodeId n : parts->members(wave[i])) body(n, worker);
+            },
+            trace);
+      }
+    } else {
+      for (const std::vector<NodeId>& wave : waves)
+        pool.parallel_for(
+            wave.size(),
+            [&](std::size_t i, unsigned worker) { body(wave[i], worker); },
+            trace);
+    }
+  };
+
+  // ---- phase 1: priority cuts + delay-optimal labeling, fused ---------
+  {
+    obs::Scope scope("label");
+    run_schedule(
+        [&](NodeId n, unsigned worker) {
+          WorkerState& w = workers[worker];
+          compute_priority_cuts(subject, n, cuts, cut_params,
+                                {result.label, node_af, fanout}, w.scratch,
+                                cuts[n]);
+          double best = kInf, best_area = kInf;
+          const Gate* best_gate = nullptr;
+          for_each_candidate(n, w, [&](const Candidate& c) {
+            // Primary criterion: arrival.  Tie-break: implementation area
+            // (inverters included), then gate name; further ties resolve
+            // first-wins in the deterministic per-node enumeration order.
+            bool take = c.arrival < best - options.epsilon;
+            if (!take && c.arrival < best + options.epsilon) {
+              take = c.area < best_area ||
+                     (c.area == best_area && best_gate != nullptr &&
+                      c.gate->name < best_gate->name);
+            }
+            if (take) {
+              best = c.arrival;
+              best_area = c.area;
+              best_gate = c.gate;
+              fastest[n] = materialize(c);
+            }
+          });
+          DAGMAP_ASSERT_MSG(fastest[n].has_value(),
+                            "no candidate at an internal subject node");
+          result.label[n] = best;
+          double af = best_area;
+          for (NodeId leaf : fastest[n]->pin_binding)
+            if (!subject.is_source(leaf))
+              af += node_af[leaf] / std::max<std::uint32_t>(1, fanout[leaf]);
+          node_af[n] = af;
+        },
+        "cutmap.label");
+    for (const WorkerState& w : workers) result.matches_enumerated += w.enumerated;
+    result.match_attempts = matcher.attempts();
+    result.match_prunes = matcher.pruned();
+    result.truncations = matcher.truncations();
+    if (obs::enabled()) {
+      obs::counter_add("label.waves",
+                       use_partitions ? parts->num_waves() : waves.size());
+      obs::counter_add("label.nodes", subject.num_internal());
+      obs::counter_add("match.enumerated", result.matches_enumerated);
+      std::size_t total_cuts = 0, cut_bytes = 0;
+      for (const CutSet& cs : cuts) {
+        total_cuts += cs.size();
+        cut_bytes += cs.memory_bytes();
+      }
+      obs::counter_add("cutmap.cuts", total_cuts);
+      obs::counter_add("cutmap.cut_bytes", cut_bytes);
+    }
+  }
+
+  for (const Output& o : subject.outputs())
+    result.optimal_delay = std::max(result.optimal_delay, result.label[o.node]);
+  for (NodeId l : subject.latches())
+    result.optimal_delay =
+        std::max(result.optimal_delay, result.label[subject.fanins(l)[0]]);
+
+  std::vector<std::optional<Match>> chosen = fastest;
+
+  // ---- area-recovery rounds (abc-zz LutMap's n_rounds/delay_factor) ---
+  unsigned rounds = std::max(1u, options.rounds);
+  if (rounds > 1) {
+    obs::Scope scope("rounds");
+    double target = result.optimal_delay * std::max(1.0, options.delay_factor);
+    // Reference counts: subject fanouts for the first area round, the
+    // previous round's cover references afterwards.
+    std::vector<std::uint32_t> refs(fanout.begin(), fanout.end());
+    std::vector<double> area_flow(subject.size(), 0.0);
+    std::vector<double> required(subject.size(), kInf);
+    std::vector<std::uint8_t> rneeded(subject.size(), 0);
+
+    if (!options.recycle_cuts) cuts.assign(subject.size(), CutSet{});
+
+    for (unsigned r = 1; r < rounds; ++r) {
+      if (!options.recycle_cuts) {
+        // Recompute the cut sets from the frozen phase-1 ranking inputs:
+        // a node's ranking reads only fanin labels / area-flow values,
+        // all finalized, so the recomputation is bit-identical to the
+        // recycled sets — recycling is a memory/time knob, not a result
+        // knob.
+        run_schedule(
+            [&](NodeId n, unsigned worker) {
+              compute_priority_cuts(subject, n, cuts, cut_params,
+                                    {result.label, node_af, fanout},
+                                    workers[worker].scratch, cuts[n]);
+            },
+            "rounds.cuts");
+      }
+
+      // Forward pass: minimum area flow over all candidates per node,
+      // amortizing leaf costs over the round's reference counts.
+      run_schedule(
+          [&](NodeId n, unsigned worker) {
+            double best = kInf;
+            for_each_candidate(n, workers[worker], [&](const Candidate& c) {
+              double af = c.area;
+              for_each_pin_leaf(c, [&](NodeId leaf) {
+                if (!subject.is_source(leaf))
+                  af += area_flow[leaf] /
+                        std::max<std::uint32_t>(1, refs[leaf]);
+              });
+              best = std::min(best, af);
+            });
+            area_flow[n] = best;
+          },
+          "rounds.area_flow");
+
+      // Backward pass: needed nodes re-select the minimum-area-flow
+      // candidate meeting their required time, then tighten the leaves'
+      // required times.  The fastest candidate always qualifies
+      // (required >= label holds inductively from target >= optimal), so
+      // the delay bound survives every round.
+      std::fill(required.begin(), required.end(), kInf);
+      std::fill(rneeded.begin(), rneeded.end(), 0);
+      auto endpoint = [&](NodeId n) {
+        required[n] = std::min(required[n], target);
+        if (!subject.is_source(n)) rneeded[n] = 1;
+      };
+      for (const Output& o : subject.outputs()) endpoint(o.node);
+      for (NodeId l : subject.latches()) endpoint(subject.fanins(l)[0]);
+
+      std::uint64_t reselected = 0;
+      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        NodeId n = *it;
+        if (!rneeded[n]) continue;
+        double pick_af = kInf, pick_arrival = kInf, pick_area = kInf;
+        const Gate* pick_gate = nullptr;
+        bool have = false;
+        Match pick;
+        for_each_candidate(n, workers[0], [&](const Candidate& c) {
+          if (c.arrival > required[n] + options.epsilon) return;
+          double af = c.area;
+          for_each_pin_leaf(c, [&](NodeId leaf) {
+            if (!subject.is_source(leaf))
+              af += area_flow[leaf] / std::max<std::uint32_t>(1, refs[leaf]);
+          });
+          bool take = !have || af < pick_af - options.epsilon;
+          if (!take && af < pick_af + options.epsilon) {
+            take = c.arrival < pick_arrival - options.epsilon;
+            if (!take && c.arrival < pick_arrival + options.epsilon)
+              take = c.area < pick_area ||
+                     (c.area == pick_area && pick_gate != nullptr &&
+                      c.gate->name < pick_gate->name);
+          }
+          if (take) {
+            have = true;
+            pick_af = af;
+            pick_arrival = c.arrival;
+            pick_area = c.area;
+            pick_gate = c.gate;
+            pick = materialize(c);
+          }
+        });
+        DAGMAP_ASSERT_MSG(have,
+                          "required time unreachable during an area round");
+        ++reselected;
+        for (std::size_t pin = 0; pin < pick.pin_binding.size(); ++pin) {
+          NodeId leaf = pick.pin_binding[pin];
+          double req = required[n] - pick.gate->pins[pin].delay();
+          if (pick.output_negate) req -= inv_delay;
+          if ((pick.input_negate >> pin) & 1u) req -= inv_delay;
+          required[leaf] = std::min(required[leaf], req);
+          if (!subject.is_source(leaf)) rneeded[leaf] = 1;
+        }
+        chosen[n] = std::move(pick);
+      }
+      obs::counter_add("rounds.nodes_reselected", reselected);
+
+      if (r + 1 < rounds) {
+        std::fill(refs.begin(), refs.end(), 0);
+        for (NodeId n = 0; n < subject.size(); ++n) {
+          if (!rneeded[n]) continue;
+          for (NodeId leaf : chosen[n]->pin_binding) ++refs[leaf];
+        }
+      }
+    }
+    if (!options.recycle_cuts) cuts.assign(subject.size(), CutSet{});
+  }
+
+  // ---- cover: shared mark/emit split (inverter-aware emission) --------
+  std::vector<std::uint8_t> needed;
+  {
+    obs::Scope scope("cover");
+    {
+      obs::Scope mark_scope("cover.mark");
+      needed = use_partitions
+                   ? mark_cover_partitioned(subject, chosen, *parts, pool)
+                   : mark_cover(subject, chosen);
+    }
+    result.netlist = emit_cover(subject, chosen, needed, {}, inv_gate);
+  }
+
+  // ---- duplication accounting -----------------------------------------
+  {
+    obs::Scope scope("stats");
+    std::vector<std::uint32_t> covered_count(subject.size(), 0);
+    std::vector<NodeId> walk;
+    for (NodeId n = 0; n < subject.size(); ++n) {
+      if (!needed[n] || subject.is_source(n)) continue;
+      Match& m = *chosen[n];
+      if (m.covered.empty()) {
+        // NPN matches carry no covered list; derive one by walking the
+        // cone from the root down to the pin leaves.  Support-reduced
+        // cuts can expose structurally large vacuous cones, so the walk
+        // is capped — this feeds statistics only, never the cover.
+        walk.assign(1, n);
+        while (!walk.empty() && m.covered.size() < 256) {
+          NodeId u = walk.back();
+          walk.pop_back();
+          if (std::find(m.covered.begin(), m.covered.end(), u) !=
+              m.covered.end())
+            continue;
+          m.covered.push_back(u);
+          for (NodeId f : subject.fanins(u)) {
+            if (subject.is_source(f)) continue;
+            if (std::find(m.pin_binding.begin(), m.pin_binding.end(), f) ==
+                m.pin_binding.end())
+              walk.push_back(f);
+          }
+        }
+      }
+      for (NodeId c : m.covered) ++covered_count[c];
+    }
+    for (NodeId n = 0; n < subject.size(); ++n) {
+      if (covered_count[n] == 0) continue;
+      result.covered_instances += covered_count[n];
+      ++result.covered_distinct;
+      if (covered_count[n] >= 2) ++result.duplicated_nodes;
+    }
+    obs::counter_add("cover.nodes_duplicated", result.duplicated_nodes);
+    obs::counter_add("cover.covered_instances", result.covered_instances);
+  }
+
+  result.cpu_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (options.profile) {
+    if (own_session) obs::stop();
+    result.profile = obs::collect();
+  }
+  return result;
+}
+
+}  // namespace dagmap

@@ -1,0 +1,280 @@
+#include "cutmap/cut_set.hpp"
+
+#include <algorithm>
+
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+namespace {
+
+// A fanin's cut list: stored CutSet for internal nodes (trivial cut
+// last by construction), a synthesized trivial self-cut for sources.
+struct FaninCuts {
+  const CutSet* set = nullptr;
+  NodeId self = 0;
+
+  std::size_t size() const { return set ? set->size() : 1; }
+  CutSet::View cut(std::size_t i) const {
+    if (set) return set->cut(i);
+    return {{&self, 1}, 0xAAAA};  // variable 0, replicated to 4 vars
+  }
+};
+
+// Merges two sorted leaf spans into `out`; false if the union exceeds k.
+bool merge_leaves(std::span<const NodeId> a, std::span<const NodeId> b,
+                  unsigned k, std::vector<NodeId>& out) {
+  std::size_t start = out.size();
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    NodeId next;
+    if (j >= b.size() || (i < a.size() && a[i] < b[j]))
+      next = a[i++];
+    else if (i >= a.size() || b[j] < a[i])
+      next = b[j++];
+    else {
+      next = a[i];
+      ++i;
+      ++j;
+    }
+    if (out.size() - start == k) {
+      out.resize(start);
+      return false;
+    }
+    out.push_back(next);
+  }
+  return true;
+}
+
+// Minterm `m` over the merged leaves, re-indexed to a parent cut's
+// variable order (parent leaves are a subset of the merged leaves; both
+// sorted).
+unsigned parent_minterm(unsigned m, std::span<const NodeId> merged,
+                        std::span<const NodeId> parent) {
+  unsigned p = 0;
+  for (std::size_t j = 0; j < parent.size(); ++j) {
+    std::size_t pos =
+        std::lower_bound(merged.begin(), merged.end(), parent[j]) -
+        merged.begin();
+    p |= ((m >> pos) & 1u) << j;
+  }
+  return p;
+}
+
+// Replicates a table over `sz` variables to the 4-variable pack_tt4
+// layout (don't-care variables duplicated).
+std::uint16_t replicate4(std::uint16_t tt, unsigned sz) {
+  for (unsigned v = sz; v < 4; ++v)
+    tt = static_cast<std::uint16_t>(tt | (tt << (1u << v)));
+  return tt;
+}
+
+// Drops leaves the function does not depend on, compacting the table
+// (over |leaves| variables, unreplicated) in place.
+void support_reduce(std::vector<NodeId>& leaves, std::uint16_t& tt) {
+  unsigned sz = static_cast<unsigned>(leaves.size());
+  for (unsigned v = 0; v < sz;) {
+    bool depends = false;
+    for (unsigned m = 0; m < (1u << sz); ++m) {
+      if ((m >> v) & 1u) continue;
+      if (((tt >> m) & 1u) != ((tt >> (m | (1u << v))) & 1u)) {
+        depends = true;
+        break;
+      }
+    }
+    if (depends) {
+      ++v;
+      continue;
+    }
+    std::uint16_t reduced = 0;
+    unsigned out_m = 0;
+    for (unsigned m = 0; m < (1u << sz); ++m) {
+      if ((m >> v) & 1u) continue;
+      if ((tt >> m) & 1u) reduced |= static_cast<std::uint16_t>(1u << out_m);
+      ++out_m;
+    }
+    tt = reduced;
+    leaves.erase(leaves.begin() + v);
+    --sz;
+  }
+}
+
+}  // namespace
+
+void compute_priority_cuts(const Network& net, NodeId n,
+                           std::span<const CutSet> cuts,
+                           const PriorityCutParams& params,
+                           const CutRankInputs& rank, CutScratch& scratch,
+                           CutSet& out) {
+  DAGMAP_ASSERT(!net.is_source(n));
+  DAGMAP_ASSERT(params.cut_size >= 2 && params.cut_size <= 4);
+  auto fanins = net.fanins(n);
+  DAGMAP_ASSERT_MSG(fanins.size() >= 1 && fanins.size() <= 2,
+                    "priority cuts expect a NAND2/INV subject graph");
+
+  out.clear();
+  scratch.candidates.clear();
+  scratch.leaf_pool.clear();
+  scratch.order.clear();
+
+  FaninCuts fa, fb;
+  fa.self = fanins[0];
+  if (!net.is_source(fanins[0])) fa.set = &cuts[fanins[0]];
+  bool binary = fanins.size() == 2;
+  if (binary) {
+    fb.self = fanins[1];
+    if (!net.is_source(fanins[1])) fb.set = &cuts[fanins[1]];
+  }
+
+  // 1. Candidates: all fanin cut pairs whose leaf union fits cut_size.
+  for (std::size_t ia = 0; ia < fa.size(); ++ia) {
+    CutSet::View ca = fa.cut(ia);
+    for (std::size_t ib = 0; ib < (binary ? fb.size() : 1); ++ib) {
+      CutScratch::Candidate cand;
+      cand.leaf_begin = static_cast<std::uint32_t>(scratch.leaf_pool.size());
+      bool fits;
+      if (binary) {
+        CutSet::View cb = fb.cut(ib);
+        fits = merge_leaves(ca.leaves, cb.leaves, params.cut_size,
+                            scratch.leaf_pool);
+      } else {
+        fits = ca.leaves.size() <= params.cut_size;
+        if (fits)
+          scratch.leaf_pool.insert(scratch.leaf_pool.end(), ca.leaves.begin(),
+                                   ca.leaves.end());
+      }
+      if (!fits) continue;
+      cand.num_leaves = static_cast<std::uint8_t>(scratch.leaf_pool.size() -
+                                                  cand.leaf_begin);
+      cand.parent_a = static_cast<std::uint16_t>(ia);
+      cand.parent_b = static_cast<std::uint16_t>(ib);
+      scratch.candidates.push_back(cand);
+    }
+  }
+
+  auto leaves_of = [&](const CutScratch::Candidate& c) {
+    return std::span<const NodeId>(scratch.leaf_pool.data() + c.leaf_begin,
+                                   c.num_leaves);
+  };
+  auto lex_less = [&](std::span<const NodeId> a, std::span<const NodeId> b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+  };
+  auto is_subset = [](std::span<const NodeId> small,
+                      std::span<const NodeId> big) {
+    std::size_t j = 0;
+    for (NodeId x : small) {
+      while (j < big.size() && big[j] < x) ++j;
+      if (j == big.size() || big[j] != x) return false;
+      ++j;
+    }
+    return true;
+  };
+
+  // 2. Dedup identical leaf sets (same leaves => same cone function) and
+  // 3. drop dominated candidates (a strict subset cut exists).  Sorting
+  // by (size, leaves) makes every potential dominator precede its
+  // victims, so one forward scan settles both.
+  for (std::uint32_t i = 0; i < scratch.candidates.size(); ++i)
+    scratch.order.push_back(i);
+  std::sort(scratch.order.begin(), scratch.order.end(),
+            [&](std::uint32_t x, std::uint32_t y) {
+              const auto& cx = scratch.candidates[x];
+              const auto& cy = scratch.candidates[y];
+              if (cx.num_leaves != cy.num_leaves)
+                return cx.num_leaves < cy.num_leaves;
+              return lex_less(leaves_of(cx), leaves_of(cy));
+            });
+  std::vector<std::uint32_t> kept;
+  for (std::uint32_t idx : scratch.order) {
+    std::span<const NodeId> l = leaves_of(scratch.candidates[idx]);
+    bool drop = false;
+    for (std::uint32_t k : kept) {
+      std::span<const NodeId> kl = leaves_of(scratch.candidates[k]);
+      if (kl.size() > l.size()) break;  // kept is size-sorted
+      if (is_subset(kl, l)) {           // equality included (dedup)
+        drop = true;
+        break;
+      }
+    }
+    if (!drop) kept.push_back(idx);
+  }
+
+  // 4. Ranking inputs per survivor.
+  for (std::uint32_t idx : kept) {
+    auto& c = scratch.candidates[idx];
+    double arrival = 0.0;
+    double af = 1.0;
+    for (NodeId leaf : leaves_of(c)) {
+      arrival = std::max(arrival, rank.arrival[leaf]);
+      if (leaf < rank.area_flow.size() && !net.is_source(leaf))
+        af += rank.area_flow[leaf] /
+              std::max<std::uint32_t>(1, rank.fanout[leaf]);
+    }
+    c.arrival = arrival;
+    c.area_flow = af;
+  }
+
+  // 5. Rank sort: (arrival, area flow, size, leaves) — leaves are unique
+  // after dedup, so the order is total and deterministic.
+  std::sort(kept.begin(), kept.end(), [&](std::uint32_t x, std::uint32_t y) {
+    const auto& cx = scratch.candidates[x];
+    const auto& cy = scratch.candidates[y];
+    if (cx.arrival != cy.arrival) return cx.arrival < cy.arrival;
+    if (cx.area_flow != cy.area_flow) return cx.area_flow < cy.area_flow;
+    if (cx.num_leaves != cy.num_leaves) return cx.num_leaves < cy.num_leaves;
+    return lex_less(leaves_of(cx), leaves_of(cy));
+  });
+
+  // 6. Truncate to the priority budget.
+  if (kept.size() > params.cut_count) kept.resize(params.cut_count);
+
+  // 7.–8. Truth tables for the survivors only, incrementally from the
+  // parent cuts' tables (minterm expansion; NAND2 = ~(a & b), INV = ~a),
+  // then support reduction.
+  std::vector<NodeId> reduced_leaves;
+  std::vector<std::vector<NodeId>> final_leaves;
+  std::vector<std::uint16_t> final_tts;
+  for (std::uint32_t idx : kept) {
+    const auto& c = scratch.candidates[idx];
+    std::span<const NodeId> merged = leaves_of(c);
+    CutSet::View ca = fa.cut(c.parent_a);
+    std::uint16_t tt = 0;
+    unsigned sz = static_cast<unsigned>(merged.size());
+    if (binary) {
+      CutSet::View cb = fb.cut(c.parent_b);
+      for (unsigned m = 0; m < (1u << sz); ++m) {
+        unsigned pa = parent_minterm(m, merged, ca.leaves);
+        unsigned pb = parent_minterm(m, merged, cb.leaves);
+        bool a_bit = (ca.tt >> pa) & 1u;
+        bool b_bit = (cb.tt >> pb) & 1u;
+        if (!(a_bit && b_bit)) tt |= static_cast<std::uint16_t>(1u << m);
+      }
+    } else {
+      for (unsigned m = 0; m < (1u << sz); ++m) {
+        unsigned pa = parent_minterm(m, merged, ca.leaves);
+        if (!((ca.tt >> pa) & 1u)) tt |= static_cast<std::uint16_t>(1u << m);
+      }
+    }
+    reduced_leaves.assign(merged.begin(), merged.end());
+    support_reduce(reduced_leaves, tt);
+    final_leaves.push_back(reduced_leaves);
+    final_tts.push_back(
+        replicate4(tt, static_cast<unsigned>(reduced_leaves.size())));
+  }
+
+  // 9. Support reduction can re-introduce duplicates/domination among the
+  // survivors; one last rank-order scan keeps the set irredundant.
+  for (std::size_t i = 0; i < final_leaves.size(); ++i) {
+    bool drop = false;
+    for (std::size_t j = 0; j < i && !drop; ++j)
+      if (!final_leaves[j].empty() || final_leaves[i].empty())
+        drop = is_subset(final_leaves[j], final_leaves[i]);
+    if (!drop) out.add(final_leaves[i], final_tts[i]);
+  }
+
+  // 10. The trivial cut, last and outside the budget.
+  out.add(std::span<const NodeId>(&n, 1), 0xAAAA);
+}
+
+}  // namespace dagmap

@@ -1,0 +1,133 @@
+// Bounded priority-cut sets (abc-zz LutMap / ABC's priority cuts).
+//
+// Exhaustive k-feasible enumeration (cuts.hpp) is exact but its per-node
+// cut count grows combinatorially with reconvergence; at production
+// scale the standard answer is to keep only the best C cuts per node
+// under a cost ranking and merge fanin *priority* sets instead of full
+// sets.  The ranking here is lexicographic
+//
+//     (cut arrival, estimated area flow, leaf count, leaves)
+//
+// where cut arrival is the worst leaf label (gate-independent — pin
+// delays enter later, at match selection) and the area-flow estimate
+// amortizes each leaf's best-cover area over its fanout count.  The
+// final `leaves` component makes the order total, so the surviving set
+// is a pure function of the fanin sets and the ranking inputs — never of
+// scratch state or thread schedule.
+//
+// Storage is arena-style: each `CutSet` holds one entry array (leaf
+// offset/count + the cut's 4-variable truth table) over one pooled leaf
+// array, both in ranking order with the trivial cut {n} appended last
+// (outside the C budget, like abc).  Truth tables are computed only for
+// ranking survivors, incrementally from the parent cuts' tables (a
+// 2^|cut| minterm expansion instead of a cone walk), then
+// support-reduced: leaves the function does not depend on are dropped,
+// which both tightens future dominance pruning and frees the NPN match
+// from vacuous variables.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+/// Knobs for `compute_priority_cuts`.
+struct PriorityCutParams {
+  /// Maximum leaves per cut (2..4 — bounded by the 16-bit truth tables
+  /// and the NPN machinery).
+  unsigned cut_size = 4;
+  /// Priority cuts kept per node, trivial cut excluded.
+  unsigned cut_count = 8;
+};
+
+/// Per-node ranking inputs (all indexed by NodeId; spans may alias the
+/// mapper's live arrays — only fanin entries are read).
+struct CutRankInputs {
+  /// Arrival label of every node (leaf labels are settled when a node's
+  /// cuts are computed).
+  std::span<const double> arrival;
+  /// Estimated area flow of every node's best cover (may be empty: all
+  /// zeros, which degrades the secondary ranking criterion only).
+  std::span<const double> area_flow;
+  /// Subject fanout counts (amortization denominators).
+  std::span<const std::uint32_t> fanout;
+};
+
+/// One node's priority cuts: ranking order, trivial cut last.
+class CutSet {
+ public:
+  struct View {
+    std::span<const NodeId> leaves;  ///< sorted ascending
+    std::uint16_t tt;  ///< function over `leaves` as vars 0..|leaves|-1,
+                       ///< replicated to 4 variables (pack_tt4 layout)
+  };
+
+  std::size_t size() const { return entries_.size(); }
+
+  View cut(std::size_t i) const {
+    const Entry& e = entries_[i];
+    return {{pool_.data() + e.leaf_begin, e.num_leaves}, e.tt};
+  }
+
+  void add(std::span<const NodeId> leaves, std::uint16_t tt) {
+    entries_.push_back({static_cast<std::uint32_t>(pool_.size()), tt,
+                        static_cast<std::uint8_t>(leaves.size())});
+    pool_.insert(pool_.end(), leaves.begin(), leaves.end());
+  }
+
+  void clear() {
+    entries_.clear();
+    pool_.clear();
+  }
+
+  /// Bytes held (capacity accounting for the mapper's memory counters).
+  std::size_t memory_bytes() const {
+    return entries_.capacity() * sizeof(Entry) +
+           pool_.capacity() * sizeof(NodeId);
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t leaf_begin;
+    std::uint16_t tt;
+    std::uint8_t num_leaves;
+  };
+  std::vector<Entry> entries_;
+  std::vector<NodeId> pool_;
+};
+
+/// Reusable per-worker scratch for `compute_priority_cuts` (candidate
+/// buffers; contents carry no information across calls).
+struct CutScratch {
+  struct Candidate {
+    std::uint32_t leaf_begin = 0;
+    std::uint8_t num_leaves = 0;
+    /// Parent cut indices in the fanin CutSets (trivial-extended: index
+    /// == fanin_set.size() means the fanin's trivial self-cut when the
+    /// set lacks one — sources have it stored, internals store it last).
+    std::uint16_t parent_a = 0;
+    std::uint16_t parent_b = 0;
+    std::uint16_t tt = 0;
+    double arrival = 0.0;
+    double area_flow = 0.0;
+  };
+  std::vector<Candidate> candidates;
+  std::vector<NodeId> leaf_pool;
+  std::vector<std::uint32_t> order;  ///< candidate indices being ranked
+};
+
+/// Computes the priority cuts of internal node `n` into `out`
+/// (cleared first).  `cuts` spans all nodes; the fanin entries must be
+/// finished.  Source fanins are treated as having exactly their trivial
+/// cut.  Deterministic: the result depends only on (net, n, fanin cut
+/// sets, params, rank inputs).
+void compute_priority_cuts(const Network& net, NodeId n,
+                           std::span<const CutSet> cuts,
+                           const PriorityCutParams& params,
+                           const CutRankInputs& rank, CutScratch& scratch,
+                           CutSet& out);
+
+}  // namespace dagmap

@@ -1,4 +1,4 @@
-#include "lutmap/cuts.hpp"
+#include "cutmap/cuts.hpp"
 
 #include <unordered_map>
 
@@ -6,9 +6,6 @@
 
 namespace dagmap {
 
-namespace {
-
-// Merges two sorted cuts; returns false if the union exceeds k leaves.
 bool merge_cuts(const Cut& a, const Cut& b, unsigned k, Cut& out) {
   out.clear();
   std::size_t i = 0, j = 0;
@@ -29,7 +26,7 @@ bool merge_cuts(const Cut& a, const Cut& b, unsigned k, Cut& out) {
   return true;
 }
 
-bool is_subset(const Cut& small, const Cut& big) {
+bool cut_is_subset(const Cut& small, const Cut& big) {
   std::size_t j = 0;
   for (NodeId x : small) {
     while (j < big.size() && big[j] < x) ++j;
@@ -39,16 +36,13 @@ bool is_subset(const Cut& small, const Cut& big) {
   return true;
 }
 
-// Adds `c` to `cuts` unless dominated; removes cuts it dominates.
-void add_cut(std::vector<Cut>& cuts, Cut c) {
+void add_cut_pruned(std::vector<Cut>& cuts, Cut c) {
   for (const Cut& existing : cuts)
-    if (is_subset(existing, c)) return;  // dominated
-  std::erase_if(cuts,
-                [&](const Cut& existing) { return is_subset(c, existing); });
+    if (cut_is_subset(existing, c)) return;  // dominated
+  std::erase_if(
+      cuts, [&](const Cut& existing) { return cut_is_subset(c, existing); });
   cuts.push_back(std::move(c));
 }
-
-}  // namespace
 
 std::vector<std::vector<Cut>> enumerate_cuts(const Network& net, unsigned k) {
   std::vector<std::vector<Cut>> cuts(net.size());
@@ -60,7 +54,7 @@ std::vector<std::vector<Cut>> enumerate_cuts(const Network& net, unsigned k) {
     auto fanins = net.fanins(n);
     std::vector<Cut> result;
     if (fanins.size() == 1) {
-      for (const Cut& c : cuts[fanins[0]]) add_cut(result, c);
+      for (const Cut& c : cuts[fanins[0]]) add_cut_pruned(result, c);
     } else {
       std::vector<Cut> acc = cuts[fanins[0]];
       Cut merged;
@@ -68,12 +62,12 @@ std::vector<std::vector<Cut>> enumerate_cuts(const Network& net, unsigned k) {
         std::vector<Cut> next;
         for (const Cut& a : acc)
           for (const Cut& b : cuts[fanins[f]])
-            if (merge_cuts(a, b, k, merged)) add_cut(next, merged);
+            if (merge_cuts(a, b, k, merged)) add_cut_pruned(next, merged);
         acc = std::move(next);
       }
       result = std::move(acc);
     }
-    add_cut(result, {n});  // the trivial cut
+    add_cut_pruned(result, {n});  // the trivial cut
     cuts[n] = std::move(result);
   }
   return cuts;

@@ -1,0 +1,46 @@
+// k-feasible cut enumeration and cone functions — the shared cut
+// infrastructure underneath FlowMap's CutEnum engine (lutmap/), the
+// Boolean-matching mapper (boolmatch/), and the priority-cut engine
+// (cutmap/cut_set.hpp).
+//
+// Two enumeration styles live on top of the helpers here:
+//   * `enumerate_cuts` — the historical exhaustive, dominance-pruned
+//     enumeration (exact; every k-feasible cut survives unless a strict
+//     subset cut exists).  Cost grows combinatorially with k and
+//     reconvergence; fine up to medium subjects, reference semantics for
+//     tests.
+//   * `CutSet`/`compute_priority_cuts` (cut_set.hpp) — bounded
+//     priority-cut enumeration keeping the best C cuts per node under a
+//     (delay, area-flow, size) ranking; the production engine.
+#pragma once
+
+#include <vector>
+
+#include "netlist/network.hpp"
+
+namespace dagmap {
+
+/// A cut: sorted list of leaf nodes.
+using Cut = std::vector<NodeId>;
+
+/// Merges two sorted cuts into `out`; returns false (leaving `out` in an
+/// unspecified state) if the union exceeds k leaves.
+bool merge_cuts(const Cut& a, const Cut& b, unsigned k, Cut& out);
+
+/// True iff every leaf of `small` appears in `big` (both sorted).
+bool cut_is_subset(const Cut& small, const Cut& big);
+
+/// Adds `c` to `cuts` unless an existing cut dominates it (is a subset);
+/// removes cuts `c` dominates.
+void add_cut_pruned(std::vector<Cut>& cuts, Cut c);
+
+/// Exhaustive k-feasible cuts of every node (dominance-pruned; exact).
+/// Sources get their trivial cut; internal nodes include the trivial cut
+/// {n} last-added.
+std::vector<std::vector<Cut>> enumerate_cuts(const Network& net, unsigned k);
+
+/// Function of node `t` over the leaves of `cut` (|cut| <= 16): truth
+/// table variable i corresponds to cut[i].
+TruthTable cone_function(const Network& net, NodeId t, const Cut& cut);
+
+}  // namespace dagmap

@@ -25,6 +25,8 @@
 #include "check/shrink.hpp"
 #include "core/dag_mapper.hpp"
 #include "core/partition.hpp"
+#include "cutmap/cut_mapper.hpp"
+#include "cutmap/cuts.hpp"
 #include "decomp/isop.hpp"
 #include "decomp/lowering.hpp"
 #include "decomp/tech_decomp.hpp"

@@ -506,6 +506,24 @@ LibraryLoadResult load_compiled_library_file(const std::string& path) {
   return deserialize_compiled_library(ss.str());
 }
 
+NpnLibraryIndex npn_index_from_compiled(const CompiledLibrary& lib) {
+  // Hint vector: each gate's stored class key, when it is a genuine
+  // 4-variable NPN-canonical representative (supergate classes of 5-6
+  // leaves key by their raw table — no hint, the index falls back to the
+  // full scan, and gates that wide are skipped by the index anyway).
+  std::vector<std::uint32_t> hints(lib.library.size(),
+                                   NpnLibraryIndex::kNoHint);
+  for (std::size_t i = 0;
+       i < lib.npn_class_of.size() && i < hints.size(); ++i) {
+    std::uint32_t cls = lib.npn_class_of[i];
+    if (cls == kNoNpnClass) continue;
+    const CanonKey& key = lib.npn_classes[cls].key;
+    if (key.num_vars == kNpnMaxVars)
+      hints[i] = static_cast<std::uint32_t>(key.tt);
+  }
+  return NpnLibraryIndex(lib.library, hints);
+}
+
 bool validate_compiled_library(const CompiledLibrary& lib,
                                std::string_view genlib_text,
                                const LibCompileOptions& options,

@@ -35,6 +35,7 @@
 #include <string_view>
 #include <vector>
 
+#include "boolmatch/npn_index.hpp"
 #include "io/genlib.hpp"
 #include "library/gate_library.hpp"
 #include "match/pattern_index.hpp"
@@ -144,6 +145,14 @@ void save_compiled_library_file(const CompiledLibrary& lib,
 /// Reads and parses an artifact file.  Missing/unreadable files report
 /// through the error result like any other load failure.
 LibraryLoadResult load_compiled_library_file(const std::string& path);
+
+/// Builds the NPN library index the priority-cut backend consumes
+/// (CutMapOptions::npn_index), seeding each gate's canonicalization with
+/// the compiled bundle's stored NPN class keys: classes of <= 4
+/// variables are true NPN-canonical representatives, so the 768-
+/// transform minimum scan collapses to an early-exiting search.
+/// Bit-identical to `NpnLibraryIndex(lib.library)` built from scratch.
+NpnLibraryIndex npn_index_from_compiled(const CompiledLibrary& lib);
 
 /// Freshness check: true iff `lib` was compiled from exactly this
 /// source text under exactly these key options.  On mismatch, `why`

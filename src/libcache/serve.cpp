@@ -9,6 +9,7 @@
 
 #include "core/dag_mapper.hpp"
 #include "core/parallel.hpp"
+#include "cutmap/cut_mapper.hpp"
 #include "decomp/tech_decomp.hpp"
 #include "io/blif.hpp"
 #include "libcache/json.hpp"
@@ -33,6 +34,13 @@ struct Request {
   bool area_recovery = false;
   bool verify = false;
   bool profile = false;
+  /// "structural" (dag_map, the default) or "cuts" (the priority-cut
+  /// Boolean engine) with its knobs.
+  bool cut_backend = false;
+  unsigned cut_size = 4;
+  unsigned cut_count = 8;
+  unsigned rounds = 1;
+  double delay_factor = 1.0;
 };
 
 struct Slot {
@@ -82,6 +90,26 @@ bool parse_request(const std::string& line, const ServeOptions& sopt,
       slot.req.area_recovery = o->get_bool("area_recovery", false);
       slot.req.verify = o->get_bool("verify", false);
       slot.req.profile = o->get_bool("profile", false);
+      std::string backend = o->get_string("backend", "structural");
+      if (backend == "cuts") slot.req.cut_backend = true;
+      else if (backend != "structural")
+        throw libcache::FormatError("bad \"backend\" value " + backend);
+      double cut_size = o->get_number("cut_size", slot.req.cut_size);
+      if (cut_size < 2 || cut_size > 4)
+        throw libcache::FormatError("bad \"cut_size\" (want 2..4)");
+      slot.req.cut_size = static_cast<unsigned>(cut_size);
+      double cut_count = o->get_number("cut_count", slot.req.cut_count);
+      if (cut_count < 1 || cut_count > 64)
+        throw libcache::FormatError("bad \"cut_count\" (want 1..64)");
+      slot.req.cut_count = static_cast<unsigned>(cut_count);
+      double rounds = o->get_number("rounds", slot.req.rounds);
+      if (rounds < 1 || rounds > 16)
+        throw libcache::FormatError("bad \"rounds\" (want 1..16)");
+      slot.req.rounds = static_cast<unsigned>(rounds);
+      slot.req.delay_factor =
+          o->get_number("delay_factor", slot.req.delay_factor);
+      if (slot.req.delay_factor < 1.0 || slot.req.delay_factor > 100.0)
+        throw libcache::FormatError("bad \"delay_factor\" (want >= 1)");
     }
     return true;
   } catch (const std::exception& e) {
@@ -99,13 +127,32 @@ std::string handle_request(const Slot& slot) {
   Network circuit = parse_blif(req.circuit);
   Network subject = tech_decompose(circuit);
 
-  DagMapOptions mopt;
-  mopt.match_class = req.match_class;
-  mopt.area_recovery = req.area_recovery;
-  mopt.num_threads = 1;
-  mopt.profile = req.profile;
-  mopt.pattern_index = &slot.lib->index;
-  MapResult result = dag_map(subject, slot.lib->library, mopt);
+  MapResult result;
+  if (req.cut_backend) {
+    CutMapOptions copt;
+    copt.match_class = req.match_class;
+    copt.cut_size = req.cut_size;
+    copt.cut_count = req.cut_count;
+    copt.rounds = req.rounds;
+    copt.delay_factor = req.delay_factor;
+    copt.num_threads = 1;
+    copt.profile = req.profile;
+    copt.pattern_index = &slot.lib->index;
+    // Per-request index build, seeded by the compiled bundle's stored
+    // NPN classes (cheap: early-exiting transform search per gate), so
+    // concurrent batch workers never share mutable state.
+    NpnLibraryIndex npn = npn_index_from_compiled(*slot.lib);
+    copt.npn_index = &npn;
+    result = cut_map(subject, slot.lib->library, copt);
+  } else {
+    DagMapOptions mopt;
+    mopt.match_class = req.match_class;
+    mopt.area_recovery = req.area_recovery;
+    mopt.num_threads = 1;
+    mopt.profile = req.profile;
+    mopt.pattern_index = &slot.lib->index;
+    result = dag_map(subject, slot.lib->library, mopt);
+  }
 
   bool verified = false;
   if (req.verify) {
@@ -130,6 +177,7 @@ std::string handle_request(const Slot& slot) {
   out += ", \"blif\": " + json_quote(write_mapped_blif(result.netlist));
   out += ", \"library\": " + json_quote(slot.lib->library.name());
   out += ", \"cache\": " + json_quote(slot.cache_source);
+  if (req.cut_backend) out += ", \"backend\": \"cuts\"";
   if (verified) out += ", \"verified\": true";
   if (req.profile && result.profile.collected)
     out += ", \"profile\": " + json_quote(result.profile.summary());

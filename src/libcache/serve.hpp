@@ -9,12 +9,18 @@
 //              "options": {"supergates": 0,         // compile: depth
 //                          "match": "standard",     // map: standard|extended
 //                          "area_recovery": false,
+//                          "backend": "structural", // or "cuts":
+//                          "cut_size": 4,           //   priority-cut
+//                          "cut_count": 8,          //   engine knobs
+//                          "rounds": 1,             //   (cutmap/)
+//                          "delay_factor": 1.0,
 //                          "verify": false,         // equivalence-check
 //                          "profile": false}}       // per-request obs
 //   response: {"ok": true, "id": N, "delay": ..., "area": ...,
 //              "gates": N, "subject_nodes": N,
 //              "structural_hash": "0x...", "blif": "<mapped BLIF>",
 //              "library": "<name>", "cache": "memory|artifact|compiled",
+//              "backend": "cuts",                   // cut-backend requests
 //              "profile": "<summary>"}              // when requested
 //   error:    {"ok": false, "id": N, "error": "<message>"}
 //

@@ -1,23 +1,6 @@
-// k-feasible cut enumeration and cone functions — shared by FlowMap's
-// CutEnum engine and the Boolean-matching mapper.
+// Forwarding header: the cut infrastructure moved to cutmap/ when the
+// priority-cut Boolean backend landed (FlowMap, boolmatch and cutmap all
+// share it).  Kept so historical includes keep compiling.
 #pragma once
 
-#include <vector>
-
-#include "netlist/network.hpp"
-
-namespace dagmap {
-
-/// A cut: sorted list of leaf nodes.
-using Cut = std::vector<NodeId>;
-
-/// Exhaustive k-feasible cuts of every node (dominance-pruned; exact).
-/// Sources get their trivial cut; internal nodes include the trivial cut
-/// {n} last-added.
-std::vector<std::vector<Cut>> enumerate_cuts(const Network& net, unsigned k);
-
-/// Function of node `t` over the leaves of `cut` (|cut| <= 16): truth
-/// table variable i corresponds to cut[i].
-TruthTable cone_function(const Network& net, NodeId t, const Cut& cut);
-
-}  // namespace dagmap
+#include "cutmap/cuts.hpp"  // IWYU pragma: export

@@ -45,7 +45,7 @@ std::vector<std::uint8_t> mark_cover(
 MappedNetlist emit_cover(const Network& subject,
                          std::span<const std::optional<Match>> chosen,
                          std::span<const std::uint8_t> needed,
-                         std::string name) {
+                         std::string name, const Gate* inverter) {
   obs::Scope obs_scope("cover.emit");
   DAGMAP_ASSERT(chosen.size() == subject.size());
   DAGMAP_ASSERT(needed.size() == subject.size());
@@ -61,6 +61,16 @@ MappedNetlist emit_cover(const Network& subject,
               fanin_edges + subject.num_latches());
 
   std::vector<InstId> inst_of(subject.size(), kNullInst);
+  // Negated phase of a leaf, created on first use by the topologically
+  // first gate that reads it (so the order stays schedule-independent).
+  std::vector<InstId> inv_of(subject.size(), kNullInst);
+  auto negated = [&](NodeId leaf) {
+    DAGMAP_ASSERT_MSG(inverter != nullptr,
+                      "negated match pin without an inverter gate");
+    if (inv_of[leaf] == kNullInst)
+      inv_of[leaf] = out.add_gate(inverter, {inst_of[leaf]});
+    return inv_of[leaf];
+  };
 
   // Sources first: PIs and latch outputs are the match leaves' anchors.
   for (NodeId pi : subject.inputs())
@@ -111,8 +121,18 @@ MappedNetlist emit_cover(const Network& subject,
       if (!ready) continue;
       fanins.clear();
       fanins.reserve(m.pin_binding.size());
-      for (NodeId leaf : m.pin_binding) fanins.push_back(inst_of[leaf]);
-      inst_of[n] = out.add_gate(m.gate, fanins, subject.name(n));
+      for (std::size_t pin = 0; pin < m.pin_binding.size(); ++pin) {
+        NodeId leaf = m.pin_binding[pin];
+        bool neg = (m.input_negate >> pin) & 1u;
+        fanins.push_back(neg ? negated(leaf) : inst_of[leaf]);
+      }
+      InstId g = out.add_gate(m.gate, fanins, subject.name(n));
+      if (m.output_negate) {
+        DAGMAP_ASSERT_MSG(inverter != nullptr,
+                          "negated match output without an inverter gate");
+        g = out.add_gate(inverter, {g});
+      }
+      inst_of[n] = g;
       stack.pop_back();
     }
   }
@@ -128,10 +148,10 @@ MappedNetlist emit_cover(const Network& subject,
 
 MappedNetlist build_cover(const Network& subject,
                           std::span<const std::optional<Match>> chosen,
-                          std::string name) {
+                          std::string name, const Gate* inverter) {
   obs::Scope obs_scope("cover");
   return emit_cover(subject, chosen, mark_cover(subject, chosen),
-                    std::move(name));
+                    std::move(name), inverter);
 }
 
 }  // namespace dagmap

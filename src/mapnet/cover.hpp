@@ -44,10 +44,18 @@ std::vector<std::uint8_t> mark_cover(
 /// `mark_cover` or the partitioned equivalent): PIs and latch
 /// placeholders first, then one forward-topological sweep over the
 /// subject emitting each marked constant / selected gate.
+///
+/// `inverter` enables phase-aware matches (Match::input_negate /
+/// output_negate, produced by the Boolean backends): a negated pin reads
+/// a per-leaf deduplicated inverter instance of the leaf, and a negated
+/// output gets an inverter after the gate.  The instance order remains a
+/// pure function of (subject, chosen, needed).  Null `inverter` asserts
+/// that no selected match carries negations (the structural mappers).
 MappedNetlist emit_cover(const Network& subject,
                          std::span<const std::optional<Match>> chosen,
                          std::span<const std::uint8_t> needed,
-                         std::string name = {});
+                         std::string name = {},
+                         const Gate* inverter = nullptr);
 
 /// Builds the mapped netlist implied by `chosen`, a per-subject-node
 /// selected match (indexed by NodeId; entries may be empty for nodes that
@@ -56,6 +64,7 @@ MappedNetlist emit_cover(const Network& subject,
 /// Equivalent to `emit_cover(subject, chosen, mark_cover(...))`.
 MappedNetlist build_cover(const Network& subject,
                           std::span<const std::optional<Match>> chosen,
-                          std::string name = {});
+                          std::string name = {},
+                          const Gate* inverter = nullptr);
 
 }  // namespace dagmap

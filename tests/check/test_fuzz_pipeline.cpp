@@ -48,6 +48,10 @@ TEST(FuzzInvariants, SupergateLibraryNeverMapsSlowerThanBase) {
   expect_clean(kFuzzSupergateDominance, 60'000, 40);
 }
 
+TEST(FuzzInvariants, CutBackendNeverMapsSlowerThanStructural) {
+  expect_clean(kFuzzBackendCross, 70'000, 40);
+}
+
 TEST(FuzzInvariants, SupergateDominanceHoldsOnMultiLevelLibraries) {
   // Multi-level base gates (non-read-once functions) are the richest
   // composition fodder; the dominance and equivalence invariants must
@@ -85,6 +89,18 @@ TEST(FuzzPipeline, InjectedLabelBugIsDetected) {
   for (const FuzzViolation& v : r.violations)
     if (v.invariant == "OracleOptimality") oracle_caught_it = true;
   EXPECT_TRUE(oracle_caught_it) << r.to_string();
+}
+
+TEST(FuzzPipeline, InjectedBackendBugIsDetected) {
+  // Same bar for the ninth invariant: a cut backend that ever came out
+  // slower than the structural mapper must be caught.
+  FuzzOptions opt;
+  opt.invariants = kFuzzBackendCross;
+  opt.inject_backend_bug = true;
+  FuzzReport r = run_fuzz_seed(1, opt);
+  ASSERT_FALSE(r.ok) << "injected bug went unnoticed";
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].invariant, "BackendCross");
 }
 
 TEST(FuzzLong, DeepSweep) {

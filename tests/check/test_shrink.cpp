@@ -67,6 +67,28 @@ TEST(Shrink, InjectedSupergateBugMinimizesAndReproduces) {
   EXPECT_NO_THROW(r.circuit.check());
 }
 
+TEST(Shrink, InjectedBackendBugMinimizesAndReproduces) {
+  // The ninth invariant (BackendCross) must flow through the same
+  // detect -> shrink -> replay machinery — this is the predicate
+  // `dagmap_fuzz --backend-cross --shrink` runs.
+  FuzzOptions opt;
+  opt.invariants = kFuzzBackendCross;
+  opt.inject_backend_bug = true;
+  FuzzInstance inst = make_fuzz_instance(5, opt);
+  ASSERT_FALSE(run_fuzz_instance(inst, opt).ok);
+
+  ShrinkResult r = shrink_instance(
+      inst.circuit, inst.library_text,
+      [&](const Network& c, const std::string& l) {
+        return suite_fails(c, l, opt);
+      });
+
+  EXPECT_LT(r.final_nodes, r.initial_nodes);
+  EXPECT_LE(r.final_gates, r.initial_gates);
+  EXPECT_TRUE(suite_fails(r.circuit, r.library_text, opt));
+  EXPECT_NO_THROW(r.circuit.check());
+}
+
 TEST(Shrink, StructuralPredicateReducesToTheKernel) {
   // Minimal failure kernel for "has at least one generic logic node":
   // one node.  The shrinker should get all the way down.

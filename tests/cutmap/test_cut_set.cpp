@@ -1,0 +1,251 @@
+// Priority-cut enumeration (cutmap/cut_set.hpp) against the exhaustive
+// dominance-pruned reference (cutmap/cuts.hpp): coverage when the
+// priority budget is effectively unbounded, semantic correctness of the
+// incrementally computed truth tables, support reduction, truncation and
+// determinism, plus the shared cut helpers themselves.
+#include "cutmap/cut_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cutmap/cuts.hpp"
+#include "decomp/tech_decomp.hpp"
+#include "gen/circuits.hpp"
+#include "netlist/truth_table.hpp"
+
+namespace dagmap {
+namespace {
+
+// Runs the priority enumeration over the whole subject graph with
+// unit-delay arrival labels (area-flow ranking input left empty).
+std::vector<CutSet> all_priority_cuts(const Network& net,
+                                      const PriorityCutParams& params) {
+  std::vector<CutSet> cuts(net.size());
+  std::vector<double> arrival(net.size(), 0.0);
+  CutScratch scratch;
+  for (NodeId n : net.topo_order()) {
+    if (net.is_source(n)) continue;
+    compute_priority_cuts(net, n, cuts, params,
+                          {arrival, {}, net.fanout_counts()}, scratch,
+                          cuts[n]);
+    double a = 0.0;
+    for (NodeId f : net.fanins(n)) a = std::max(a, arrival[f]);
+    arrival[n] = a + 1.0;
+  }
+  return cuts;
+}
+
+Cut to_cut(CutSet::View v) { return Cut(v.leaves.begin(), v.leaves.end()); }
+
+// ---- shared helpers -----------------------------------------------------
+
+TEST(CutHelpers, MergeCutsRespectsBoundAndOrder) {
+  Cut out;
+  EXPECT_TRUE(merge_cuts({1, 3, 5}, {2, 3, 6}, 5, out));
+  EXPECT_EQ(out, (Cut{1, 2, 3, 5, 6}));
+  EXPECT_FALSE(merge_cuts({1, 3, 5}, {2, 3, 6}, 4, out));
+  EXPECT_TRUE(merge_cuts({}, {7}, 1, out));
+  EXPECT_EQ(out, Cut{7});
+}
+
+TEST(CutHelpers, SubsetAndDominancePruning) {
+  EXPECT_TRUE(cut_is_subset({2, 5}, {1, 2, 5, 9}));
+  EXPECT_FALSE(cut_is_subset({2, 6}, {1, 2, 5, 9}));
+  EXPECT_TRUE(cut_is_subset({}, {1}));
+
+  std::vector<Cut> cuts;
+  add_cut_pruned(cuts, {1, 2, 3});
+  add_cut_pruned(cuts, {1, 2});    // dominates and evicts {1,2,3}
+  add_cut_pruned(cuts, {1, 2, 4});  // dominated by {1,2}: rejected
+  add_cut_pruned(cuts, {3, 4});
+  ASSERT_EQ(cuts.size(), 2u);
+  EXPECT_EQ(cuts[0], (Cut{1, 2}));
+  EXPECT_EQ(cuts[1], (Cut{3, 4}));
+}
+
+TEST(CutHelpers, ExhaustiveEnumerationIsIrredundant) {
+  Network net = tech_decompose(make_comparator(4));
+  auto cuts = enumerate_cuts(net, 4);
+  for (NodeId n = 0; n < net.size(); ++n) {
+    for (std::size_t i = 0; i < cuts[n].size(); ++i) {
+      EXPECT_LE(cuts[n][i].size(), 4u);
+      EXPECT_TRUE(std::is_sorted(cuts[n][i].begin(), cuts[n][i].end()));
+      for (std::size_t j = 0; j < cuts[n].size(); ++j)
+        if (i != j)
+          EXPECT_FALSE(cut_is_subset(cuts[n][i], cuts[n][j]))
+              << "cut " << i << " dominates surviving cut " << j
+              << " at node " << n;
+    }
+  }
+}
+
+// ---- priority vs exhaustive ---------------------------------------------
+
+TEST(PriorityCuts, UnboundedBudgetDominatesEveryExhaustiveCut) {
+  // With the budget far above the exhaustive per-node cut count, every
+  // exhaustive k-feasible cut must be dominated by (have a subset among)
+  // the stored priority cuts — the priority engine loses cuts only to
+  // truncation, never to the merge itself.
+  std::vector<Network> nets;
+  nets.push_back(tech_decompose(make_comparator(4)));
+  nets.push_back(tech_decompose(make_parity_tree(6)));
+  nets.push_back(tech_decompose(make_random_dag(6, 40, 4, 0xC0FFEE)));
+  for (const Network& net : nets) {
+    auto exhaustive = enumerate_cuts(net, 4);
+    std::size_t worst = 0;
+    for (NodeId n = 0; n < net.size(); ++n)
+      worst = std::max(worst, exhaustive[n].size());
+    ASSERT_LT(worst, 256u) << "test premise: budget must exceed the "
+                              "exhaustive count";
+    auto priority = all_priority_cuts(net, {4, 256});
+    for (NodeId n = 0; n < net.size(); ++n) {
+      if (net.is_source(n)) continue;
+      for (const Cut& c : exhaustive[n]) {
+        bool covered = false;
+        for (std::size_t i = 0; i < priority[n].size() && !covered; ++i)
+          covered = cut_is_subset(to_cut(priority[n].cut(i)), c);
+        EXPECT_TRUE(covered)
+            << "exhaustive cut of node " << n << " not dominated";
+      }
+    }
+  }
+}
+
+TEST(PriorityCuts, StoredCutsAreSortedBoundedAndIrredundant) {
+  Network net = tech_decompose(make_random_dag(6, 50, 4, 77));
+  PriorityCutParams params{4, 6};
+  auto priority = all_priority_cuts(net, params);
+  for (NodeId n = 0; n < net.size(); ++n) {
+    if (net.is_source(n)) continue;
+    const CutSet& cs = priority[n];
+    // Budget plus the trivial cut, which is stored last.
+    ASSERT_GE(cs.size(), 1u);
+    EXPECT_LE(cs.size(), params.cut_count + 1);
+    CutSet::View last = cs.cut(cs.size() - 1);
+    ASSERT_EQ(last.leaves.size(), 1u);
+    EXPECT_EQ(last.leaves[0], n);
+    EXPECT_EQ(last.tt, 0xAAAA);
+    // Among the non-trivial entries: sorted leaves, within the size
+    // bound, and no earlier non-empty cut dominates a later one (empty
+    // cuts are constant cones, deliberately kept alongside).
+    for (std::size_t i = 0; i + 1 < cs.size(); ++i) {
+      Cut ci = to_cut(cs.cut(i));
+      EXPECT_LE(ci.size(), 4u);
+      EXPECT_TRUE(std::is_sorted(ci.begin(), ci.end()));
+      for (std::size_t j = 0; j < i; ++j) {
+        Cut cj = to_cut(cs.cut(j));
+        if (cj.empty() && !ci.empty()) continue;
+        EXPECT_FALSE(cut_is_subset(cj, ci))
+            << "dominated cut survived at node " << n;
+      }
+    }
+  }
+}
+
+// ---- truth tables -------------------------------------------------------
+
+// Global function of every node over the primary inputs.
+std::vector<TruthTable> global_functions(const Network& net) {
+  unsigned nv = static_cast<unsigned>(net.num_inputs());
+  std::vector<TruthTable> g(net.size());
+  unsigned pi_index = 0;
+  for (NodeId pi : net.inputs()) g[pi] = TruthTable::variable(pi_index++, nv);
+  for (NodeId n : net.topo_order()) {
+    switch (net.kind(n)) {
+      case NodeKind::PrimaryInput:
+        break;
+      case NodeKind::Const0:
+        g[n] = TruthTable::constant(false, nv);
+        break;
+      case NodeKind::Const1:
+        g[n] = TruthTable::constant(true, nv);
+        break;
+      default: {
+        std::vector<TruthTable> args;
+        for (NodeId f : net.fanins(n)) args.push_back(g[f]);
+        g[n] = net.local_function(n).compose(args);
+      }
+    }
+  }
+  return g;
+}
+
+TEST(PriorityCuts, TruthTablesMatchGlobalSimulation) {
+  // The incremental minterm-expansion tables (with support reduction and
+  // 4-variable replication) must agree with the network semantics: on
+  // every primary-input assignment, evaluating a cut's table on its
+  // leaves' simulated values yields the root's simulated value.
+  std::vector<Network> nets;
+  nets.push_back(tech_decompose(make_comparator(4)));
+  nets.push_back(tech_decompose(make_parity_tree(6)));
+  nets.push_back(tech_decompose(make_random_dag(7, 60, 5, 12345)));
+  for (const Network& net : nets) {
+    ASSERT_LE(net.num_inputs(), 10u);
+    std::vector<TruthTable> g = global_functions(net);
+    auto priority = all_priority_cuts(net, {4, 8});
+    std::size_t masks = std::size_t{1} << net.num_inputs();
+    for (NodeId n = 0; n < net.size(); ++n) {
+      if (net.is_source(n)) continue;
+      const CutSet& cs = priority[n];
+      for (std::size_t i = 0; i < cs.size(); ++i) {
+        CutSet::View v = cs.cut(i);
+        for (std::size_t mask = 0; mask < masks; ++mask) {
+          unsigned m = 0;
+          for (std::size_t j = 0; j < v.leaves.size(); ++j)
+            m |= static_cast<unsigned>(g[v.leaves[j]].bit(mask)) << j;
+          EXPECT_EQ((v.tt >> m) & 1u, g[n].bit(mask) ? 1u : 0u)
+              << "cut " << i << " of node " << n << " wrong on minterm "
+              << mask;
+        }
+      }
+    }
+  }
+}
+
+TEST(PriorityCuts, SupportReductionDropsVacuousLeaves) {
+  // f = NAND(n1, NAND(a, n1)) with n1 = NAND(a, b) simplifies to just
+  // `a`: the {a, b} cut's table is vacuous in b and must be reduced to
+  // the single-leaf cut {a} with the identity table.
+  Network net("vacuous");
+  NodeId a = net.add_input("a");
+  NodeId b = net.add_input("b");
+  NodeId n1 = net.add_nand2(a, b);
+  NodeId n2 = net.add_nand2(a, n1);
+  NodeId f = net.add_nand2(n1, n2);
+  net.add_output(f, "o");
+
+  auto priority = all_priority_cuts(net, {4, 16});
+  bool found_identity = false;
+  for (std::size_t i = 0; i < priority[f].size(); ++i) {
+    CutSet::View v = priority[f].cut(i);
+    for (NodeId leaf : v.leaves) EXPECT_NE(leaf, b) << "vacuous leaf kept";
+    if (v.leaves.size() == 1 && v.leaves[0] == a) {
+      found_identity = true;
+      EXPECT_EQ(v.tt, 0xAAAA);
+    }
+  }
+  EXPECT_TRUE(found_identity) << "reduced cut {a} missing";
+}
+
+TEST(PriorityCuts, TruncationRespectsBudgetAndRecomputationIsIdentical) {
+  Network net = tech_decompose(make_random_dag(8, 80, 6, 991));
+  PriorityCutParams params{4, 2};
+  auto first = all_priority_cuts(net, params);
+  auto second = all_priority_cuts(net, params);
+  for (NodeId n = 0; n < net.size(); ++n) {
+    if (net.is_source(n)) continue;
+    EXPECT_LE(first[n].size(), params.cut_count + 1);
+    ASSERT_EQ(first[n].size(), second[n].size());
+    for (std::size_t i = 0; i < first[n].size(); ++i) {
+      CutSet::View x = first[n].cut(i);
+      CutSet::View y = second[n].cut(i);
+      EXPECT_EQ(to_cut(x), to_cut(y));
+      EXPECT_EQ(x.tt, y.tt);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dagmap

@@ -7,6 +7,19 @@
 //   --library <file.genlib>   gate library (default: built-in lib2-like)
 //   --lib44 <1|2|3>           use a built-in 44-family library instead
 //   --mapper <dag|tree|choice> covering algorithm   (default: dag)
+//   --backend <structural|cuts> match/candidate engine (default:
+//                             structural).  "cuts" maps with the
+//                             priority-cut Boolean engine (src/cutmap/):
+//                             bounded priority cuts, NPN matching with
+//                             explicit inverters, delay never worse than
+//                             the structural backend on the same inputs
+//   --cut-size <2..4>         cut leaves for --backend=cuts (default 4)
+//   --cut-count <n>           priority cuts kept per node (default 8)
+//   --rounds <n>              mapping rounds: 1 = pure delay-optimal,
+//                             extra rounds recover area under required
+//                             times (default 1)
+//   --delay-factor <x>        required-time slack factor for the area
+//                             rounds, >= 1.0 (default 1.0)
 //   --match <standard|extended>                     (default: standard)
 //   --supergates[=depth]      augment the library with generated
 //                             supergates before mapping (depth default 2)
@@ -69,6 +82,11 @@ struct CliOptions {
   std::string library_path;
   int lib44 = 0;
   std::string mapper = "dag";
+  std::string backend = "structural";
+  unsigned cut_size = 4;
+  unsigned cut_count = 8;
+  unsigned rounds = 1;
+  double delay_factor = 1.0;
   std::string match = "standard";
   unsigned supergate_depth = 0;  ///< 0 = off; --supergates defaults to 2
   bool supergates_set = false;   ///< --supergates given explicitly
@@ -95,7 +113,9 @@ struct CliOptions {
   if (msg) std::fprintf(stderr, "error: %s\n", msg);
   std::fprintf(stderr,
                "usage: dagmap_cli [--library F.genlib | --lib44 N] "
-               "[--mapper dag|tree|choice] [--match standard|extended] "
+               "[--mapper dag|tree|choice] [--backend structural|cuts] "
+               "[--cut-size N] [--cut-count N] [--rounds N] "
+               "[--delay-factor X] [--match standard|extended] "
                "[--supergates[=D]] "
                "[--threads N] [--partition[=W] | --no-partition] "
                "[--profile[=trace.json]] [--area-recovery] "
@@ -117,6 +137,13 @@ CliOptions parse_args(int argc, char** argv) {
     if (a == "--library") o.library_path = next();
     else if (a == "--lib44") o.lib44 = std::stoi(next());
     else if (a == "--mapper") o.mapper = next();
+    else if (a == "--backend") o.backend = next();
+    else if (a.rfind("--backend=", 0) == 0)
+      o.backend = a.substr(std::strlen("--backend="));
+    else if (a == "--cut-size") o.cut_size = std::stoul(next());
+    else if (a == "--cut-count") o.cut_count = std::stoul(next());
+    else if (a == "--rounds") o.rounds = std::stoul(next());
+    else if (a == "--delay-factor") o.delay_factor = std::stod(next());
     else if (a == "--match") o.match = next();
     else if (a == "--supergates") o.supergate_depth = 2, o.supergates_set = true;
     else if (a.rfind("--supergates=", 0) == 0) {
@@ -155,6 +182,14 @@ CliOptions parse_args(int argc, char** argv) {
     else if (o.circuit_path.empty()) o.circuit_path = a;
     else usage("multiple circuit files");
   }
+  if (o.backend != "structural" && o.backend != "cuts")
+    usage("bad --backend value (want structural or cuts)");
+  if (o.cut_size < 2 || o.cut_size > 4) usage("bad --cut-size (want 2..4)");
+  if (o.cut_count < 1) usage("bad --cut-count (want >= 1)");
+  if (o.rounds < 1) usage("bad --rounds (want >= 1)");
+  if (o.delay_factor < 1.0) usage("bad --delay-factor (want >= 1.0)");
+  if (o.backend == "cuts" && o.mapper != "dag")
+    usage("--backend=cuts applies to the default --mapper dag flow");
   if (o.circuit_path.empty() && o.save_lib_path.empty() && !o.serve)
     usage("no circuit file");
   if (o.serve && !o.circuit_path.empty())
@@ -348,7 +383,20 @@ int main(int argc, char** argv) try {
     result = dag_map_choices(c, lib, mopt);
   } else {
     subject = tech_decompose(circuit);
-    if (opt.mapper == "dag") result = dag_map(subject, lib, mopt);
+    if (opt.mapper == "dag" && opt.backend == "cuts") {
+      CutMapOptions copt;
+      copt.cut_size = opt.cut_size;
+      copt.cut_count = opt.cut_count;
+      copt.rounds = opt.rounds;
+      copt.delay_factor = opt.delay_factor;
+      copt.match_class = mopt.match_class;
+      copt.num_threads = opt.threads;
+      copt.profile = opt.profile;
+      copt.partition_mode = mopt.partition_mode;
+      copt.partition_window = mopt.partition_window;
+      copt.pattern_index = mopt.pattern_index;
+      result = cut_map(subject, lib, copt);
+    } else if (opt.mapper == "dag") result = dag_map(subject, lib, mopt);
     else if (opt.mapper == "tree") result = tree_map(subject, lib);
     else usage("bad --mapper value");
   }
@@ -360,7 +408,8 @@ int main(int argc, char** argv) try {
         result.num_partitions, result.partition_waves,
         result.partition_boundary_edges, result.partition_max_nodes);
   std::printf("%s mapping: delay %.3f, area %.1f, %zu gates (%.2fs)\n",
-              opt.mapper.c_str(), result.optimal_delay,
+              opt.backend == "cuts" ? "cuts" : opt.mapper.c_str(),
+              result.optimal_delay,
               result.netlist.total_area(), result.netlist.num_gates(),
               result.cpu_seconds);
   if (opt.stats) {

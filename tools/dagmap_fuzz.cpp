@@ -8,8 +8,9 @@
 // pair, runs decompose -> match -> label -> cover, and asserts the
 // invariant suite (equivalence, oracle-optimality, tree >= DAG,
 // Extended <= Standard, thread determinism, supergate dominance — the
-// supergate-augmented library never maps slower than the base library;
-// see check/fuzz_pipeline.hpp).
+// supergate-augmented library never maps slower than the base library —
+// and the backend cross-check: the priority-cut engine never maps slower
+// than the structural mapper; see check/fuzz_pipeline.hpp).
 // On a violation with --shrink, a delta-debugging pass minimizes the
 // instance and writes repro.blif + repro.genlib plus the replay command.
 // --inject-bug corrupts the labels on purpose (test hook), so the
@@ -32,6 +33,7 @@ struct Args {
   bool shrink = false;
   bool inject_bug = false;
   bool lib_cache_only = false;
+  bool backend_cross_only = false;
   std::string out_dir = ".";
   std::string replay_blif, replay_genlib;
   unsigned min_nodes = 8;
@@ -43,7 +45,8 @@ int usage() {
       stderr,
       "usage: dagmap_fuzz [--seeds N] [--seed S] [--min-nodes N] "
       "[--max-nodes N] [--shrink]\n"
-      "                   [--inject-bug] [--lib-cache] [--out DIR]\n"
+      "                   [--inject-bug] [--lib-cache] [--backend-cross] "
+      "[--out DIR]\n"
       "       dagmap_fuzz --replay circuit.blif library.genlib\n");
   return 2;
 }
@@ -57,6 +60,15 @@ FuzzOptions fuzz_options(const Args& args) {
   // invariant (plus the equivalence baseline it compares against is not
   // needed — std_map is always computed).
   if (args.lib_cache_only) opt.invariants = kFuzzLibCache;
+  // --backend-cross: restrict to the cut-backend-vs-structural delay
+  // bound and equivalence (invariant #9); --inject-bug then corrupts the
+  // cut-backend delay instead of the labels so the detection + shrink
+  // path stays exercisable.
+  if (args.backend_cross_only) {
+    opt.invariants = kFuzzBackendCross;
+    opt.inject_backend_bug = args.inject_bug;
+    opt.inject_label_bug = false;
+  }
   return opt;
 }
 
@@ -85,9 +97,10 @@ void write_repro(const Args& args, const Network& circuit,
   write_blif_file(circuit, blif_path);
   std::ofstream(lib_path) << library_text;
   std::printf("repro written: %s %s\n", blif_path.c_str(), lib_path.c_str());
-  std::printf("replay with:   dagmap_fuzz%s --replay %s %s\n",
-              args.inject_bug ? " --inject-bug" : "", blif_path.c_str(),
-              lib_path.c_str());
+  std::printf("replay with:   dagmap_fuzz%s%s --replay %s %s\n",
+              args.inject_bug ? " --inject-bug" : "",
+              args.backend_cross_only ? " --backend-cross" : "",
+              blif_path.c_str(), lib_path.c_str());
 }
 
 }  // namespace
@@ -127,6 +140,8 @@ int main(int argc, char** argv) try {
       args.inject_bug = true;
     } else if (a == "--lib-cache") {
       args.lib_cache_only = true;
+    } else if (a == "--backend-cross") {
+      args.backend_cross_only = true;
     } else if (a == "--replay") {
       const char* b = value();
       const char* g = value();

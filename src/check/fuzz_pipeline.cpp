@@ -261,6 +261,32 @@ FuzzReport run_fuzz_instance(const FuzzInstance& instance,
                e.counterexample_hex());
   }
 
+  if (options.invariants & kFuzzLoadRounds) {
+    // Keep-best monotonicity of the load-aware rounds: round 0 (the
+    // load-oblivious mapping, measured under the same LoadModel) is
+    // always a candidate, so the selected round can never measure
+    // worse.  The re-mapped cover must also still compute the circuit.
+    DagMapOptions lopt;
+    lopt.match_class = MatchClass::Standard;
+    lopt.load_rounds = 2;
+    MapResult lr = dag_map(subject, lib, lopt);
+    if (options.inject_load_bug)
+      lr.loaded_delay = lr.loaded_delay_round0 + 1.0;
+    if (lr.loaded_delay > lr.loaded_delay_round0 + kEps)
+      fail("LoadRounds",
+           "load-aware measured delay " + std::to_string(lr.loaded_delay) +
+               " worse than load-oblivious round 0 " +
+               std::to_string(lr.loaded_delay_round0) + " (selected round " +
+               std::to_string(lr.load_round_selected) + ")");
+    EquivalenceResult e =
+        check_equivalence(instance.circuit, lr.netlist.to_network());
+    if (!e.equivalent)
+      fail("LoadRounds",
+           "load-aware cover differs from the circuit: output " +
+               std::to_string(e.failing_output) + " cex " +
+               e.counterexample_hex());
+  }
+
   if (options.invariants & kFuzzLibCache) {
     try {
       CompiledLibrary fresh =

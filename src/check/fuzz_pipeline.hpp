@@ -43,7 +43,13 @@
 //                      superset of the structural matcher's, so by
 //                      induction over the topological order its labels
 //                      are pointwise no worse — and its cover stays
-//                      simulation-equivalent to the source circuit.
+//                      simulation-equivalent to the source circuit;
+//   LoadRounds         the iterated load-aware flow (dagmap/load_rounds,
+//                      load_rounds=2) measures a loaded delay <= the
+//                      load-oblivious round 0 under the same LoadModel —
+//                      round 0 is always a keep-best candidate — and the
+//                      re-mapped cover stays simulation-equivalent to
+//                      the source circuit.
 //
 // Every violation carries enough detail to reproduce: the seed rebuilds
 // the instance, and check/shrink.hpp minimizes it.  `inject_label_bug`
@@ -71,7 +77,8 @@ enum FuzzInvariant : unsigned {
   kFuzzPartitionEquivalence = 1u << 6,
   kFuzzLibCache = 1u << 7,
   kFuzzBackendCross = 1u << 8,
-  kFuzzAllInvariants = (1u << 9) - 1,
+  kFuzzLoadRounds = 1u << 9,
+  kFuzzAllInvariants = (1u << 10) - 1,
 };
 
 /// Harness knobs.
@@ -94,6 +101,10 @@ struct FuzzOptions {
   /// the BackendCross comparison, making it fail on every instance — the
   /// ninth invariant's detection + shrink path.
   bool inject_backend_bug = false;
+  /// Test hook: report the load-aware measured delay as round 0 + 1.0
+  /// before the LoadRounds comparison, making it fail on every instance
+  /// — the tenth invariant's detection + shrink path.
+  bool inject_load_bug = false;
 
   // Instance-generation ranges (inclusive), used by make_fuzz_instance.
   unsigned min_inputs = 3, max_inputs = 8;

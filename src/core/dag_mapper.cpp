@@ -7,6 +7,7 @@
 
 #include "core/parallel.hpp"
 #include "core/partition.hpp"
+#include "dagmap/load_rounds.hpp"
 #include "mapnet/cover.hpp"
 #include "netlist/assert.hpp"
 
@@ -18,6 +19,26 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 MapResult dag_map(const Network& subject, const GateLibrary& lib,
                   const DagMapOptions& options) {
+  if (options.load_rounds > 0) {
+    // Iterated load-aware flow (dagmap/load_rounds.hpp): each round is
+    // one plain dag_map against a re-priced library.  The pattern
+    // pre-index is shape-compatible with every re-priced copy (it
+    // references gates/patterns by index), so it is reused as-is.
+    DagMapOptions inner = options;
+    inner.load_rounds = 0;
+    bool own_session = options.profile && !obs::enabled();
+    if (own_session) obs::start();
+    MapResult r = map_with_load_rounds(
+        lib, options.load_rounds, options.load_model, options.epsilon,
+        [&](const GateLibrary& round_lib) {
+          return dag_map(subject, round_lib, inner);
+        });
+    if (options.profile) {
+      if (own_session) obs::stop();
+      r.profile = obs::collect();
+    }
+    return r;
+  }
   auto t0 = std::chrono::steady_clock::now();
   DAGMAP_ASSERT_MSG(subject.is_subject_graph(),
                     "dag_map requires a NAND2/INV subject graph");

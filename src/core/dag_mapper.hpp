@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "fanout/load_timing.hpp"
 #include "library/gate_library.hpp"
 #include "mapnet/mapped_netlist.hpp"
 #include "match/matcher.hpp"
@@ -113,6 +114,16 @@ struct DagMapOptions {
   /// of the library being mapped against and must outlive the call.
   /// The mapped result is bit-identical either way.
   const PatternIndex* pattern_index = nullptr;
+  /// Iterated load-aware mapping (dagmap/load_rounds.hpp).  0 keeps the
+  /// paper's load-oblivious flow.  N runs up to N re-pricing rounds:
+  /// measure the mapping under `load_model`, fold the measured loads
+  /// into the pin delays, re-label, and keep the best *measured* round
+  /// — never worse than the load-oblivious mapping under the same
+  /// model, and bit-identical at any thread count.
+  unsigned load_rounds = 0;
+  /// Electrical environment for the load-aware rounds (and for the
+  /// measured `MapResult::loaded_delay`).
+  LoadModel load_model;
 };
 
 /// Result of a mapping run.
@@ -144,6 +155,15 @@ struct MapResult {
   /// Per-phase timings, counters and trace events; only populated when
   /// `DagMapOptions::profile` is set (`profile.collected`).
   obs::ProfileData profile;
+  /// Load-aware round bookkeeping (meaningful when load_rounds > 0).
+  /// `loaded_delay` is the returned netlist's measured delay under the
+  /// request's LoadModel; `loaded_delay_round0` the load-oblivious
+  /// round's — loaded_delay <= loaded_delay_round0 always holds.
+  double loaded_delay = 0.0;
+  double loaded_delay_round0 = 0.0;
+  unsigned load_round_selected = 0;
+  /// Measured delay of every round in order (front = round 0).
+  std::vector<double> load_round_delays;
 };
 
 /// Maps `subject` (a NAND2/INV subject graph) onto `lib` with

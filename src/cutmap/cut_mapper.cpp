@@ -9,6 +9,7 @@
 #include "core/parallel.hpp"
 #include "core/partition.hpp"
 #include "cutmap/cut_set.hpp"
+#include "dagmap/load_rounds.hpp"
 #include "mapnet/cover.hpp"
 #include "netlist/assert.hpp"
 
@@ -52,6 +53,30 @@ Match materialize(const Candidate& c) {
 
 MapResult cut_map(const Network& subject, const GateLibrary& lib,
                   const CutMapOptions& options) {
+  if (options.load_rounds > 0) {
+    // Load-aware rounds: each is one plain cut_map against a re-priced
+    // library copy.  The structural pattern index is index-based and
+    // shape-compatible with every copy; the NPN index holds Gate
+    // pointers into the *original* library, so re-priced rounds rebuild
+    // it (gate functions are unchanged, only delays move, and delays do
+    // not enter NPN canonization — the rebuilt index is identical).
+    CutMapOptions inner = options;
+    inner.load_rounds = 0;
+    bool own_session = options.profile && !obs::enabled();
+    if (own_session) obs::start();
+    MapResult r = map_with_load_rounds(
+        lib, options.load_rounds, options.load_model, options.epsilon,
+        [&](const GateLibrary& round_lib) {
+          CutMapOptions round_opt = inner;
+          if (&round_lib != &lib) round_opt.npn_index = nullptr;
+          return cut_map(subject, round_lib, round_opt);
+        });
+    if (options.profile) {
+      if (own_session) obs::stop();
+      r.profile = obs::collect();
+    }
+    return r;
+  }
   auto t0 = std::chrono::steady_clock::now();
   DAGMAP_ASSERT_MSG(subject.is_subject_graph(),
                     "cut_map requires a NAND2/INV subject graph");

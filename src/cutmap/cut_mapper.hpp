@@ -75,6 +75,12 @@ struct CutMapOptions {
   /// NPN library index to reuse (serve mode: npn_index_from_compiled);
   /// null builds one per call.  Bit-identical either way.
   const NpnLibraryIndex* npn_index = nullptr;
+  /// Iterated load-aware mapping (dagmap/load_rounds.hpp), same contract
+  /// as DagMapOptions::load_rounds: N re-pricing rounds under
+  /// `load_model`, best measured round kept — never worse than the
+  /// load-oblivious mapping under the same model.
+  unsigned load_rounds = 0;
+  LoadModel load_model;
 };
 
 /// Maps `subject` (a NAND2/INV subject graph) onto `lib` with the

@@ -27,7 +27,9 @@
 #include "core/partition.hpp"
 #include "cutmap/cut_mapper.hpp"
 #include "cutmap/cuts.hpp"
+#include "dagmap/load_rounds.hpp"
 #include "decomp/isop.hpp"
+#include "fanout/load_timing.hpp"
 #include "decomp/lowering.hpp"
 #include "decomp/tech_decomp.hpp"
 #include "gen/circuits.hpp"
@@ -35,6 +37,7 @@
 #include "io/blif.hpp"
 #include "io/expr.hpp"
 #include "io/genlib.hpp"
+#include "io/liberty.hpp"
 #include "libcache/compiled_library.hpp"
 #include "libcache/registry.hpp"
 #include "libcache/serve.hpp"

@@ -1,0 +1,141 @@
+#include "dagmap/load_rounds.hpp"
+
+#include <utility>
+
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+std::vector<double> estimate_gate_loads(const MappedNetlist& net,
+                                        const GateLibrary& lib,
+                                        const LoadTimingReport& timing,
+                                        double epsilon) {
+  const std::size_t n_gates = lib.gates().size();
+  std::vector<double> critical_sum(n_gates, 0.0), any_sum(n_gates, 0.0);
+  std::vector<std::size_t> critical_count(n_gates, 0), any_count(n_gates, 0);
+  double global_sum = 0.0;
+  std::size_t global_count = 0;
+
+  const Gate* base = lib.gates().data();
+  for (InstId id = 0; id < net.size(); ++id) {
+    if (net.kind(id) != Instance::Kind::GateInst) continue;
+    const Gate* g = net.gate(id);
+    DAGMAP_ASSERT_MSG(g >= base && g < base + n_gates,
+                      "estimate_gate_loads: netlist gate not from library");
+    std::size_t gi = static_cast<std::size_t>(g - base);
+    double load = timing.net_load[id];
+    any_sum[gi] += load;
+    ++any_count[gi];
+    global_sum += load;
+    ++global_count;
+    if (timing.slack[id] <= epsilon) {
+      critical_sum[gi] += load;
+      ++critical_count[gi];
+    }
+  }
+
+  double global_avg =
+      global_count ? global_sum / static_cast<double>(global_count) : 1.0;
+  std::vector<double> est(n_gates, global_avg);
+  for (std::size_t gi = 0; gi < n_gates; ++gi) {
+    if (critical_count[gi])
+      est[gi] = critical_sum[gi] / static_cast<double>(critical_count[gi]);
+    else if (any_count[gi])
+      est[gi] = any_sum[gi] / static_cast<double>(any_count[gi]);
+  }
+  return est;
+}
+
+GateLibrary reprice_library(const GateLibrary& lib,
+                            const std::vector<double>& gate_load,
+                            std::string name) {
+  DAGMAP_ASSERT_MSG(gate_load.size() == lib.gates().size(),
+                    "reprice_library: one load estimate per gate required");
+  std::vector<Gate> gates = lib.gates();  // deep copy, patterns included
+  for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+    double load = gate_load[gi];
+    for (GatePin& p : gates[gi].pins) {
+      p.rise_block += p.rise_fanout * load;
+      p.fall_block += p.fall_fanout * load;
+    }
+  }
+  return GateLibrary::from_compiled(std::move(gates), std::move(name));
+}
+
+void retarget_gates(MappedNetlist& net, const GateLibrary& from,
+                    const GateLibrary& to) {
+  DAGMAP_ASSERT_MSG(from.gates().size() == to.gates().size(),
+                    "retarget_gates: libraries differ in size");
+  const Gate* base = from.gates().data();
+  for (InstId id = 0; id < net.size(); ++id) {
+    if (net.kind(id) != Instance::Kind::GateInst) continue;
+    const Gate* g = net.gate(id);
+    DAGMAP_ASSERT_MSG(g >= base && g < base + from.gates().size(),
+                      "retarget_gates: gate not from the source library");
+    net.replace_gate(id, &to.gates()[static_cast<std::size_t>(g - base)]);
+  }
+}
+
+MapResult map_with_load_rounds(
+    const GateLibrary& lib, unsigned rounds, const LoadModel& model,
+    double epsilon,
+    const std::function<MapResult(const GateLibrary&)>& map_once) {
+  MapResult best;
+  {
+    obs::Scope scope("load_round");
+    best = map_once(lib);  // round 0: the load-oblivious mapping
+  }
+  LoadTimingReport timing;
+  {
+    obs::Scope scope("load.measure");
+    timing = analyze_timing_loaded(best.netlist, model);
+  }
+  best.loaded_delay = timing.delay;
+  best.loaded_delay_round0 = timing.delay;
+  best.load_round_selected = 0;
+  best.load_round_delays.assign(1, timing.delay);
+
+  // `prev` is the fixed-point iterate (always the latest round, even
+  // when it measured worse); `best` is the returned winner.
+  MapResult prev_holder;
+  MapResult* prev = &best;
+  std::vector<double> round_delays = best.load_round_delays;
+
+  for (unsigned r = 1; r <= rounds; ++r) {
+    obs::Scope round_scope("load_round");
+    GateLibrary adjusted;
+    {
+      obs::Scope scope("load.reprice");
+      std::vector<double> est =
+          estimate_gate_loads(prev->netlist, lib, timing, epsilon);
+      adjusted = reprice_library(lib, est,
+                                 lib.name() + "#load" + std::to_string(r));
+    }
+    MapResult cur = map_once(adjusted);
+    retarget_gates(cur.netlist, adjusted, lib);
+    {
+      obs::Scope scope("load.measure");
+      timing = analyze_timing_loaded(cur.netlist, model);
+    }
+    obs::counter_add("load.rounds", 1);
+    round_delays.push_back(timing.delay);
+    bool improved = timing.delay < best.loaded_delay - epsilon;
+    if (improved) obs::counter_add("load.improved", 1);
+
+    if (improved) {
+      double round0 = best.loaded_delay_round0;
+      best = std::move(cur);
+      best.loaded_delay = timing.delay;
+      best.loaded_delay_round0 = round0;
+      best.load_round_selected = r;
+      prev = &best;
+    } else {
+      prev_holder = std::move(cur);
+      prev = &prev_holder;
+    }
+  }
+  best.load_round_delays = std::move(round_delays);
+  return best;
+}
+
+}  // namespace dagmap

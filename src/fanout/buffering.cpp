@@ -43,8 +43,17 @@ BufferResult buffer_fanouts(const MappedNetlist& net, const GateLibrary& lib,
         net.kind(id) != Instance::Kind::Latch)
       continue;
     std::span<const InstId> fi = net.fanins(id);
-    for (std::size_t pin = 0; pin < fi.size(); ++pin)
-      consumers[fi[pin]].push_back({id, pin, 0, timing.slack[id]});
+    bool is_latch = net.kind(id) == Instance::Kind::Latch;
+    for (std::size_t pin = 0; pin < fi.size(); ++pin) {
+      // A latch D pin is a timing endpoint like a PO, so its urgency is
+      // the endpoint slack (target minus the driver's arrival).  The
+      // latch *instance's* slack is the Q-side value — +inf whenever the
+      // latch output is unconstrained — which would bury critical D
+      // endpoints at the bottom of the buffer tree.
+      double crit = is_latch ? timing.target - timing.arrival[fi[pin]]
+                             : timing.slack[id];
+      consumers[fi[pin]].push_back({id, pin, 0, crit});
+    }
   }
   for (std::size_t i = 0; i < net.outputs().size(); ++i)
     consumers[net.outputs()[i].node].push_back(
@@ -120,10 +129,14 @@ BufferResult buffer_fanouts(const MappedNetlist& net, const GateLibrary& lib,
     }
   }
 
-  // Latch D inputs (possibly through taps).
+  // Latch D inputs (possibly through taps).  An unwired placeholder
+  // latch has no D fanin — fanins() is empty, so indexing [0] would be
+  // out of bounds; carry the placeholder over unwired instead.
   for (InstId l : net.latches()) {
+    std::span<const InstId> fi = net.fanins(l);
+    if (fi.empty()) continue;
     auto it = fanin_tap.find({l, std::size_t{0}});
-    InstId d = it != fanin_tap.end() ? it->second : mapped[net.fanins(l)[0]];
+    InstId d = it != fanin_tap.end() ? it->second : mapped[fi[0]];
     out.connect_latch(mapped[l], d);
   }
   for (std::size_t i = 0; i < net.outputs().size(); ++i) {

@@ -238,9 +238,11 @@ LtTreeResult buffer_fanouts_lt_tree(const MappedNetlist& net,
   }
 
   for (InstId l : net.latches()) {
+    // Unwired placeholder latches have no D fanin to rewire.
+    std::span<const InstId> fi = net.fanins(l);
+    if (fi.empty()) continue;
     auto it = fanin_tap.find({l, std::size_t{0}});
-    InstId d =
-        it != fanin_tap.end() ? it->second : mapped[net.fanins(l)[0]];
+    InstId d = it != fanin_tap.end() ? it->second : mapped[fi[0]];
     out.connect_latch(mapped[l], d);
   }
   for (std::size_t i = 0; i < net.outputs().size(); ++i) {

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "io/expr.hpp"
+#include "io/liberty.hpp"
 #include "libcache/binio.hpp"
 #include "netlist/assert.hpp"
 
@@ -56,7 +57,13 @@ CompiledLibrary compile_library(const std::string& genlib_text,
   c.options = options;
   c.source_hash = library_content_hash(genlib_text, options);
 
-  std::vector<GenlibGate> base = parse_genlib(genlib_text);
+  // Format sniff: a Liberty source (`library (...) { ... }`) routes
+  // through the Liberty-subset reader, anything else is GENLIB.  The
+  // content hash above runs over the raw source bytes either way, so
+  // artifact freshness checking is format-agnostic.
+  std::vector<GenlibGate> base = looks_like_liberty(genlib_text)
+                                     ? parse_liberty(genlib_text).gates
+                                     : parse_genlib(genlib_text);
   if (options.supergate_depth == 0) {
     c.gates = std::move(base);
     c.library = GateLibrary::from_genlib(c.gates, c.name);

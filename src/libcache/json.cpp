@@ -1,9 +1,12 @@
 #include "libcache/json.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+
+#include "io/number.hpp"
 
 namespace dagmap::libcache {
 
@@ -222,10 +225,12 @@ class Parser {
       ++pos_;
     std::string token(text_.substr(start, pos_ - start));
     if (token.empty() || token == "-") fail("expected a value");
-    char* end = nullptr;
-    double v = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) fail("bad number");
-    return v;
+    // Locale-independent parse (io/number.hpp): strtod honors
+    // LC_NUMERIC, so under a comma-decimal locale it would truncate
+    // "1.5" to 1.0 and silently corrupt every request field.
+    std::optional<double> v = parse_double_strict(token);
+    if (!v) fail("bad number");
+    return *v;
   }
 
   std::string_view text_;
@@ -265,11 +270,21 @@ std::string json_quote(std::string_view s) {
 
 std::string json_number(double v) {
   if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
-  // Shortest representation that round-trips: try increasing precision.
   char buf[40];
+#if defined(__cpp_lib_to_chars)
+  // to_chars emits the shortest round-tripping form and, unlike
+  // snprintf's %g, never consults LC_NUMERIC for the decimal point.
+  auto [end, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec == std::errc()) return std::string(buf, end);
+#endif
+  // Fallback: increasing %g precision until the value round-trips,
+  // normalizing any locale decimal separator back to '.'.
   for (int prec = 15; prec <= 17; ++prec) {
     std::snprintf(buf, sizeof buf, "%.*g", prec, v);
-    if (std::strtod(buf, nullptr) == v) break;
+    for (char* p = buf; *p; ++p)
+      if (*p == ',') *p = '.';
+    std::optional<double> back = parse_double_strict(buf);
+    if (back && *back == v) break;
   }
   return buf;
 }

@@ -41,6 +41,9 @@ struct Request {
   unsigned cut_count = 8;
   unsigned rounds = 1;
   double delay_factor = 1.0;
+  /// Iterated load-aware mapping rounds (dagmap/load_rounds.hpp); both
+  /// backends honor it.
+  unsigned load_rounds = 0;
 };
 
 struct Slot {
@@ -70,7 +73,18 @@ bool parse_request(const std::string& line, const ServeOptions& sopt,
     if (!circuit || circuit->kind != JsonValue::Kind::String)
       throw libcache::FormatError("missing string member \"circuit\"");
     slot.req.circuit = circuit->string;
-    slot.req.library = v.get_string("library", sopt.default_library);
+    // "library" and "liberty" both name a library source file; the
+    // registry sniffs the format from the content, so "liberty" is the
+    // protocol-level spelling for .lib sources (and is rejected when
+    // both are given).
+    std::string genlib_path = v.get_string("library", "");
+    std::string liberty_path = v.get_string("liberty", "");
+    if (!genlib_path.empty() && !liberty_path.empty())
+      throw libcache::FormatError(
+          "give \"library\" or \"liberty\", not both");
+    slot.req.library = !genlib_path.empty()    ? genlib_path
+                       : !liberty_path.empty() ? liberty_path
+                                               : sopt.default_library;
     if (slot.req.library.empty())
       throw libcache::FormatError(
           "missing \"library\" (and the server has no default)");
@@ -110,6 +124,10 @@ bool parse_request(const std::string& line, const ServeOptions& sopt,
           o->get_number("delay_factor", slot.req.delay_factor);
       if (slot.req.delay_factor < 1.0 || slot.req.delay_factor > 100.0)
         throw libcache::FormatError("bad \"delay_factor\" (want >= 1)");
+      double load_rounds = o->get_number("load_rounds", 0);
+      if (load_rounds < 0 || load_rounds > 16)
+        throw libcache::FormatError("bad \"load_rounds\" (want 0..16)");
+      slot.req.load_rounds = static_cast<unsigned>(load_rounds);
     }
     return true;
   } catch (const std::exception& e) {
@@ -137,6 +155,7 @@ std::string handle_request(const Slot& slot) {
     copt.delay_factor = req.delay_factor;
     copt.num_threads = 1;
     copt.profile = req.profile;
+    copt.load_rounds = req.load_rounds;
     copt.pattern_index = &slot.lib->index;
     // Per-request index build, seeded by the compiled bundle's stored
     // NPN classes (cheap: early-exiting transform search per gate), so
@@ -150,6 +169,7 @@ std::string handle_request(const Slot& slot) {
     mopt.area_recovery = req.area_recovery;
     mopt.num_threads = 1;
     mopt.profile = req.profile;
+    mopt.load_rounds = req.load_rounds;
     mopt.pattern_index = &slot.lib->index;
     result = dag_map(subject, slot.lib->library, mopt);
   }
@@ -178,6 +198,12 @@ std::string handle_request(const Slot& slot) {
   out += ", \"library\": " + json_quote(slot.lib->library.name());
   out += ", \"cache\": " + json_quote(slot.cache_source);
   if (req.cut_backend) out += ", \"backend\": \"cuts\"";
+  if (req.load_rounds > 0) {
+    out += ", \"loaded_delay\": " + json_number(result.loaded_delay);
+    out += ", \"loaded_delay_round0\": " +
+           json_number(result.loaded_delay_round0);
+    out += ", \"load_round\": " + std::to_string(result.load_round_selected);
+  }
   if (verified) out += ", \"verified\": true";
   if (req.profile && result.profile.collected)
     out += ", \"profile\": " + json_quote(result.profile.summary());

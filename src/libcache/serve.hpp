@@ -6,6 +6,11 @@
 //
 //   request:  {"circuit": "<BLIF text>",
 //              "library": "<genlib path>",          // optional w/ default
+//              "liberty": "<liberty path>",         // .lib spelling of the
+//                                                   // same member (either,
+//                                                   // not both; the
+//                                                   // registry sniffs the
+//                                                   // format anyway)
 //              "options": {"supergates": 0,         // compile: depth
 //                          "match": "standard",     // map: standard|extended
 //                          "area_recovery": false,
@@ -14,6 +19,8 @@
 //                          "cut_count": 8,          //   engine knobs
 //                          "rounds": 1,             //   (cutmap/)
 //                          "delay_factor": 1.0,
+//                          "load_rounds": 0,        // load-aware rounds
+//                                                   // (dagmap/load_rounds)
 //                          "verify": false,         // equivalence-check
 //                          "profile": false}}       // per-request obs
 //   response: {"ok": true, "id": N, "delay": ..., "area": ...,
@@ -21,6 +28,8 @@
 //              "structural_hash": "0x...", "blif": "<mapped BLIF>",
 //              "library": "<name>", "cache": "memory|artifact|compiled",
 //              "backend": "cuts",                   // cut-backend requests
+//              "loaded_delay": ..., "loaded_delay_round0": ...,
+//              "load_round": N,                     // when load_rounds > 0
 //              "profile": "<summary>"}              // when requested
 //   error:    {"ok": false, "id": N, "error": "<message>"}
 //

@@ -35,7 +35,11 @@ TimingReport analyze_timing(const MappedNetlist& net, double target_delay) {
     }
   }
   for (InstId l : net.latches()) {
-    InstId d = net.fanins(l)[0];
+    // Unwired placeholder latches have no D fanin; fanins() returns an
+    // empty span, so [0] would read out of bounds.
+    std::span<const InstId> fi = net.fanins(l);
+    if (fi.empty()) continue;
+    InstId d = fi[0];
     if (r.arrival[d] > r.delay || worst_endpoint == kNullInst) {
       r.delay = r.arrival[d];
       worst_endpoint = d;
@@ -48,8 +52,8 @@ TimingReport analyze_timing(const MappedNetlist& net, double target_delay) {
   for (const Output& o : net.outputs())
     r.required[o.node] = std::min(r.required[o.node], r.target);
   for (InstId l : net.latches()) {
-    InstId d = net.fanins(l)[0];
-    r.required[d] = std::min(r.required[d], r.target);
+    std::span<const InstId> fi = net.fanins(l);
+    if (!fi.empty()) r.required[fi[0]] = std::min(r.required[fi[0]], r.target);
   }
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     if (net.kind(*it) != Instance::Kind::GateInst) continue;

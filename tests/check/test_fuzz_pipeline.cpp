@@ -65,6 +65,10 @@ TEST(FuzzInvariants, SupergateDominanceHoldsOnMultiLevelLibraries) {
   }
 }
 
+TEST(FuzzInvariants, LoadRoundsNeverMeasureWorseThanRoundZero) {
+  expect_clean(kFuzzLoadRounds, 80'000, 40);
+}
+
 TEST(FuzzPipeline, QuickSweepAllInvariants) {
   expect_clean(kFuzzAllInvariants, 1, 200);
 }
@@ -101,6 +105,18 @@ TEST(FuzzPipeline, InjectedBackendBugIsDetected) {
   ASSERT_FALSE(r.ok) << "injected bug went unnoticed";
   ASSERT_EQ(r.violations.size(), 1u);
   EXPECT_EQ(r.violations[0].invariant, "BackendCross");
+}
+
+TEST(FuzzPipeline, InjectedLoadBugIsDetected) {
+  // And for the tenth: a load-aware flow that ever measured worse than
+  // its own round 0 must be caught.
+  FuzzOptions opt;
+  opt.invariants = kFuzzLoadRounds;
+  opt.inject_load_bug = true;
+  FuzzReport r = run_fuzz_seed(1, opt);
+  ASSERT_FALSE(r.ok) << "injected bug went unnoticed";
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].invariant, "LoadRounds");
 }
 
 TEST(FuzzLong, DeepSweep) {

@@ -1,0 +1,152 @@
+// Edge cases of the timing backward passes and their consumers — the
+// latent bugs fixed in the load-aware-rounds sweep:
+//   * unwired latch placeholders (empty fanins()) must not crash the
+//     analyzers or the fanout passes;
+//   * latch D pins are timing endpoints: they seed required times and
+//     get endpoint criticality in buffering (not the latch instance's
+//     Q-side slack, which is +inf when Q is unconstrained);
+//   * unconstrained (zero-fanout) nets keep +inf slack without
+//     poisoning constrained paths, and drive zero load.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "fanout/buffering.hpp"
+#include "fanout/load_timing.hpp"
+#include "library/standard_libs.hpp"
+#include "netlist/assert.hpp"
+#include "timing/timing.hpp"
+
+namespace dagmap {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+const Gate* find_gate(const GateLibrary& lib, const std::string& name) {
+  for (const Gate& g : lib.gates())
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+TEST(TimingEdges, UnwiredLatchPlaceholderDoesNotCrashTheAnalyzers) {
+  GateLibrary lib = make_lib2_library();
+  const Gate* inv = find_gate(lib, "inv");
+  MappedNetlist net("t");
+  InstId a = net.add_input("a");
+  InstId g = net.add_gate(inv, {a});
+  net.add_output(g, "o");
+  net.add_latch_placeholder("ql");  // never wired: fanins() is empty
+
+  TimingReport t = analyze_timing(net);
+  EXPECT_GT(t.delay, 0.0);  // the PO path still measures
+  LoadTimingReport lt = analyze_timing_loaded(net, LoadModel{});
+  EXPECT_GT(lt.delay, 0.0);
+  EXPECT_NEAR(t.delay, inv->pins[0].delay(), 1e-12);
+}
+
+TEST(TimingEdges, LatchDInputIsATimingEndpoint) {
+  GateLibrary lib = make_lib2_library();
+  const Gate* inv = find_gate(lib, "inv");
+  MappedNetlist net("t");
+  InstId a = net.add_input("a");
+  InstId g1 = net.add_gate(inv, {a});
+  InstId g2 = net.add_gate(inv, {g1});
+  InstId l = net.add_latch_placeholder("l");
+  net.connect_latch(l, g2);
+  net.add_output(l, "q");
+
+  TimingReport t = analyze_timing(net);
+  // Delay is the arrival at the latch D input (the PO on Q arrives at 0).
+  EXPECT_NEAR(t.delay, t.arrival[g2], 1e-12);
+  // The D driver is required at the target — the whole chain is
+  // critical, not unconstrained.
+  EXPECT_NEAR(t.required[g2], t.target, 1e-12);
+  EXPECT_NEAR(t.slack[g2], 0.0, 1e-12);
+  EXPECT_NEAR(t.slack[g1], 0.0, 1e-12);
+
+  LoadTimingReport lt = analyze_timing_loaded(net, LoadModel{});
+  EXPECT_NEAR(lt.required[g2], lt.delay, 1e-12);
+  EXPECT_NEAR(lt.slack[g2], 0.0, 1e-12);
+}
+
+TEST(TimingEdges, ZeroFanoutNetsStayUnconstrainedWithoutPoisoning) {
+  GateLibrary lib = make_lib2_library();
+  const Gate* inv = find_gate(lib, "inv");
+  MappedNetlist net("t");
+  InstId a = net.add_input("a");
+  InstId g = net.add_gate(inv, {a});
+  net.add_output(g, "o");
+  InstId dangling = net.add_gate(inv, {g});  // drives nothing
+
+  LoadTimingReport lt = analyze_timing_loaded(net, LoadModel{});
+  // The dangling gate's output net has zero load and no required time.
+  EXPECT_EQ(lt.net_load[dangling], 0.0);
+  EXPECT_EQ(lt.required[dangling], kInf);
+  EXPECT_EQ(lt.slack[dangling], kInf);
+  // Its arrival is still computed (it loads its fanin).
+  EXPECT_GT(lt.arrival[dangling], lt.arrival[g]);
+  // The constrained path keeps a finite required time: the +inf from
+  // the dangling branch never propagates backward into it.
+  EXPECT_LT(lt.required[g], kInf);
+  EXPECT_NEAR(lt.slack[g], 0.0, 1e-12);
+
+  TimingReport t = analyze_timing(net);
+  EXPECT_EQ(t.slack[dangling], kInf);
+  EXPECT_NEAR(t.slack[g], 0.0, 1e-12);
+}
+
+TEST(TimingEdges, BufferingKeepsCriticalLatchDNearTheDriver) {
+  // Regression: latch consumers used to be ranked by the latch
+  // instance's slack — the Q-side value, +inf when Q is unconstrained —
+  // so a critical D endpoint sorted dead last and sank to the bottom of
+  // the buffer tree.  With endpoint criticality it must connect
+  // directly to the driver while the unconstrained consumers take the
+  // buffers.
+  GateLibrary lib = make_lib2_library();
+  const Gate* inv = find_gate(lib, "inv");
+  MappedNetlist net("t");
+  InstId a = net.add_input("a");
+  InstId drv = net.add_gate(inv, {a});
+  // 12 unconstrained consumers (drive nothing): +inf slack.
+  for (int i = 0; i < 12; ++i) net.add_gate(inv, {drv});
+  // The latch D endpoint — created last, so a criticality tie would
+  // leave it at the very end of the stable sort.
+  InstId l = net.add_latch_placeholder("l");
+  net.connect_latch(l, drv);
+  net.add_output(l, "q");
+
+  BufferOptions opt;
+  opt.max_branch = 4;
+  BufferResult r = buffer_fanouts(net, lib, opt);
+  ASSERT_GT(r.buffers_inserted, 0u);
+  r.netlist.check();
+
+  // The rebuilt latch's D driver must be the (non-buffer) driver gate
+  // itself, not a buffer inserted for the slack-rich consumers.
+  ASSERT_EQ(r.netlist.latches().size(), 1u);
+  InstId l2 = r.netlist.latches()[0];
+  ASSERT_EQ(r.netlist.fanins(l2).size(), 1u);
+  InstId d = r.netlist.fanins(l2)[0];
+  ASSERT_EQ(r.netlist.kind(d), Instance::Kind::GateInst);
+  EXPECT_FALSE(r.netlist.gate(d)->is_buffer());
+}
+
+TEST(TimingEdges, BufferingRejectsAnUnwiredLatchPlaceholderCleanly) {
+  GateLibrary lib = make_lib2_library();
+  const Gate* inv = find_gate(lib, "inv");
+  MappedNetlist net("t");
+  InstId a = net.add_input("a");
+  InstId g = net.add_gate(inv, {a});
+  for (int i = 0; i < 8; ++i)
+    net.add_output(net.add_gate(inv, {g}), "o" + std::to_string(i));
+  net.add_latch_placeholder("loose");
+
+  BufferOptions opt;
+  opt.max_branch = 3;
+  // Used to read past an empty fanin span (undefined behavior); the
+  // rebuilt netlist's own check now reports the unwired latch instead.
+  EXPECT_THROW(buffer_fanouts(net, lib, opt), ContractError);
+}
+
+}  // namespace
+}  // namespace dagmap

@@ -1,0 +1,259 @@
+// Liberty-subset reader (io/liberty.hpp): golden-fixture parsing, NLDM
+// block+slope collapse, per-arc timing, sequential-cell skipping,
+// malformed-input rejection (never a crash), locale independence, and
+// the parse -> GateLibrary -> map round trip.
+#include "io/liberty.hpp"
+
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <fstream>
+#include <locale>
+#include <sstream>
+#include <string>
+
+#include "core/dag_mapper.hpp"
+#include "decomp/tech_decomp.hpp"
+#include "io/blif.hpp"
+#include "io/expr.hpp"
+#include "library/gate_library.hpp"
+#include "sim/simulator.hpp"
+
+namespace dagmap {
+namespace {
+
+std::string data_path(const std::string& rel) {
+  return std::string(DAGMAP_TEST_DATA_DIR) + "/" + rel;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string golden_text() { return slurp(data_path("golden.lib")); }
+
+const GenlibGate* find(const LibertyLibrary& lib, const std::string& name) {
+  for (const GenlibGate& g : lib.gates)
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+TEST(Liberty, SniffsTheFormat) {
+  EXPECT_TRUE(looks_like_liberty(golden_text()));
+  EXPECT_TRUE(looks_like_liberty("  /* c */ library(x) { }"));
+  EXPECT_FALSE(looks_like_liberty("GATE inv 1 O=!a;\n PIN * INV 1 999 1 0 1 0"));
+  EXPECT_FALSE(looks_like_liberty(""));
+  EXPECT_FALSE(looks_like_liberty("library without parens"));
+}
+
+TEST(Liberty, ParsesTheGoldenFixture) {
+  LibertyLibrary lib = parse_liberty(golden_text());
+  EXPECT_EQ(lib.name, "golden_lib");
+  EXPECT_EQ(lib.gates.size(), 6u);   // INV, NAND2, NOR2, AND2, AOI21, XOR2
+  EXPECT_EQ(lib.cells_skipped, 2u);  // DFFX1 (sequential), TBUFX1 (no function)
+  EXPECT_EQ(find(lib, "DFFX1"), nullptr);
+  EXPECT_EQ(find(lib, "TBUFX1"), nullptr);
+}
+
+TEST(Liberty, LinearArcsMapDirectly) {
+  LibertyLibrary lib = parse_liberty(golden_text());
+  const GenlibGate* nor2 = find(lib, "NOR2X1");
+  ASSERT_NE(nor2, nullptr);
+  EXPECT_DOUBLE_EQ(nor2->area, 2.0);
+  ASSERT_EQ(nor2->pins.size(), 2u);
+  for (const GenlibPin& p : nor2->pins) {
+    EXPECT_DOUBLE_EQ(p.input_load, 1.0);
+    EXPECT_DOUBLE_EQ(p.rise_block, 2.4);
+    EXPECT_DOUBLE_EQ(p.rise_fanout, 0.25);
+    EXPECT_DOUBLE_EQ(p.fall_block, 2.2);
+    EXPECT_DOUBLE_EQ(p.fall_fanout, 0.2);
+  }
+}
+
+TEST(Liberty, OneDimensionalNldmCollapsesToBlockPlusSlope) {
+  // INVX1's cell_rise over loads {0.5, 1, 2, 4} is exactly 1.0 + 0.2*L,
+  // so the least-squares fit must recover block/slope exactly.
+  LibertyLibrary lib = parse_liberty(golden_text());
+  const GenlibGate* inv = find(lib, "INVX1");
+  ASSERT_NE(inv, nullptr);
+  ASSERT_EQ(inv->pins.size(), 1u);
+  EXPECT_NEAR(inv->pins[0].rise_block, 1.0, 1e-9);
+  EXPECT_NEAR(inv->pins[0].rise_fanout, 0.2, 1e-9);
+  EXPECT_NEAR(inv->pins[0].fall_block, 0.9, 1e-9);
+  EXPECT_NEAR(inv->pins[0].fall_fanout, 0.2, 1e-9);
+}
+
+TEST(Liberty, TwoDimensionalNldmAveragesOverTheTransitionAxis) {
+  // NAND2X1's rows (transition axis) average to 1.9 + 0.2*L rise and
+  // 1.8 + 0.2*L fall; the template names which axis is capacitance.
+  LibertyLibrary lib = parse_liberty(golden_text());
+  const GenlibGate* nand2 = find(lib, "NAND2X1");
+  ASSERT_NE(nand2, nullptr);
+  ASSERT_EQ(nand2->pins.size(), 2u);
+  for (const GenlibPin& p : nand2->pins) {
+    EXPECT_NEAR(p.rise_block, 1.9, 1e-9);
+    EXPECT_NEAR(p.rise_fanout, 0.2, 1e-9);
+    EXPECT_NEAR(p.fall_block, 1.8, 1e-9);
+    EXPECT_NEAR(p.fall_fanout, 0.2, 1e-9);
+  }
+}
+
+TEST(Liberty, PerArcTimingKeysOnRelatedPin) {
+  LibertyLibrary lib = parse_liberty(golden_text());
+  const GenlibGate* aoi = find(lib, "AOI21X1");
+  ASSERT_NE(aoi, nullptr);
+  ASSERT_EQ(aoi->pins.size(), 3u);
+  // Pins follow the function's variable order: A, B, C.
+  EXPECT_EQ(aoi->pins[0].name, "A");
+  EXPECT_EQ(aoi->pins[1].name, "B");
+  EXPECT_EQ(aoi->pins[2].name, "C");
+  EXPECT_DOUBLE_EQ(aoi->pins[0].rise_block, 3.1);
+  EXPECT_DOUBLE_EQ(aoi->pins[1].rise_block, 3.1);
+  EXPECT_DOUBLE_EQ(aoi->pins[2].rise_block, 2.5);  // C's own, faster arc
+  EXPECT_DOUBLE_EQ(aoi->pins[2].fall_block, 2.3);
+  EXPECT_DOUBLE_EQ(aoi->pins[0].input_load, 1.1);
+  EXPECT_DOUBLE_EQ(aoi->pins[2].input_load, 1.2);
+}
+
+TEST(Liberty, XorFunctionsExpand) {
+  // "A ^ B" has no direct Expr form; the reader expands it on the spot.
+  LibertyLibrary lib = parse_liberty(golden_text());
+  const GenlibGate* x = find(lib, "XOR2X1");
+  ASSERT_NE(x, nullptr);
+  ASSERT_EQ(x->pins.size(), 2u);
+  EXPECT_NEAR(x->pins[0].rise_block, 3.4, 1e-9);
+  EXPECT_NEAR(x->pins[0].rise_fanout, 0.4, 1e-9);
+  // Truth-table check through the library build: 2-input XOR is 0110.
+  GateLibrary built = GateLibrary::from_genlib(lib.gates, lib.name);
+  const Gate* gx = nullptr;
+  for (const Gate& g : built.gates())
+    if (g.name == "XOR2X1") gx = &g;
+  ASSERT_NE(gx, nullptr);
+  ASSERT_EQ(gx->num_inputs(), 2u);
+  EXPECT_FALSE(gx->function.bit(0));  // A=0 B=0
+  EXPECT_TRUE(gx->function.bit(1));   // A=1 B=0
+  EXPECT_TRUE(gx->function.bit(2));   // A=0 B=1
+  EXPECT_FALSE(gx->function.bit(3));  // A=1 B=1
+}
+
+TEST(Liberty, ParseToLibraryToMapRoundTrip) {
+  LibertyLibrary parsed = parse_liberty(golden_text());
+  GateLibrary lib = GateLibrary::from_genlib(parsed.gates, parsed.name);
+  ASSERT_TRUE(lib.is_complete_for_mapping());
+  Network circuit = parse_blif(slurp(data_path("golden/full_adder.blif")));
+  Network subject = tech_decompose(circuit);
+  MapResult r = dag_map(subject, lib);
+  EXPECT_GT(r.netlist.num_gates(), 0u);
+  EXPECT_TRUE(check_equivalence(circuit, r.netlist.to_network()).equivalent);
+}
+
+TEST(Liberty, RejectsTruncationEverywhere) {
+  // Cutting the file at any coarse prefix must raise ParseError (or,
+  // for a prefix that happens to still close the library group before
+  // any cell, the "no usable cells" error) — never crash or hang.
+  std::string text = golden_text();
+  for (std::size_t cut = 1; cut < text.size(); cut += 97) {
+    std::string prefix = text.substr(0, cut);
+    EXPECT_THROW(parse_liberty(prefix), ParseError) << "prefix " << cut;
+  }
+}
+
+TEST(Liberty, RejectsMalformedInput) {
+  EXPECT_THROW(parse_liberty(""), ParseError);
+  EXPECT_THROW(parse_liberty("not liberty at all"), ParseError);
+  // GENLIB text is not Liberty.
+  EXPECT_THROW(parse_liberty("GATE inv 1 O=!a;\n PIN * INV 1 999 1 0 1 0"),
+               ParseError);
+  // Unbalanced braces.
+  EXPECT_THROW(parse_liberty("library (l) { cell (c) { }"), ParseError);
+  EXPECT_THROW(parse_liberty("library (l) { } }"), ParseError);
+  // A library with no usable combinational cell.
+  EXPECT_THROW(parse_liberty("library (l) { }"), ParseError);
+  // NaN / inf table entries must be rejected, not fitted.
+  const char* nan_lib =
+      "library (l) { cell (inv) { area : 1;"
+      " pin (A) { direction : input; capacitance : 1; }"
+      " pin (Y) { direction : output; function : \"A'\";"
+      " timing () { related_pin : \"A\";"
+      " cell_rise (t) { index_1 (\"1, 2\"); values (\"nan, 2.0\"); } } } } }";
+  EXPECT_THROW(parse_liberty(nan_lib), ParseError);
+  const char* inf_lib =
+      "library (l) { cell (inv) { area : 1;"
+      " pin (A) { direction : input; capacitance : 1; }"
+      " pin (Y) { direction : output; function : \"A'\";"
+      " timing () { related_pin : \"A\"; intrinsic_rise : inf;"
+      " intrinsic_fall : 1; } } } }";
+  EXPECT_THROW(parse_liberty(inf_lib), ParseError);
+}
+
+TEST(Liberty, SkippingIsNotAnErrorWhileUsableCellsRemain) {
+  // A multi-output cell is skipped, and the rest of the library loads.
+  std::string text =
+      "library (l) {\n"
+      "  cell (weird) { area : 1;\n"
+      "    pin (A) { direction : input; capacitance : 1; }\n"
+      "    pin (X) { direction : output; function : \"A\"; }\n"
+      "    pin (Y) { direction : output; function : \"A'\"; }\n"
+      "  }\n"
+      "  cell (inv) { area : 1;\n"
+      "    pin (A) { direction : input; capacitance : 1; }\n"
+      "    pin (Y) { direction : output; function : \"A'\";\n"
+      "      timing () { related_pin : \"A\"; intrinsic_rise : 1;\n"
+      "        intrinsic_fall : 1; } }\n"
+      "  }\n"
+      "}\n";
+  LibertyLibrary lib = parse_liberty(text);
+  EXPECT_EQ(lib.gates.size(), 1u);
+  EXPECT_EQ(lib.cells_skipped, 1u);
+  EXPECT_EQ(lib.gates[0].name, "inv");
+}
+
+// A numpunct facet with ',' as the decimal point — what a de_DE-style
+// locale installs.  Injected directly so the test does not depend on
+// which locales the host has generated.
+struct CommaDecimal : std::numpunct<char> {
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+class CommaLocaleGuard {
+ public:
+  CommaLocaleGuard()
+      : cxx_previous_(std::locale::global(
+            std::locale(std::locale::classic(), new CommaDecimal))) {
+    for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "de_DE"}) {
+      if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+        c_changed_ = true;
+        break;
+      }
+    }
+  }
+  ~CommaLocaleGuard() {
+    std::locale::global(cxx_previous_);
+    if (c_changed_) std::setlocale(LC_NUMERIC, "C");
+  }
+
+ private:
+  std::locale cxx_previous_;
+  bool c_changed_ = false;
+};
+
+TEST(Liberty, ParsesDotDecimalsUnderCommaLocale) {
+  // Liberty numbers are '.'-formatted by definition; the reader goes
+  // through parse_double_strict, so a comma-decimal process locale must
+  // change nothing.
+  CommaLocaleGuard guard;
+  LibertyLibrary lib = parse_liberty(golden_text());
+  const GenlibGate* inv = find(lib, "INVX1");
+  ASSERT_NE(inv, nullptr);
+  EXPECT_NEAR(inv->pins[0].rise_block, 1.0, 1e-9);
+  EXPECT_NEAR(inv->pins[0].rise_fanout, 0.2, 1e-9);
+}
+
+}  // namespace
+}  // namespace dagmap

@@ -5,6 +5,10 @@
 //
 // Options:
 //   --library <file.genlib>   gate library (default: built-in lib2-like)
+//   --liberty <file.lib>      Liberty-subset gate library instead of
+//                             GENLIB (cells/pins/function/capacitance,
+//                             linear or NLDM timing collapsed to
+//                             block+slope; see io/liberty.hpp)
 //   --lib44 <1|2|3>           use a built-in 44-family library instead
 //   --mapper <dag|tree|choice> covering algorithm   (default: dag)
 //   --backend <structural|cuts> match/candidate engine (default:
@@ -20,6 +24,13 @@
 //                             times (default 1)
 //   --delay-factor <x>        required-time slack factor for the area
 //                             rounds, >= 1.0 (default 1.0)
+//   --load-rounds <n>         iterated load-aware mapping: measure the
+//                             mapping under the linear load model,
+//                             re-price the library pin delays with the
+//                             measured loads, re-map, keep the best
+//                             measured round (never worse than round 0;
+//                             works with both backends; default 0 = the
+//                             paper's load-oblivious flow)
 //   --match <standard|extended>                     (default: standard)
 //   --supergates[=depth]      augment the library with generated
 //                             supergates before mapping (depth default 2)
@@ -70,6 +81,7 @@
 #include "fanout/buffering.hpp"
 #include "fanout/lt_tree.hpp"
 #include "fanout/sizing.hpp"
+#include "io/number.hpp"
 #include "mapnet/write.hpp"
 #include "supergate/supergate.hpp"
 
@@ -80,6 +92,8 @@ namespace {
 struct CliOptions {
   std::string circuit_path;
   std::string library_path;
+  std::string liberty_path;
+  unsigned load_rounds = 0;
   int lib44 = 0;
   std::string mapper = "dag";
   std::string backend = "structural";
@@ -112,10 +126,12 @@ struct CliOptions {
 [[noreturn]] void usage(const char* msg = nullptr) {
   if (msg) std::fprintf(stderr, "error: %s\n", msg);
   std::fprintf(stderr,
-               "usage: dagmap_cli [--library F.genlib | --lib44 N] "
+               "usage: dagmap_cli [--library F.genlib | --liberty F.lib | "
+               "--lib44 N] "
                "[--mapper dag|tree|choice] [--backend structural|cuts] "
                "[--cut-size N] [--cut-count N] [--rounds N] "
-               "[--delay-factor X] [--match standard|extended] "
+               "[--delay-factor X] [--load-rounds N] "
+               "[--match standard|extended] "
                "[--supergates[=D]] "
                "[--threads N] [--partition[=W] | --no-partition] "
                "[--profile[=trace.json]] [--area-recovery] "
@@ -134,7 +150,23 @@ CliOptions parse_args(int argc, char** argv) {
       if (++i >= argc) usage("missing argument value");
       return argv[i];
     };
+    // Double-valued flags parse locale-independently (io/number.hpp):
+    // std::stod honors LC_NUMERIC and silently truncates "1.5" to 1.0
+    // under a comma-decimal locale.
+    auto next_double = [&](const char* flag) -> double {
+      std::string v = next();
+      std::optional<double> d = parse_double_strict(v);
+      if (!d)
+        usage((std::string("bad ") + flag + " value `" + v + "`").c_str());
+      return *d;
+    };
     if (a == "--library") o.library_path = next();
+    else if (a == "--liberty") o.liberty_path = next();
+    else if (a.rfind("--liberty=", 0) == 0)
+      o.liberty_path = a.substr(std::strlen("--liberty="));
+    else if (a == "--load-rounds") o.load_rounds = std::stoul(next());
+    else if (a.rfind("--load-rounds=", 0) == 0)
+      o.load_rounds = std::stoul(a.substr(std::strlen("--load-rounds=")));
     else if (a == "--lib44") o.lib44 = std::stoi(next());
     else if (a == "--mapper") o.mapper = next();
     else if (a == "--backend") o.backend = next();
@@ -143,7 +175,7 @@ CliOptions parse_args(int argc, char** argv) {
     else if (a == "--cut-size") o.cut_size = std::stoul(next());
     else if (a == "--cut-count") o.cut_count = std::stoul(next());
     else if (a == "--rounds") o.rounds = std::stoul(next());
-    else if (a == "--delay-factor") o.delay_factor = std::stod(next());
+    else if (a == "--delay-factor") o.delay_factor = next_double("--delay-factor");
     else if (a == "--match") o.match = next();
     else if (a == "--supergates") o.supergate_depth = 2, o.supergates_set = true;
     else if (a.rfind("--supergates=", 0) == 0) {
@@ -188,6 +220,10 @@ CliOptions parse_args(int argc, char** argv) {
   if (o.cut_count < 1) usage("bad --cut-count (want >= 1)");
   if (o.rounds < 1) usage("bad --rounds (want >= 1)");
   if (o.delay_factor < 1.0) usage("bad --delay-factor (want >= 1.0)");
+  if (!o.liberty_path.empty() && (!o.library_path.empty() || o.lib44 > 0))
+    usage("--liberty excludes --library and --lib44");
+  if (o.load_rounds > 0 && (o.mapper == "tree" || o.mapper == "choice"))
+    usage("--load-rounds applies to the dag/cuts mapping flows");
   if (o.backend == "cuts" && o.mapper != "dag")
     usage("--backend=cuts applies to the default --mapper dag flow");
   if (o.circuit_path.empty() && o.save_lib_path.empty() && !o.serve)
@@ -206,7 +242,10 @@ int main(int argc, char** argv) try {
   if (opt.serve) {
     ServeOptions sopt;
     sopt.num_threads = opt.threads;
-    sopt.default_library = opt.library_path;  // empty = per-request only
+    // Either source works: the registry sniffs Liberty vs GENLIB.
+    sopt.default_library = !opt.library_path.empty()
+                               ? opt.library_path
+                               : opt.liberty_path;  // empty = per-request
     sopt.default_compile.supergate_depth = opt.supergate_depth;
     sopt.default_compile.num_threads = opt.threads;
     ServeSummary s = run_serve(std::cin, std::cout, sopt);
@@ -228,12 +267,18 @@ int main(int argc, char** argv) try {
   // every run; these flags route through libcache/ instead.
   std::string lib_name =
       !opt.library_path.empty() ? opt.library_path
+      : !opt.liberty_path.empty() ? opt.liberty_path
       : opt.lib44 > 0 ? "44-" + std::to_string(opt.lib44) + "-like"
                       : "lib2-like";
   auto genlib_source_text = [&]() -> std::string {
-    if (!opt.library_path.empty()) {
-      std::ifstream in(opt.library_path, std::ios::binary);
-      if (!in) usage("cannot read --library file");
+    // Raw file bytes for either format: compile_library and the
+    // registry sniff Liberty vs GENLIB from the text itself, and the
+    // artifact content hash runs over these bytes.
+    std::string path =
+        !opt.library_path.empty() ? opt.library_path : opt.liberty_path;
+    if (!path.empty()) {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) usage("cannot read library file");
       std::ostringstream ss;
       ss << in.rdbuf();
       return ss.str();
@@ -253,7 +298,8 @@ int main(int argc, char** argv) try {
                    loaded.error.c_str());
       return 1;
     }
-    if (!opt.library_path.empty() || opt.lib44 > 0) {
+    if (!opt.library_path.empty() || !opt.liberty_path.empty() ||
+        opt.lib44 > 0) {
       // Without an explicit --supergates the artifact defines the
       // generation options, so validation only asks whether the genlib
       // source still matches; with one, the options must match too.
@@ -336,6 +382,13 @@ int main(int argc, char** argv) try {
   std::vector<GenlibGate> base_gates = [&] {
     if (clib) return std::vector<GenlibGate>{};  // came precompiled
     obs::Scope scope("library.read");
+    if (!opt.liberty_path.empty()) {
+      LibertyLibrary ll = read_liberty_file(opt.liberty_path);
+      if (ll.cells_skipped)
+        std::printf("liberty %s: %zu combinational cells (%zu skipped)\n",
+                    ll.name.c_str(), ll.gates.size(), ll.cells_skipped);
+      return std::move(ll.gates);
+    }
     return !opt.library_path.empty() ? read_genlib_file(opt.library_path)
          : opt.lib44 > 0             ? make_44_genlib(opt.lib44)
                                      : parse_genlib(lib2_genlib_text());
@@ -374,6 +427,7 @@ int main(int argc, char** argv) try {
   if (opt.match == "extended") mopt.match_class = MatchClass::Extended;
   else if (opt.match != "standard") usage("bad --match value");
   if (clib) mopt.pattern_index = &clib->index;
+  mopt.load_rounds = opt.load_rounds;
 
   MapResult result;
   Network subject;
@@ -395,6 +449,7 @@ int main(int argc, char** argv) try {
       copt.partition_mode = mopt.partition_mode;
       copt.partition_window = mopt.partition_window;
       copt.pattern_index = mopt.pattern_index;
+      copt.load_rounds = opt.load_rounds;
       result = cut_map(subject, lib, copt);
     } else if (opt.mapper == "dag") result = dag_map(subject, lib, mopt);
     else if (opt.mapper == "tree") result = tree_map(subject, lib);
@@ -412,6 +467,12 @@ int main(int argc, char** argv) try {
               result.optimal_delay,
               result.netlist.total_area(), result.netlist.num_gates(),
               result.cpu_seconds);
+  if (opt.load_rounds > 0)
+    std::printf(
+        "load rounds: %zu measured, best round %u, loaded delay "
+        "%.3f -> %.3f\n",
+        result.load_round_delays.size(), result.load_round_selected,
+        result.loaded_delay_round0, result.loaded_delay);
   if (opt.stats) {
     MappingStats st = mapping_stats(subject, result.netlist);
     std::printf("stats: %zu/%zu covered subject nodes duplicated; "
@@ -441,6 +502,9 @@ int main(int argc, char** argv) try {
     // Sized variants of the source library (x1/x2/x4).
     std::string text = !opt.library_path.empty()
                            ? write_genlib(read_genlib_file(opt.library_path))
+                       : !opt.liberty_path.empty()
+                           ? write_genlib(
+                                 read_liberty_file(opt.liberty_path).gates)
                        : opt.lib44 > 0 ? write_genlib(make_44_genlib(opt.lib44))
                                        : lib2_genlib_text();
     static GateLibrary sized =

@@ -9,8 +9,10 @@
 // invariant suite (equivalence, oracle-optimality, tree >= DAG,
 // Extended <= Standard, thread determinism, supergate dominance — the
 // supergate-augmented library never maps slower than the base library —
-// and the backend cross-check: the priority-cut engine never maps slower
-// than the structural mapper; see check/fuzz_pipeline.hpp).
+// the backend cross-check: the priority-cut engine never maps slower
+// than the structural mapper — and the load-rounds bound: the iterated
+// load-aware flow never measures worse than the load-oblivious round 0;
+// see check/fuzz_pipeline.hpp).
 // On a violation with --shrink, a delta-debugging pass minimizes the
 // instance and writes repro.blif + repro.genlib plus the replay command.
 // --inject-bug corrupts the labels on purpose (test hook), so the
@@ -34,6 +36,7 @@ struct Args {
   bool inject_bug = false;
   bool lib_cache_only = false;
   bool backend_cross_only = false;
+  bool load_rounds_only = false;
   std::string out_dir = ".";
   std::string replay_blif, replay_genlib;
   unsigned min_nodes = 8;
@@ -46,7 +49,8 @@ int usage() {
       "usage: dagmap_fuzz [--seeds N] [--seed S] [--min-nodes N] "
       "[--max-nodes N] [--shrink]\n"
       "                   [--inject-bug] [--lib-cache] [--backend-cross] "
-      "[--out DIR]\n"
+      "[--load-rounds]\n"
+      "                   [--out DIR]\n"
       "       dagmap_fuzz --replay circuit.blif library.genlib\n");
   return 2;
 }
@@ -67,6 +71,14 @@ FuzzOptions fuzz_options(const Args& args) {
   if (args.backend_cross_only) {
     opt.invariants = kFuzzBackendCross;
     opt.inject_backend_bug = args.inject_bug;
+    opt.inject_label_bug = false;
+  }
+  // --load-rounds: restrict to the load-aware keep-best bound and
+  // equivalence (invariant #10); --inject-bug then corrupts the measured
+  // load-aware delay instead of the labels.
+  if (args.load_rounds_only) {
+    opt.invariants = kFuzzLoadRounds;
+    opt.inject_load_bug = args.inject_bug;
     opt.inject_label_bug = false;
   }
   return opt;
@@ -97,9 +109,10 @@ void write_repro(const Args& args, const Network& circuit,
   write_blif_file(circuit, blif_path);
   std::ofstream(lib_path) << library_text;
   std::printf("repro written: %s %s\n", blif_path.c_str(), lib_path.c_str());
-  std::printf("replay with:   dagmap_fuzz%s%s --replay %s %s\n",
+  std::printf("replay with:   dagmap_fuzz%s%s%s --replay %s %s\n",
               args.inject_bug ? " --inject-bug" : "",
               args.backend_cross_only ? " --backend-cross" : "",
+              args.load_rounds_only ? " --load-rounds" : "",
               blif_path.c_str(), lib_path.c_str());
 }
 
@@ -142,6 +155,8 @@ int main(int argc, char** argv) try {
       args.lib_cache_only = true;
     } else if (a == "--backend-cross") {
       args.backend_cross_only = true;
+    } else if (a == "--load-rounds") {
+      args.load_rounds_only = true;
     } else if (a == "--replay") {
       const char* b = value();
       const char* g = value();

@@ -6,8 +6,8 @@
 #include <cstdio>
 
 #include "boolmatch/bool_mapper.hpp"
-#include "core/choice_map.hpp"
 #include "core/stats.hpp"
+#include "decomp/choices.hpp"
 #include "dagmap/dagmap.hpp"
 
 using namespace dagmap;
@@ -25,7 +25,8 @@ int main(int argc, char** argv) {
   MapResult tree = tree_map(sg, lib);
   MapResult dag = dag_map(sg, lib);
   ChoiceDecomposition choices = tech_decompose_choices(circuit);
-  MapResult choice = dag_map_choices(choices, lib);
+  MapResult choice =
+      dag_map(choices.subject, lib, {.choices = &choices.classes});
   MapResult boolm = bool_map(sg, lib);
 
   std::printf("\n%-22s %10s %10s %8s\n", "mapper", "delay", "area", "gates");

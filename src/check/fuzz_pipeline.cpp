@@ -6,6 +6,7 @@
 #include "check/reference_cover.hpp"
 #include "core/dag_mapper.hpp"
 #include "cutmap/cut_mapper.hpp"
+#include "decomp/choices.hpp"
 #include "decomp/tech_decomp.hpp"
 #include "gen/circuits.hpp"
 #include "gen/libraries.hpp"
@@ -285,6 +286,50 @@ FuzzReport run_fuzz_instance(const FuzzInstance& instance,
            "load-aware cover differs from the circuit: output " +
                std::to_string(e.failing_output) + " cex " +
                e.counterexample_hex());
+  }
+
+  if (options.invariants & kFuzzChoiceDominance) {
+    // Per-class pricing only ever lowers a leaf price, so on the same
+    // choice subject the annotated mapping's labels are pointwise <= the
+    // unannotated ones (structural backend); the cut backend's candidate
+    // set per node is a superset of the structural matcher's, so its
+    // choice mapping is bounded by the same baseline.  Both covers must
+    // still compute the source circuit through whichever variants the
+    // folds picked.
+    ChoiceDecomposition choice = tech_decompose_choices(instance.circuit);
+    choice.validate();
+    MapResult base =
+        dag_map(choice.subject, lib, {.match_class = MatchClass::Standard});
+    MapResult on = dag_map(choice.subject, lib,
+                           {.match_class = MatchClass::Standard,
+                            .choices = &choice.classes});
+    CutMapOptions ccopt;
+    ccopt.match_class = MatchClass::Standard;
+    ccopt.cut_count = 4;
+    ccopt.choices = &choice.classes;
+    MapResult cut_on = cut_map(choice.subject, lib, ccopt);
+    if (options.inject_choice_bug)
+      on.optimal_delay = base.optimal_delay + 1.0;
+    if (on.optimal_delay > base.optimal_delay + kEps)
+      fail("ChoiceDominance",
+           "choice delay " + std::to_string(on.optimal_delay) +
+               " worse than the choices-off delay " +
+               std::to_string(base.optimal_delay));
+    if (cut_on.optimal_delay > base.optimal_delay + kEps)
+      fail("ChoiceDominance",
+           "cut-backend choice delay " + std::to_string(cut_on.optimal_delay) +
+               " worse than the structural choices-off delay " +
+               std::to_string(base.optimal_delay));
+    for (const auto* r : {&on, &cut_on}) {
+      EquivalenceResult e =
+          check_equivalence(instance.circuit, r->netlist.to_network());
+      if (!e.equivalent)
+        fail("ChoiceDominance",
+             std::string(r == &on ? "structural" : "cut-backend") +
+                 " choice cover differs from the circuit: output " +
+                 std::to_string(e.failing_output) + " cex " +
+                 e.counterexample_hex());
+    }
   }
 
   if (options.invariants & kFuzzLibCache) {

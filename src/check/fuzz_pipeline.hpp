@@ -49,7 +49,17 @@
 //                      load-oblivious round 0 under the same LoadModel —
 //                      round 0 is always a keep-best candidate — and the
 //                      re-mapped cover stays simulation-equivalent to
-//                      the source circuit.
+//                      the source circuit;
+//   ChoiceDominance    mapping the choice-annotated subject
+//                      (decomp/choices.hpp; annotation validated first)
+//                      yields delay <= mapping the same subject with
+//                      choices off, on the structural backend — per-class
+//                      pricing only ever lowers a leaf price — and the
+//                      cut backend's choice mapping also comes in at <=
+//                      the structural choices-off delay (candidate-set
+//                      superset, then the same pricing argument); both
+//                      choice covers stay simulation-equivalent to the
+//                      source circuit.
 //
 // Every violation carries enough detail to reproduce: the seed rebuilds
 // the instance, and check/shrink.hpp minimizes it.  `inject_label_bug`
@@ -78,7 +88,8 @@ enum FuzzInvariant : unsigned {
   kFuzzLibCache = 1u << 7,
   kFuzzBackendCross = 1u << 8,
   kFuzzLoadRounds = 1u << 9,
-  kFuzzAllInvariants = (1u << 10) - 1,
+  kFuzzChoiceDominance = 1u << 10,
+  kFuzzAllInvariants = (1u << 11) - 1,
 };
 
 /// Harness knobs.
@@ -105,6 +116,10 @@ struct FuzzOptions {
   /// before the LoadRounds comparison, making it fail on every instance
   /// — the tenth invariant's detection + shrink path.
   bool inject_load_bug = false;
+  /// Test hook: report the choice-mapped delay as the choices-off delay
+  /// + 1.0 before the ChoiceDominance comparison, making it fail on
+  /// every instance — the eleventh invariant's detection + shrink path.
+  bool inject_choice_bug = false;
 
   // Instance-generation ranges (inclusive), used by make_fuzz_instance.
   unsigned min_inputs = 3, max_inputs = 8;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <numeric>
 #include <optional>
 
+#include "core/choice_pricing.hpp"
 #include "core/parallel.hpp"
 #include "core/partition.hpp"
 #include "dagmap/load_rounds.hpp"
@@ -60,6 +62,14 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
   obs::counter_add("library.patterns", lib.total_patterns());
   result.label.assign(subject.size(), 0.0);
 
+  // Choice-aware leaf pricing (core/choice_pricing.hpp): constructed
+  // only for an active annotation, so the unannotated flow never
+  // touches the hook and stays bit-identical to the historical mapper.
+  const ChoiceClasses* choices =
+      options.choices && options.choices->active() ? options.choices : nullptr;
+  std::optional<ChoicePricing> pricing;
+  if (choices) pricing.emplace(subject, *choices, result.label);
+
   // Fastest match per node (labeling phase); with area recovery we also
   // keep the full match lists to re-select against required times.
   std::vector<std::optional<Match>> fastest(subject.size());
@@ -78,8 +88,8 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
        subject.num_internal() >= options.partition_auto_threshold);
   std::optional<Partitioning> parts;
   if (use_partitions) {
-    parts = partition_subject(subject,
-                              {.window_size = options.partition_window});
+    parts = partition_subject(subject, {.window_size = options.partition_window,
+                                        .choices = choices});
     result.partitioned = true;
     result.num_partitions = parts->num_partitions();
     result.partition_waves = parts->num_waves();
@@ -91,7 +101,12 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
   // match rooted at level L is a strict transitive fanin (level < L), so
   // one level's nodes read only finished labels and label independently.
   std::vector<std::vector<NodeId>> waves;
-  if (!use_partitions) {
+  if (!use_partitions && choices) {
+    // Choice subjects level over the augmented edges of the
+    // anchor-scheduling contract, so every class fold completes a wave
+    // before its first per-class reader.
+    waves = choice_wavefronts(subject, *choices);
+  } else if (!use_partitions) {
     std::vector<std::uint32_t> level(subject.size(), 0);
     std::uint32_t max_level = 0;
     for (NodeId n : order) {
@@ -118,7 +133,8 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
     const Gate* best_gate = nullptr;
     matcher.for_each_match(n, options.match_class, [&](const MatchView& m) {
       ++counters[worker].enumerated;
-      double a = match_arrival(m, result.label);
+      double a = choices ? pricing->match_arrival(m, n)
+                         : match_arrival(m, result.label);
       // Primary criterion: arrival.  Tie-break: gate area, so the
       // delay-optimal mapping does not pick needlessly big gates; then
       // gate name, so the selection is independent of enumeration order.
@@ -139,6 +155,16 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
     DAGMAP_ASSERT_MSG(fastest[n].has_value(),
                       "no match at an internal subject node");
     result.label[n] = best;
+    if (choices) {
+      // Re-point the selected matches' classed leaves at the class-best
+      // variants (folded in an earlier wave by the anchor rule), so all
+      // downstream passes price and descend through plain label[] reads.
+      // Then fold this node's own class if it is the anchor.
+      pricing->rewrite(*fastest[n], n);
+      if (options.area_recovery)
+        for (Match& mm : all_matches[n]) pricing->rewrite(mm, n);
+      pricing->on_labeled(n);
+    }
   };
 
   // The pool outlives labeling: the partitioned cover marking reuses it.
@@ -183,12 +209,34 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
     }
   }
 
+  // Endpoint network: with choices, a copy whose POs / latch D inputs
+  // are moved from the class representatives onto the class-best
+  // variants; the subject itself otherwise.  Every endpoint-driven pass
+  // below (delay, required times, cover) runs against it.
+  std::optional<Network> redirected;
+  if (choices) redirected = pricing->redirect_endpoints(subject);
+  const Network& cnet = choices ? *redirected : subject;
+
+  // Forward evaluation order for the label-consuming passes: Kahn order
+  // normally; id (creation) order for choice subjects, where a
+  // rewritten match can read a class-best leaf that is not a structural
+  // fanin of its root (ids still increase root-ward, Kahn positions may
+  // not).
+  std::vector<NodeId> id_order;
+  if (choices) {
+    id_order.resize(subject.size());
+    std::iota(id_order.begin(), id_order.end(), NodeId{0});
+  }
+  std::span<const NodeId> eval_order =
+      choices ? std::span<const NodeId>(id_order)
+              : std::span<const NodeId>(order);
+
   // Optimal circuit delay: worst label over endpoints.
-  for (const Output& o : subject.outputs())
+  for (const Output& o : cnet.outputs())
     result.optimal_delay = std::max(result.optimal_delay, result.label[o.node]);
-  for (NodeId l : subject.latches())
+  for (NodeId l : cnet.latches())
     result.optimal_delay =
-        std::max(result.optimal_delay, result.label[subject.fanins(l)[0]]);
+        std::max(result.optimal_delay, result.label[cnet.fanins(l)[0]]);
 
   std::vector<std::optional<Match>> chosen = fastest;
 
@@ -208,7 +256,7 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
           af += area_flow[leaf] / std::max<std::uint32_t>(1, fanout[leaf]);
       return af;
     };
-    for (NodeId n : order) {
+    for (NodeId n : eval_order) {
       if (subject.is_source(n)) continue;
       double best = kInf;
       for (const Match& m : all_matches[n])
@@ -226,10 +274,10 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
       required[n] = std::min(required[n], relax_to);
       needed[n] = true;
     };
-    for (const Output& o : subject.outputs()) endpoint(o.node);
-    for (NodeId l : subject.latches()) endpoint(subject.fanins(l)[0]);
+    for (const Output& o : cnet.outputs()) endpoint(o.node);
+    for (NodeId l : cnet.latches()) endpoint(cnet.fanins(l)[0]);
 
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    for (auto it = eval_order.rbegin(); it != eval_order.rend(); ++it) {
       NodeId n = *it;
       if (!needed[n] || subject.is_source(n)) continue;
       const Match* pick = nullptr;
@@ -271,10 +319,11 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
     {
       obs::Scope mark_scope("cover.mark");
       needed = use_partitions
-                   ? mark_cover_partitioned(subject, chosen, *parts, pool)
-                   : mark_cover(subject, chosen);
+                   ? mark_cover_partitioned(cnet, chosen, *parts, pool)
+                   : (choices ? mark_cover(cnet, chosen, eval_order)
+                              : mark_cover(subject, chosen));
     }
-    result.netlist = emit_cover(subject, chosen, needed);
+    result.netlist = emit_cover(cnet, chosen, needed);
   }
 
   // Duplication accounting: walk the used matches (the marked internal
@@ -295,6 +344,15 @@ MapResult dag_map(const Network& subject, const GateLibrary& lib,
     }
     obs::counter_add("cover.nodes_duplicated", result.duplicated_nodes);
     obs::counter_add("cover.covered_instances", result.covered_instances);
+  }
+
+  if (choices) {
+    result.choice_classes = pricing->num_classes();
+    result.choice_variants = pricing->num_variants();
+    result.choice_wins = pricing->num_wins();
+    obs::counter_add("choices.classes", result.choice_classes);
+    obs::counter_add("choices.variants", result.choice_variants);
+    obs::counter_add("choices.wins", result.choice_wins);
   }
 
   result.cpu_seconds =

@@ -50,6 +50,7 @@
 #include "library/gate_library.hpp"
 #include "mapnet/mapped_netlist.hpp"
 #include "match/matcher.hpp"
+#include "netlist/choice_classes.hpp"
 #include "netlist/network.hpp"
 #include "obs/obs.hpp"
 
@@ -124,6 +125,16 @@ struct DagMapOptions {
   /// Electrical environment for the load-aware rounds (and for the
   /// measured `MapResult::loaded_delay`).
   LoadModel load_model;
+  /// Choice annotation of the subject (netlist/choice_classes.hpp;
+  /// produced by `tech_decompose_choices`), or null.  Non-null and
+  /// active makes labeling price every match leaf per choice class
+  /// through the shared `ChoicePricing` hook (core/choice_pricing.hpp),
+  /// rewrites selected matches onto the class-best variants, and
+  /// redirects POs / latch D inputs accordingly — §4's combination with
+  /// Lehman–Watanabe choices.  Must describe the subject being mapped
+  /// and outlive the call.  Null (or an inert annotation) reproduces
+  /// the unannotated flow bit-identically.
+  const ChoiceClasses* choices = nullptr;
 };
 
 /// Result of a mapping run.
@@ -164,6 +175,13 @@ struct MapResult {
   unsigned load_round_selected = 0;
   /// Measured delay of every round in order (front = round 0).
   std::vector<double> load_round_delays;
+  /// Choice-mapping summary (zeros when `DagMapOptions::choices` was
+  /// null/inert): classes with >1 variant, extra variants beyond one per
+  /// class, and classes whose fold beat the structurally referenced
+  /// variant (the class anchor).
+  std::size_t choice_classes = 0;
+  std::size_t choice_variants = 0;
+  std::size_t choice_wins = 0;
 };
 
 /// Maps `subject` (a NAND2/INV subject graph) onto `lib` with

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <numeric>
 
 #include "core/parallel.hpp"
 #include "netlist/assert.hpp"
+#include "netlist/choice_classes.hpp"
 #include "obs/obs.hpp"
 
 namespace dagmap {
@@ -19,14 +21,68 @@ bool marks_as_needed(const Network& subject, NodeId n) {
          !subject.is_source(n);
 }
 
+// Active choice annotation, or null (inert annotations partition
+// exactly like the unannotated subject).
+const ChoiceClasses* active_choices(const PartitionOptions& options) {
+  return options.choices && options.choices->active() ? options.choices
+                                                      : nullptr;
+}
+
+// Augmented fanin enumeration (the anchor-scheduling contract's edge
+// set): the structural fanins, plus anchor(f) for every structural
+// fanin f whose anchor the reader lies beyond, plus — at a class
+// anchor — every sibling member (the fold's reads).  All edges are
+// id-increasing, so id order is a topological order of this graph.
+template <typename Fn>
+void for_each_aug_fanin(const Network& subject, const ChoiceClasses& choices,
+                        NodeId n, Fn&& fn) {
+  for (NodeId f : subject.fanins(n)) {
+    fn(f);
+    NodeId a = choices.anchor(f);
+    if (n > a && a != f) fn(a);
+  }
+  if (choices.is_class_anchor(n))
+    for (NodeId m : choices.members(n))
+      if (m != n) fn(m);
+}
+
 }  // namespace
 
 Partitioning partition_subject(const Network& subject,
                                const PartitionOptions& options) {
   obs::Scope scope("partition.build");
   DAGMAP_ASSERT_MSG(options.window_size >= 1, "window_size must be positive");
-  const auto& order = subject.topo_order();
+  const ChoiceClasses* choices = active_choices(options);
+
+  // Evaluation order: the Kahn order for plain subjects; node-id
+  // (creation) order for choice subjects — the augmented edges are
+  // id-increasing, which Kahn order does not respect.
+  std::vector<NodeId> id_order;
+  if (choices) {
+    id_order.resize(subject.size());
+    std::iota(id_order.begin(), id_order.end(), NodeId{0});
+  }
+  const std::vector<NodeId>& order = choices ? id_order : subject.topo_order();
+
+  // Reader sets: the cached structural CSR view, or the augmented
+  // reader graph (reverse of `for_each_aug_fanin`) for choice subjects.
   FanoutView fanout = subject.fanout_view();
+  std::vector<std::vector<NodeId>> aug_fanout;
+  if (choices) {
+    aug_fanout.resize(subject.size());
+    for (NodeId n = 0; n < subject.size(); ++n) {
+      if (subject.is_source(n)) continue;
+      for_each_aug_fanin(subject, *choices, n,
+                         [&](NodeId f) { aug_fanout[f].push_back(n); });
+    }
+  }
+  auto for_each_reader = [&](NodeId n, auto&& fn) {
+    if (choices) {
+      for (NodeId r : aug_fanout[n]) fn(r);
+    } else {
+      for (NodeId r : fanout[n]) fn(r);
+    }
+  };
 
   Partitioning p;
   p.part_of_.assign(subject.size(), kNullPart);
@@ -44,15 +100,12 @@ Partitioning partition_subject(const Network& subject,
     if (subject.is_source(n)) continue;
     PartId target = kNullPart;
     bool joinable = true;
-    for (NodeId r : fanout[n]) {
-      if (subject.is_source(r)) continue;  // latch D use
+    for_each_reader(n, [&](NodeId r) {
+      if (!joinable || subject.is_source(r)) return;  // latch D use
       PartId pr = p.part_of_[r];
       if (target == kNullPart) target = pr;
-      else if (pr != target) {
-        joinable = false;
-        break;
-      }
-    }
+      else if (pr != target) joinable = false;
+    });
     if (joinable && target != kNullPart &&
         part_size[target] < options.window_size) {
       p.part_of_[n] = target;
@@ -81,18 +134,26 @@ Partitioning partition_subject(const Network& subject,
   // Levels in one forward sweep: every cross edge leaves from a root,
   // and a root is topologically after all members of its partition, so
   // a partition's level is final before any cross reader looks at it.
+  // Choice subjects level over the augmented edges, so a class fold's
+  // wave strictly precedes every per-class reader's wave.
   p.level_.assign(num_parts, 0);
   std::uint32_t max_level = 0;
+  auto level_edge = [&](NodeId f, PartId q) {
+    if (subject.is_source(f)) return;
+    PartId pf = p.part_of_[f];
+    if (pf == q) return;
+    ++p.boundary_edges_;
+    p.level_[q] = std::max(p.level_[q], p.level_[pf] + 1);
+    max_level = std::max(max_level, p.level_[q]);
+  };
   for (NodeId n : order) {
     if (subject.is_source(n)) continue;
     PartId q = p.part_of_[n];
-    for (NodeId f : subject.fanins(n)) {
-      if (subject.is_source(f)) continue;
-      PartId pf = p.part_of_[f];
-      if (pf == q) continue;
-      ++p.boundary_edges_;
-      p.level_[q] = std::max(p.level_[q], p.level_[pf] + 1);
-      max_level = std::max(max_level, p.level_[q]);
+    if (choices) {
+      for_each_aug_fanin(subject, *choices, n,
+                         [&](NodeId f) { level_edge(f, q); });
+    } else {
+      for (NodeId f : subject.fanins(n)) level_edge(f, q);
     }
   }
 
@@ -118,15 +179,21 @@ Partitioning partition_subject(const Network& subject,
 void Partitioning::validate(const Network& subject,
                             const PartitionOptions& options) const {
   std::size_t np = num_partitions();
+  const ChoiceClasses* choices = active_choices(options);
   DAGMAP_ASSERT_MSG(part_of_.size() == subject.size(),
                     "part_of size mismatch");
   DAGMAP_ASSERT_MSG(members_.size() == subject.num_internal(),
                     "members must cover exactly the internal nodes");
 
-  // Topological positions for order checks.
+  // Topological positions for order checks: the order the builder used
+  // (id order for choice subjects, Kahn order otherwise).
   std::vector<std::uint32_t> topo_pos(subject.size(), 0);
-  const auto& order = subject.topo_order();
-  for (std::uint32_t i = 0; i < order.size(); ++i) topo_pos[order[i]] = i;
+  if (choices) {
+    std::iota(topo_pos.begin(), topo_pos.end(), std::uint32_t{0});
+  } else {
+    const auto& order = subject.topo_order();
+    for (std::uint32_t i = 0; i < order.size(); ++i) topo_pos[order[i]] = i;
+  }
 
   // part_of: sources unassigned, internal nodes in range; CSR slices
   // disjoint, consistent with part_of, topologically sorted, capped.
@@ -154,14 +221,27 @@ void Partitioning::validate(const Network& subject,
   }
 
   // Fanout-free-window rule: every non-root member's internal readers
-  // all live in its own partition (hence cross edges leave from roots
-  // only), and the root is the topologically last member.
+  // (augmented readers, for choice subjects) all live in its own
+  // partition (hence cross edges leave from roots only), and the root
+  // is the topologically last member.
   FanoutView fanout = subject.fanout_view();
+  std::vector<std::vector<NodeId>> aug_fanout;
+  if (choices) {
+    aug_fanout.resize(subject.size());
+    for (NodeId n = 0; n < subject.size(); ++n) {
+      if (subject.is_source(n)) continue;
+      for_each_aug_fanin(subject, *choices, n,
+                         [&](NodeId f) { aug_fanout[f].push_back(n); });
+    }
+  }
   for (PartId q = 0; q < np; ++q) {
     std::span<const NodeId> mem = members(q);
     for (std::size_t j = 0; j + 1 < mem.size(); ++j) {
       bool has_internal_reader = false;
-      for (NodeId r : fanout[mem[j]]) {
+      std::span<const NodeId> readers =
+          choices ? std::span<const NodeId>(aug_fanout[mem[j]])
+                  : std::span<const NodeId>(fanout[mem[j]]);
+      for (NodeId r : readers) {
         if (subject.is_source(r)) continue;
         has_internal_reader = true;
         DAGMAP_ASSERT_MSG(part_of_[r] == q,
@@ -172,15 +252,21 @@ void Partitioning::validate(const Network& subject,
     }
   }
 
-  // Levels strictly increase along cross edges; waves group by level.
+  // Levels strictly increase along cross edges (augmented edges for
+  // choice subjects); waves group by level.
   DAGMAP_ASSERT_MSG(level_.size() == np, "level size mismatch");
   for (NodeId n = 0; n < subject.size(); ++n) {
     if (subject.is_source(n)) continue;
-    for (NodeId f : subject.fanins(n)) {
-      if (subject.is_source(f)) continue;
-      if (part_of_[f] == part_of_[n]) continue;
+    auto check_edge = [&](NodeId f) {
+      if (subject.is_source(f)) return;
+      if (part_of_[f] == part_of_[n]) return;
       DAGMAP_ASSERT_MSG(level_[part_of_[f]] < level_[part_of_[n]],
                         "level does not increase along a cross edge");
+    };
+    if (choices) {
+      for_each_aug_fanin(subject, *choices, n, check_edge);
+    } else {
+      for (NodeId f : subject.fanins(n)) check_edge(f);
     }
   }
   DAGMAP_ASSERT_MSG(waves_.size() == np, "waves must list every partition");

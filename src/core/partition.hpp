@@ -45,6 +45,7 @@
 
 namespace dagmap {
 
+class ChoiceClasses;
 class ThreadPool;
 
 /// Index of a partition inside a `Partitioning`.
@@ -59,6 +60,18 @@ struct PartitionOptions {
   /// scheduling.  Reconvergence bounds window growth anyway: a node with
   /// readers in two partitions always roots its own.
   std::uint32_t window_size = 1024;
+  /// Choice annotation of the subject (netlist/choice_classes.hpp), or
+  /// null.  Non-null and active switches the partitioner to the
+  /// *augmented* dependency graph of the anchor-scheduling contract:
+  /// every structural edge f -> n with n beyond f's anchor additionally
+  /// reads anchor(f), and every class member reads into its anchor — so
+  /// a class fold always sits in the reader's own window (before it in
+  /// id order) or in a strictly lower wave, and a representative never
+  /// crosses a window boundary its members' fold cannot follow.  Member
+  /// order inside a window is id (creation) order, the augmented
+  /// graph's topological order.  Null keeps the historical structural
+  /// partitioning bit-identically.
+  const ChoiceClasses* choices = nullptr;
 };
 
 /// A fanout-free-window partitioning of a subject graph's internal

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <numeric>
 #include <optional>
 #include <utility>
 
+#include "core/choice_pricing.hpp"
 #include "core/parallel.hpp"
 #include "core/partition.hpp"
 #include "cutmap/cut_set.hpp"
@@ -112,6 +114,16 @@ MapResult cut_map(const Network& subject, const GateLibrary& lib,
   obs::counter_add("cutmap.npn_gates", npn->num_entries());
 
   result.label.assign(subject.size(), 0.0);
+
+  // Choice-aware leaf pricing (core/choice_pricing.hpp), shared with
+  // dag_map.  Recycling is forced on while choices are active: the
+  // rounds' cut recomputation would drop the merged class sets.
+  const ChoiceClasses* choices =
+      options.choices && options.choices->active() ? options.choices : nullptr;
+  std::optional<ChoicePricing> pricing;
+  if (choices) pricing.emplace(subject, *choices, result.label);
+  const bool recycle_cuts = options.recycle_cuts || choices != nullptr;
+
   // Area-flow estimate of each node's selected cover (cut-ranking input;
   // frozen after the labeling pass so recomputed cut sets are identical).
   std::vector<double> node_af(subject.size(), 0.0);
@@ -129,8 +141,8 @@ MapResult cut_map(const Network& subject, const GateLibrary& lib,
        subject.num_internal() >= options.partition_auto_threshold);
   std::optional<Partitioning> parts;
   if (use_partitions) {
-    parts = partition_subject(subject,
-                              {.window_size = options.partition_window});
+    parts = partition_subject(subject, {.window_size = options.partition_window,
+                                        .choices = choices});
     result.partitioned = true;
     result.num_partitions = parts->num_partitions();
     result.partition_waves = parts->num_waves();
@@ -138,7 +150,9 @@ MapResult cut_map(const Network& subject, const GateLibrary& lib,
     result.partition_max_nodes = parts->max_partition_nodes();
   }
   std::vector<std::vector<NodeId>> waves;
-  if (!use_partitions) {
+  if (!use_partitions && choices) {
+    waves = choice_wavefronts(subject, *choices);
+  } else if (!use_partitions) {
     std::vector<std::uint32_t> level(subject.size(), 0);
     std::uint32_t max_level = 0;
     for (NodeId n : order) {
@@ -183,7 +197,8 @@ MapResult cut_map(const Network& subject, const GateLibrary& lib,
     matcher.for_each_match(n, options.match_class, [&](const MatchView& m) {
       ++w.enumerated;
       Candidate c;
-      c.arrival = match_arrival(m, result.label);
+      c.arrival = choices ? pricing->match_arrival(m, n)
+                          : match_arrival(m, result.label);
       c.area = m.gate->area;
       c.gate = m.gate;
       c.view = &m;
@@ -215,7 +230,8 @@ MapResult cut_map(const Network& subject, const GateLibrary& lib,
             valid = false;
             break;
           }
-          double a = result.label[cut.leaves[leaf_idx]];
+          double a = choices ? pricing->leaf_price(n, cut.leaves[leaf_idx])
+                             : result.label[cut.leaves[leaf_idx]];
           if ((rel.input_negate >> pin) & 1u) {
             a += inv_delay;
             area += inv_area;
@@ -239,13 +255,19 @@ MapResult cut_map(const Network& subject, const GateLibrary& lib,
     }
   };
 
-  auto for_each_pin_leaf = [&](const Candidate& c, auto&& fn) {
+  // Pin leaves as the cover will read them: the class-best variant
+  // beyond a class anchor (matching `ChoicePricing::rewrite` and the
+  // refs counted from rewritten selections), the raw leaf otherwise.
+  auto priced_leaf = [&](NodeId n, NodeId leaf) {
+    return choices ? pricing->price_node(n, leaf) : leaf;
+  };
+  auto for_each_pin_leaf = [&](NodeId n, const Candidate& c, auto&& fn) {
     if (c.is_npn) {
       unsigned ni = c.gate->num_inputs();
       for (unsigned pin = 0; pin < ni; ++pin)
-        fn(c.cut_leaves[c.rel.perm[pin]]);
+        fn(priced_leaf(n, c.cut_leaves[c.rel.perm[pin]]));
     } else {
-      for (NodeId leaf : c.view->pin_binding) fn(leaf);
+      for (NodeId leaf : c.view->pin_binding) fn(priced_leaf(n, leaf));
     }
   };
 
@@ -270,6 +292,63 @@ MapResult cut_map(const Network& subject, const GateLibrary& lib,
             [&](std::size_t i, unsigned worker) { body(wave[i], worker); },
             trace);
     }
+  };
+
+  // Fold-time cut merge: when a class anchor labels, the union of every
+  // member's non-trivial cuts replaces the anchor's own stored set — the
+  // slot readers' cut enumeration actually consults (post-burst
+  // structure references anchors).  Every reader of cuts[anchor] runs in
+  // a wave strictly after the anchor's (the augmented leveling), and
+  // every merged leaf lies inside some member's cone, hence below every
+  // member's level, so both the overwrite and the later leaf reads are
+  // race-free.  Deduped by (leaves, tt), ranked (worst leaf label, leaf
+  // count, leaves) like the priority ranking, capped at cut_count; the
+  // anchor's trivial self-cut stays last.
+  auto merge_class_cuts = [&](NodeId anchor) {
+    std::span<const NodeId> mem = choices->members(anchor);
+    struct MergedCut {
+      std::vector<NodeId> leaves;
+      std::uint16_t tt;
+      double arrival;
+    };
+    std::vector<MergedCut> merged;
+    for (NodeId m : mem) {
+      const CutSet& cs = cuts[m];
+      for (std::size_t i = 0; i < cs.size(); ++i) {
+        CutSet::View cut = cs.cut(i);
+        if (cut.leaves.size() == 1 && cut.leaves[0] == m) continue;  // trivial
+        bool dup = false;
+        for (const MergedCut& mc : merged)
+          if (mc.tt == cut.tt && std::ranges::equal(mc.leaves, cut.leaves)) {
+            dup = true;
+            break;
+          }
+        if (dup) continue;
+        double arrival = 0.0;
+        for (NodeId leaf : cut.leaves)
+          arrival = std::max(arrival, result.label[leaf]);
+        merged.push_back({{cut.leaves.begin(), cut.leaves.end()}, cut.tt,
+                          arrival});
+      }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const MergedCut& a, const MergedCut& b) {
+                if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                if (a.leaves.size() != b.leaves.size())
+                  return a.leaves.size() < b.leaves.size();
+                if (a.leaves != b.leaves) return a.leaves < b.leaves;
+                return a.tt < b.tt;
+              });
+    if (merged.size() > options.cut_count) merged.resize(options.cut_count);
+    CutSet out;
+    for (const MergedCut& mc : merged) out.add(mc.leaves, mc.tt);
+    const CutSet& old_anchor = cuts[anchor];
+    for (std::size_t i = 0; i < old_anchor.size(); ++i) {
+      CutSet::View cut = old_anchor.cut(i);
+      if (cut.leaves.size() == 1 && cut.leaves[0] == anchor)
+        out.add(cut.leaves, cut.tt);  // the trivial self-cut, kept last
+    }
+    cuts[anchor] = std::move(out);
   };
 
   // ---- phase 1: priority cuts + delay-optimal labeling, fused ---------
@@ -303,6 +382,11 @@ MapResult cut_map(const Network& subject, const GateLibrary& lib,
           DAGMAP_ASSERT_MSG(fastest[n].has_value(),
                             "no candidate at an internal subject node");
           result.label[n] = best;
+          if (choices) {
+            pricing->rewrite(*fastest[n], n);
+            pricing->on_labeled(n);
+            if (choices->is_class_anchor(n)) merge_class_cuts(n);
+          }
           double af = best_area;
           for (NodeId leaf : fastest[n]->pin_binding)
             if (!subject.is_source(leaf))
@@ -329,11 +413,27 @@ MapResult cut_map(const Network& subject, const GateLibrary& lib,
     }
   }
 
-  for (const Output& o : subject.outputs())
+  // Endpoint network and forward evaluation order: with choices, the
+  // endpoints move onto the class-best variants and the passes below
+  // walk id (creation) order — rewritten leaves are not structural
+  // fanins of their readers, so Kahn positions no longer bound them.
+  std::optional<Network> redirected;
+  if (choices) redirected = pricing->redirect_endpoints(subject);
+  const Network& cnet = choices ? *redirected : subject;
+  std::vector<NodeId> id_order;
+  if (choices) {
+    id_order.resize(subject.size());
+    std::iota(id_order.begin(), id_order.end(), NodeId{0});
+  }
+  std::span<const NodeId> eval_order =
+      choices ? std::span<const NodeId>(id_order)
+              : std::span<const NodeId>(order);
+
+  for (const Output& o : cnet.outputs())
     result.optimal_delay = std::max(result.optimal_delay, result.label[o.node]);
-  for (NodeId l : subject.latches())
+  for (NodeId l : cnet.latches())
     result.optimal_delay =
-        std::max(result.optimal_delay, result.label[subject.fanins(l)[0]]);
+        std::max(result.optimal_delay, result.label[cnet.fanins(l)[0]]);
 
   std::vector<std::optional<Match>> chosen = fastest;
 
@@ -349,10 +449,10 @@ MapResult cut_map(const Network& subject, const GateLibrary& lib,
     std::vector<double> required(subject.size(), kInf);
     std::vector<std::uint8_t> rneeded(subject.size(), 0);
 
-    if (!options.recycle_cuts) cuts.assign(subject.size(), CutSet{});
+    if (!recycle_cuts) cuts.assign(subject.size(), CutSet{});
 
     for (unsigned r = 1; r < rounds; ++r) {
-      if (!options.recycle_cuts) {
+      if (!recycle_cuts) {
         // Recompute the cut sets from the frozen phase-1 ranking inputs:
         // a node's ranking reads only fanin labels / area-flow values,
         // all finalized, so the recomputation is bit-identical to the
@@ -374,7 +474,7 @@ MapResult cut_map(const Network& subject, const GateLibrary& lib,
             double best = kInf;
             for_each_candidate(n, workers[worker], [&](const Candidate& c) {
               double af = c.area;
-              for_each_pin_leaf(c, [&](NodeId leaf) {
+              for_each_pin_leaf(n, c, [&](NodeId leaf) {
                 if (!subject.is_source(leaf))
                   af += area_flow[leaf] /
                         std::max<std::uint32_t>(1, refs[leaf]);
@@ -396,11 +496,11 @@ MapResult cut_map(const Network& subject, const GateLibrary& lib,
         required[n] = std::min(required[n], target);
         if (!subject.is_source(n)) rneeded[n] = 1;
       };
-      for (const Output& o : subject.outputs()) endpoint(o.node);
-      for (NodeId l : subject.latches()) endpoint(subject.fanins(l)[0]);
+      for (const Output& o : cnet.outputs()) endpoint(o.node);
+      for (NodeId l : cnet.latches()) endpoint(cnet.fanins(l)[0]);
 
       std::uint64_t reselected = 0;
-      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      for (auto it = eval_order.rbegin(); it != eval_order.rend(); ++it) {
         NodeId n = *it;
         if (!rneeded[n]) continue;
         double pick_af = kInf, pick_arrival = kInf, pick_area = kInf;
@@ -410,7 +510,7 @@ MapResult cut_map(const Network& subject, const GateLibrary& lib,
         for_each_candidate(n, workers[0], [&](const Candidate& c) {
           if (c.arrival > required[n] + options.epsilon) return;
           double af = c.area;
-          for_each_pin_leaf(c, [&](NodeId leaf) {
+          for_each_pin_leaf(n, c, [&](NodeId leaf) {
             if (!subject.is_source(leaf))
               af += area_flow[leaf] / std::max<std::uint32_t>(1, refs[leaf]);
           });
@@ -433,6 +533,7 @@ MapResult cut_map(const Network& subject, const GateLibrary& lib,
         });
         DAGMAP_ASSERT_MSG(have,
                           "required time unreachable during an area round");
+        if (choices) pricing->rewrite(pick, n);
         ++reselected;
         for (std::size_t pin = 0; pin < pick.pin_binding.size(); ++pin) {
           NodeId leaf = pick.pin_binding[pin];
@@ -454,7 +555,7 @@ MapResult cut_map(const Network& subject, const GateLibrary& lib,
         }
       }
     }
-    if (!options.recycle_cuts) cuts.assign(subject.size(), CutSet{});
+    if (!recycle_cuts) cuts.assign(subject.size(), CutSet{});
   }
 
   // ---- cover: shared mark/emit split (inverter-aware emission) --------
@@ -464,10 +565,11 @@ MapResult cut_map(const Network& subject, const GateLibrary& lib,
     {
       obs::Scope mark_scope("cover.mark");
       needed = use_partitions
-                   ? mark_cover_partitioned(subject, chosen, *parts, pool)
-                   : mark_cover(subject, chosen);
+                   ? mark_cover_partitioned(cnet, chosen, *parts, pool)
+                   : (choices ? mark_cover(cnet, chosen, eval_order)
+                              : mark_cover(subject, chosen));
     }
-    result.netlist = emit_cover(subject, chosen, needed, {}, inv_gate);
+    result.netlist = emit_cover(cnet, chosen, needed, {}, inv_gate);
   }
 
   // ---- duplication accounting -----------------------------------------
@@ -509,6 +611,15 @@ MapResult cut_map(const Network& subject, const GateLibrary& lib,
     }
     obs::counter_add("cover.nodes_duplicated", result.duplicated_nodes);
     obs::counter_add("cover.covered_instances", result.covered_instances);
+  }
+
+  if (choices) {
+    result.choice_classes = pricing->num_classes();
+    result.choice_variants = pricing->num_variants();
+    result.choice_wins = pricing->num_wins();
+    obs::counter_add("choices.classes", result.choice_classes);
+    obs::counter_add("choices.variants", result.choice_variants);
+    obs::counter_add("choices.wins", result.choice_wins);
   }
 
   result.cpu_seconds =

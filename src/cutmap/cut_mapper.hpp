@@ -81,6 +81,16 @@ struct CutMapOptions {
   /// load-oblivious mapping under the same model.
   unsigned load_rounds = 0;
   LoadModel load_model;
+  /// Choice annotation of the subject, same contract as
+  /// `DagMapOptions::choices`: non-null and active prices every
+  /// candidate leaf per choice class through the shared `ChoicePricing`
+  /// hook, merges the class members' priority cuts into the anchor's
+  /// set at fold time (so readers see every variant's cuts), and
+  /// rewrites selections onto the class-best variants.
+  /// `recycle_cuts` is forced on while choices are active (recomputing
+  /// cut sets would drop the merged classes).  Null reproduces the
+  /// unannotated flow bit-identically.
+  const ChoiceClasses* choices = nullptr;
 };
 
 /// Maps `subject` (a NAND2/INV subject graph) onto `lib` with the

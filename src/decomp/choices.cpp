@@ -1,23 +1,105 @@
 #include "decomp/choices.hpp"
 
+#include <algorithm>
+
 #include "decomp/isop.hpp"
 #include "netlist/assert.hpp"
 
 namespace dagmap {
 
-std::size_t ChoiceDecomposition::num_choices() const {
-  std::size_t n = 0;
-  for (const auto& m : members)
-    if (m.size() > 1) ++n;
-  return n;
+namespace {
+
+bool mentions_var(const Expr& e, const std::string& var) {
+  switch (e.op) {
+    case Expr::Op::Var: return e.var == var;
+    case Expr::Op::Const0:
+    case Expr::Op::Const1: return false;
+    default:
+      return std::any_of(e.operands.begin(), e.operands.end(),
+                         [&](const Expr& o) { return mentions_var(o, var); });
+  }
 }
 
-ChoiceDecomposition tech_decompose_choices(const Network& src) {
+// Brenner–Hermann-style AND-OR path restructuring: re-associates every
+// AND/OR node along the paths containing `var` into a binary split
+// (everything-else, var-side), so the path from `var` to the root
+// crosses one two-input operator per original AND/OR level instead of a
+// chain/tree position chosen blindly.  Purely associative/commutative —
+// the function is unchanged; strash collapses the no-op cases.
+Expr hoist_var(const Expr& e, const std::string& var) {
+  switch (e.op) {
+    case Expr::Op::Var:
+    case Expr::Op::Const0:
+    case Expr::Op::Const1: return e;
+    case Expr::Op::Not: return Expr::make_not(hoist_var(e.operands[0], var));
+    case Expr::Op::And:
+    case Expr::Op::Or: {
+      std::vector<Expr> cold, hot;
+      for (const Expr& o : e.operands) {
+        if (mentions_var(o, var))
+          hot.push_back(hoist_var(o, var));
+        else
+          cold.push_back(o);
+      }
+      if (hot.empty() || cold.empty()) {
+        std::vector<Expr>& ops = hot.empty() ? cold : hot;
+        if (ops.size() == 1) return std::move(ops[0]);
+        return e.op == Expr::Op::And ? Expr::make_and(std::move(ops))
+                                     : Expr::make_or(std::move(ops));
+      }
+      Expr cold_part = cold.size() == 1
+                           ? std::move(cold[0])
+                           : (e.op == Expr::Op::And
+                                  ? Expr::make_and(std::move(cold))
+                                  : Expr::make_or(std::move(cold)));
+      Expr hot_part = hot.size() == 1
+                          ? std::move(hot[0])
+                          : (e.op == Expr::Op::And
+                                 ? Expr::make_and(std::move(hot))
+                                 : Expr::make_or(std::move(hot)));
+      std::vector<Expr> pair;
+      pair.push_back(std::move(cold_part));
+      pair.push_back(std::move(hot_part));
+      return e.op == Expr::Op::And ? Expr::make_and(std::move(pair))
+                                   : Expr::make_or(std::move(pair));
+    }
+  }
+  return e;  // unreachable
+}
+
+}  // namespace
+
+std::optional<unsigned> parse_choice_gens(const std::string& text) {
+  if (text.empty()) return kChoiceGenAll;
+  unsigned gens = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    std::string name = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (name == "balanced") gens |= kChoiceGenBalanced;
+    else if (name == "chain") gens |= kChoiceGenChain;
+    else if (name == "andor") gens |= kChoiceGenAndOr;
+    else if (name == "all") gens |= kChoiceGenAll;
+    else return std::nullopt;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return gens;
+}
+
+ChoiceDecomposition tech_decompose_choices(const Network& src,
+                                           const ChoiceOptions& options) {
+  unsigned gens = options.gens;
+  if (!(gens & (kChoiceGenBalanced | kChoiceGenChain)))
+    gens |= kChoiceGenBalanced;  // a subject needs at least one shape
+  unsigned max_class = std::max(2u, options.max_class_size);
+
   ChoiceDecomposition out;
   out.subject.set_name(src.name());
   Network& net = out.subject;
 
-  std::vector<NodeId> map(src.size(), kNullNode);  // src -> balanced variant
+  std::vector<NodeId> map(src.size(), kNullNode);  // src -> canonical node
 
   const std::vector<NodeId>* current_fanins = nullptr;
   NetworkNandBuilder builder(net, [&](const std::string& name) -> NodeId {
@@ -31,15 +113,6 @@ ChoiceDecomposition tech_decompose_choices(const Network& src) {
   for (NodeId l : src.latches())
     map[l] = net.add_latch_placeholder(src.name(l));
 
-  auto note_choice = [&](NodeId a, NodeId b) {
-    // Register a and b as one class (representative = a).  Strash often
-    // makes them identical, in which case there is no choice.
-    if (a == b) return;
-    if (out.repr.size() < net.size()) out.repr.resize(net.size(), kNullNode);
-    out.repr[a] = a;
-    out.repr[b] = a;
-  };
-
   for (NodeId id : src.topo_order()) {
     if (map[id] != kNullNode) continue;
     std::vector<NodeId> fanins;
@@ -48,9 +121,15 @@ ChoiceDecomposition tech_decompose_choices(const Network& src) {
     switch (src.kind(id)) {
       case NodeKind::Const0: map[id] = builder.make_const(false); break;
       case NodeKind::Const1: map[id] = builder.make_const(true); break;
-      case NodeKind::Inv: map[id] = builder.make_inv(fanins[0]); break;
+      // Strash can resolve a NAND/INV onto an earlier class's variant
+      // root; canonical() lifts such a hit to that class's anchor so
+      // consumers never dangle onto a non-anchor member.
+      case NodeKind::Inv:
+        map[id] = out.classes.canonical(builder.make_inv(fanins[0]));
+        break;
       case NodeKind::Nand2:
-        map[id] = builder.make_nand2(fanins[0], fanins[1]);
+        map[id] =
+            out.classes.canonical(builder.make_nand2(fanins[0], fanins[1]));
         break;
       case NodeKind::Logic: {
         const TruthTable& f = src.function(id);
@@ -61,24 +140,44 @@ ChoiceDecomposition tech_decompose_choices(const Network& src) {
         std::vector<std::string> vars;
         for (unsigned i = 0; i < f.num_vars(); ++i)
           vars.push_back("v" + std::to_string(i));
-        // Four variants: {positive SOP, inverted complement SOP} x
-        // {balanced, chain}.  Strash dedupes coinciding shapes.
-        Expr pos = truth_table_to_expr(f, vars);
-        Expr neg = Expr::make_not(truth_table_to_expr(~f, vars));
+        // Both phases feed every generator: positive SOP and the
+        // inverted complement SOP (the AOI/OAI-friendly form).
+        Expr phases[2] = {truth_table_to_expr(f, vars),
+                          Expr::make_not(truth_table_to_expr(~f, vars))};
         current_fanins = &fanins;
+        out.classes.begin_burst(static_cast<NodeId>(net.size()));
         NodeId first = kNullNode;
-        for (const Expr* e : {&pos, &neg}) {
-          for (DecompShape shape :
-               {DecompShape::Balanced, DecompShape::Chain}) {
-            NodeId v = static_cast<NodeId>(lower_expr(*e, shape, builder));
-            if (first == kNullNode)
-              first = v;
-            else
-              note_choice(first, v);
-          }
+        std::size_t emitted = 0;
+        auto lower_variant = [&](const Expr& e, DecompShape shape) {
+          if (emitted >= max_class) return;
+          NodeId v = static_cast<NodeId>(lower_expr(e, shape, builder));
+          if (first == kNullNode) first = v;
+          out.classes.add_member(v);
+          ++emitted;
+        };
+        for (const Expr& e : phases) {
+          if (gens & kChoiceGenBalanced) lower_variant(e, DecompShape::Balanced);
+          if (gens & kChoiceGenChain) lower_variant(e, DecompShape::Chain);
         }
+        if (gens & kChoiceGenAndOr) {
+          unsigned nv = std::min<unsigned>(f.num_vars(),
+                                           options.max_hoisted_vars);
+          for (const Expr& e : phases)
+            for (unsigned i = 0; i < nv; ++i)
+              lower_variant(hoist_var(e, vars[i]), DecompShape::Balanced);
+        }
+        // Consumers reference the class anchor (the last-id member):
+        // every structural reader then sits beyond the fold point, and
+        // the merged per-class cut/label state lands on the node the
+        // readers actually consult.  Without a class (single surviving
+        // variant) the first lowered root stands alone.
+        NodeId canon = out.classes.end_burst();
         current_fanins = nullptr;
-        map[id] = first;
+        DAGMAP_ASSERT(first != kNullNode);
+        // No class formed (single surviving variant): the lone root may
+        // still have strashed onto an earlier class's member, so it too
+        // goes through canonical().
+        map[id] = canon != kNullNode ? canon : out.classes.canonical(first);
         break;
       }
       case NodeKind::PrimaryInput:
@@ -92,17 +191,7 @@ ChoiceDecomposition tech_decompose_choices(const Network& src) {
                       map[src.fanins(src.latches()[i])[0]]);
   for (const Output& o : src.outputs()) net.add_output(map[o.node], o.name);
 
-  // Finalize class bookkeeping over the final node count.
-  out.repr.resize(net.size(), kNullNode);
-  for (NodeId n = 0; n < net.size(); ++n)
-    if (out.repr[n] == kNullNode) out.repr[n] = n;
-  out.members.assign(net.size(), {});
-  // Representative first, then other members in id order.
-  for (NodeId n = 0; n < net.size(); ++n)
-    if (out.repr[n] == n) out.members[n].push_back(n);
-  for (NodeId n = 0; n < net.size(); ++n)
-    if (out.repr[n] != n) out.members[out.repr[n]].push_back(n);
-
+  out.classes.finalize(net.size());
   DAGMAP_ASSERT(net.is_subject_graph());
   return out;
 }

@@ -7,20 +7,64 @@
 // "mapping graph"; the paper notes the technique is orthogonal to DAG
 // covering and that combining the two gives better results.
 //
-// This module implements the combination in its practical form: every
-// logic node is lowered with *both* association shapes (balanced and
-// chain), and structurally distinct roots are recorded as a *choice
-// class* — functionally equivalent signals the mapper may pick between.
-// (Matches do not cross choice boundaries, the same restriction ABC's
-// choice mapping has; classes still strictly enlarge the search space.)
+// This module lowers every logic node through several *variant
+// generators* and records structurally distinct roots as a choice class
+// (netlist/choice_classes.hpp) on the subject graph:
+//
+//   * balanced / chain — both association shapes of the two-level form,
+//     in both phases (positive SOP and inverted complement SOP);
+//   * AND-OR path restructuring (Brenner–Hermann, PAPERS.md) — for each
+//     input variable, a re-association that pulls every AND/OR path
+//     containing that variable onto the root, so a late-arriving signal
+//     crosses the fewest levels.  Arrival times are unknown at
+//     decomposition time, so one variant per (phase, variable) is
+//     offered and the labeler's class fold performs the "restructure the
+//     critical chain" selection implicitly.
+//
+// Structural dedup is the builder's strash (hash-consing): identical
+// lowerings collapse to one node and register no choice, so classes
+// stay small; `max_class_size` bounds the worst case.  Matches do not
+// cross choice boundaries — the same restriction ABC's choice mapping
+// has; classes still strictly enlarge the search space.
 #pragma once
 
-#include <vector>
+#include <optional>
+#include <string>
 
 #include "decomp/tech_decomp.hpp"
+#include "netlist/choice_classes.hpp"
 #include "netlist/network.hpp"
 
 namespace dagmap {
+
+/// Variant-generator selection bits for `tech_decompose_choices`.
+enum ChoiceGen : unsigned {
+  kChoiceGenBalanced = 1u << 0,  ///< minimum-depth association, both phases
+  kChoiceGenChain = 1u << 1,     ///< left-leaning association, both phases
+  kChoiceGenAndOr = 1u << 2,     ///< Brenner–Hermann path restructuring
+};
+inline constexpr unsigned kChoiceGenAll =
+    kChoiceGenBalanced | kChoiceGenChain | kChoiceGenAndOr;
+
+/// Knobs for the choice decomposition.
+struct ChoiceOptions {
+  /// OR of `ChoiceGen` bits.  At least one shape generator must be set
+  /// (balanced is forced in when the mask selects none, so a subject
+  /// always exists).
+  unsigned gens = kChoiceGenAll;
+  /// Upper bound on variants per class; further variants are dropped
+  /// deterministically (generator order).
+  unsigned max_class_size = 8;
+  /// Bound on hoisted variables per phase for the AND-OR generator
+  /// (variables beyond it — rare wide functions — get no restructured
+  /// variant).
+  unsigned max_hoisted_vars = 6;
+};
+
+/// Parses a `--choices[=gens]` style generator list: comma-separated
+/// names from {balanced, chain, andor, all}.  Empty input means all.
+/// Returns std::nullopt on an unknown name.
+std::optional<unsigned> parse_choice_gens(const std::string& text);
 
 /// A subject graph annotated with equivalence choices.
 struct ChoiceDecomposition {
@@ -28,21 +72,24 @@ struct ChoiceDecomposition {
   /// creation order is topological (fanins precede fanouts), so index
   /// order is a valid evaluation order.
   Network subject;
-  /// repr[n]: representative of n's choice class (repr[n] == n when n is
-  /// the representative or unclassed).
-  std::vector<NodeId> repr;
-  /// members[rep]: all nodes of the class (size >= 1), representative
-  /// first.  Indexed by representative id; empty for non-representatives.
-  std::vector<std::vector<NodeId>> members;
+  /// Class bookkeeping; consumers hand `&classes` to the mappers.
+  ChoiceClasses classes;
 
   /// Number of classes with more than one variant.
-  std::size_t num_choices() const;
+  std::size_t num_choices() const { return classes.num_choices(); }
+
+  /// Validates the pair: `classes.validate(subject)` — repr/members
+  /// mutual consistency, topological creation order, endpoints on class
+  /// anchors (see netlist/choice_classes.hpp).
+  void validate() const { classes.validate(subject); }
 };
 
 /// Decomposes `src` into a subject graph with choice classes: one class
-/// per logic node whose balanced and chain lowerings differ structurally.
-/// Primary outputs and latch D inputs initially reference the balanced
-/// variant.
-ChoiceDecomposition tech_decompose_choices(const Network& src);
+/// per logic node whose selected variant lowerings differ structurally.
+/// Primary outputs, latch D inputs, and downstream logic reference the
+/// class anchor (the last-created variant), so every structural reader
+/// of a class sits beyond its fold point.
+ChoiceDecomposition tech_decompose_choices(const Network& src,
+                                           const ChoiceOptions& options = {});
 
 }  // namespace dagmap

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <utility>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "core/dag_mapper.hpp"
 #include "core/parallel.hpp"
 #include "cutmap/cut_mapper.hpp"
+#include "decomp/choices.hpp"
 #include "decomp/tech_decomp.hpp"
 #include "io/blif.hpp"
 #include "libcache/json.hpp"
@@ -44,6 +46,11 @@ struct Request {
   /// Iterated load-aware mapping rounds (dagmap/load_rounds.hpp); both
   /// backends honor it.
   unsigned load_rounds = 0;
+  /// Choice-aware mapping: `"choices": true` (all generators) or a
+  /// comma list of generator names (decomp/choices.hpp); both backends
+  /// honor it.
+  bool choices = false;
+  unsigned choice_gens = kChoiceGenAll;
 };
 
 struct Slot {
@@ -128,6 +135,22 @@ bool parse_request(const std::string& line, const ServeOptions& sopt,
       if (load_rounds < 0 || load_rounds > 16)
         throw libcache::FormatError("bad \"load_rounds\" (want 0..16)");
       slot.req.load_rounds = static_cast<unsigned>(load_rounds);
+      if (const JsonValue* c = o->find("choices")) {
+        if (c->kind == JsonValue::Kind::Bool) {
+          slot.req.choices = c->boolean;
+        } else if (c->kind == JsonValue::Kind::String) {
+          std::optional<unsigned> gens = parse_choice_gens(c->string);
+          if (!gens)
+            throw libcache::FormatError(
+                "bad \"choices\" generator list " + json_quote(c->string) +
+                " (want balanced,chain,andor,all)");
+          slot.req.choices = true;
+          slot.req.choice_gens = *gens;
+        } else {
+          throw libcache::FormatError(
+              "\"choices\" must be a bool or a generator-list string");
+        }
+      }
     }
     return true;
   } catch (const std::exception& e) {
@@ -143,7 +166,21 @@ bool parse_request(const std::string& line, const ServeOptions& sopt,
 std::string handle_request(const Slot& slot) {
   const Request& req = slot.req;
   Network circuit = parse_blif(req.circuit);
-  Network subject = tech_decompose(circuit);
+  // Kept alive through the mapping call when choices are on: the option
+  // structs borrow `choice->classes`.
+  std::optional<ChoiceDecomposition> choice;
+  const ChoiceClasses* classes = nullptr;
+  Network subject;
+  if (req.choices) {
+    ChoiceOptions chopt;
+    chopt.gens = req.choice_gens;
+    choice = tech_decompose_choices(circuit, chopt);
+    choice->validate();
+    subject = choice->subject;
+    classes = &choice->classes;
+  } else {
+    subject = tech_decompose(circuit);
+  }
 
   MapResult result;
   if (req.cut_backend) {
@@ -156,6 +193,7 @@ std::string handle_request(const Slot& slot) {
     copt.num_threads = 1;
     copt.profile = req.profile;
     copt.load_rounds = req.load_rounds;
+    copt.choices = classes;
     copt.pattern_index = &slot.lib->index;
     // Per-request index build, seeded by the compiled bundle's stored
     // NPN classes (cheap: early-exiting transform search per gate), so
@@ -170,6 +208,7 @@ std::string handle_request(const Slot& slot) {
     mopt.num_threads = 1;
     mopt.profile = req.profile;
     mopt.load_rounds = req.load_rounds;
+    mopt.choices = classes;
     mopt.pattern_index = &slot.lib->index;
     result = dag_map(subject, slot.lib->library, mopt);
   }
@@ -198,6 +237,11 @@ std::string handle_request(const Slot& slot) {
   out += ", \"library\": " + json_quote(slot.lib->library.name());
   out += ", \"cache\": " + json_quote(slot.cache_source);
   if (req.cut_backend) out += ", \"backend\": \"cuts\"";
+  if (req.choices) {
+    out += ", \"choice_classes\": " + std::to_string(result.choice_classes);
+    out += ", \"choice_variants\": " + std::to_string(result.choice_variants);
+    out += ", \"choice_wins\": " + std::to_string(result.choice_wins);
+  }
   if (req.load_rounds > 0) {
     out += ", \"loaded_delay\": " + json_number(result.loaded_delay);
     out += ", \"loaded_delay_round0\": " +

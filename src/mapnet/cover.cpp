@@ -20,7 +20,14 @@ bool marks_as_needed(const Network& subject, NodeId n) {
 
 std::vector<std::uint8_t> mark_cover(
     const Network& subject, std::span<const std::optional<Match>> chosen) {
+  return mark_cover(subject, chosen, subject.topo_order());
+}
+
+std::vector<std::uint8_t> mark_cover(
+    const Network& subject, std::span<const std::optional<Match>> chosen,
+    std::span<const NodeId> order) {
   DAGMAP_ASSERT(chosen.size() == subject.size());
+  DAGMAP_ASSERT(order.size() == subject.size());
   std::vector<std::uint8_t> needed(subject.size(), 0);
   auto touch = [&](NodeId n) {
     if (marks_as_needed(subject, n)) needed[n] = 1;
@@ -29,9 +36,8 @@ std::vector<std::uint8_t> mark_cover(
   for (NodeId l : subject.latches()) touch(subject.fanins(l)[0]);
 
   // Reverse topological sweep: every marker of a node (a needed match
-  // root having it as a leaf) sits strictly later in topological order,
+  // root having it as a leaf) sits strictly later in the given order,
   // so one pass reaches the fixpoint.
-  const auto& order = subject.topo_order();
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     NodeId n = *it;
     if (!needed[n] || subject.is_source(n)) continue;

@@ -40,6 +40,17 @@ namespace dagmap {
 std::vector<std::uint8_t> mark_cover(
     const Network& subject, std::span<const std::optional<Match>> chosen);
 
+/// `mark_cover` sweeping a caller-provided topological order instead of
+/// the subject's Kahn order.  Choice covers need this: a selected match
+/// can read a class-best variant that is not a structural fanin of its
+/// root, so the only order under which every marker sits later in the
+/// sweep is node-id (creation) order of the choice subject.  `order`
+/// must list every node exactly once, match roots after their (possibly
+/// re-pointed) leaves.
+std::vector<std::uint8_t> mark_cover(
+    const Network& subject, std::span<const std::optional<Match>> chosen,
+    std::span<const NodeId> order);
+
 /// Builds the mapped netlist for a precomputed `needed` marking (from
 /// `mark_cover` or the partitioned equivalent): PIs and latch
 /// placeholders first, then one forward-topological sweep over the

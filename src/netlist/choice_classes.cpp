@@ -1,0 +1,145 @@
+#include "netlist/choice_classes.hpp"
+
+#include <algorithm>
+
+#include "netlist/assert.hpp"
+
+namespace dagmap {
+
+void ChoiceClasses::grow(std::size_t n) {
+  if (repr_.size() >= n) return;
+  std::size_t old = repr_.size();
+  repr_.resize(n);
+  anchor_.resize(n);
+  class_of_.resize(n, kNoClass);
+  for (std::size_t i = old; i < n; ++i) {
+    repr_[i] = static_cast<NodeId>(i);
+    anchor_[i] = static_cast<NodeId>(i);
+  }
+}
+
+void ChoiceClasses::begin_burst(NodeId first_new_node) {
+  DAGMAP_ASSERT_MSG(burst_start_ == kNullNode, "nested choice burst");
+  burst_start_ = first_new_node;
+  burst_members_.clear();
+}
+
+void ChoiceClasses::add_member(NodeId root) {
+  DAGMAP_ASSERT_MSG(burst_start_ != kNullNode, "member outside a burst");
+  if (root < burst_start_) {
+    // The variant strashed entirely onto pre-burst structure: it cannot
+    // be a member (the anchor would not bound its cone), so it is
+    // skipped.  A root that strashed onto an earlier *sibling's*
+    // interior is still a fresh burst node and is kept — strash proved
+    // that interior computes the class function, so it is a valid
+    // variant in its own right.
+    return;
+  }
+  if (std::find(burst_members_.begin(), burst_members_.end(), root) !=
+      burst_members_.end())
+    return;
+  burst_members_.push_back(root);
+}
+
+NodeId ChoiceClasses::end_burst() {
+  DAGMAP_ASSERT_MSG(burst_start_ != kNullNode, "end_burst without begin");
+  NodeId start = burst_start_;
+  burst_start_ = kNullNode;
+  if (burst_members_.size() < 2) return kNullNode;
+
+  // Strash can hand a later variant the id of an earlier sibling's
+  // interior node, so member order is creation order but not id order.
+  std::sort(burst_members_.begin(), burst_members_.end());
+  NodeId anchor = burst_members_.back();
+  grow(anchor + 1);
+  std::uint32_t cls = static_cast<std::uint32_t>(classes_.size());
+  NodeId rep = burst_members_.front();
+  for (NodeId m : burst_members_) {
+    DAGMAP_ASSERT_MSG(class_of_[m] == kNoClass, "node in two choice classes");
+    class_of_[m] = cls;
+    repr_[m] = rep;
+  }
+  // The anchor map spans the whole burst id range: interior nodes of the
+  // variant cones certify match leaves reached through strash-shared
+  // structure, not just the member roots.
+  for (NodeId n = start; n <= anchor; ++n) anchor_[n] = anchor;
+  classes_.push_back(burst_members_);
+  num_variants_ += burst_members_.size() - 1;
+  // The anchor is the class's canonical node: the decomposer points
+  // consumers and endpoints at it, so every structural reader of the
+  // class is scheduled strictly after the fold.
+  return anchor;
+}
+
+void ChoiceClasses::finalize(std::size_t num_nodes) {
+  DAGMAP_ASSERT_MSG(burst_start_ == kNullNode, "finalize inside a burst");
+  grow(num_nodes);
+}
+
+void ChoiceClasses::validate(const Network& subject) const {
+  DAGMAP_ASSERT_MSG(repr_.size() == subject.size() &&
+                        anchor_.size() == subject.size() &&
+                        class_of_.size() == subject.size(),
+                    "choice bookkeeping not finalized to the subject size");
+
+  // Topological creation order: the whole anchor-scheduling contract
+  // rests on every structural edge pointing id-forward.
+  for (NodeId n = 0; n < subject.size(); ++n) {
+    if (subject.is_source(n)) continue;
+    for (NodeId f : subject.fanins(n))
+      DAGMAP_ASSERT_MSG(f < n, "subject not in topological creation order");
+  }
+
+  std::vector<std::uint8_t> member_seen(subject.size(), 0);
+  for (std::uint32_t c = 0; c < classes_.size(); ++c) {
+    const std::vector<NodeId>& mem = classes_[c];
+    DAGMAP_ASSERT_MSG(mem.size() >= 2, "choice class with a single member");
+    for (std::size_t i = 0; i < mem.size(); ++i) {
+      NodeId m = mem[i];
+      DAGMAP_ASSERT_MSG(m < subject.size(), "class member out of range");
+      DAGMAP_ASSERT_MSG(!subject.is_source(m), "source in a choice class");
+      DAGMAP_ASSERT_MSG(!member_seen[m], "node in two choice classes");
+      member_seen[m] = 1;
+      DAGMAP_ASSERT_MSG(i == 0 || mem[i - 1] < m,
+                        "class members not ascending");
+      DAGMAP_ASSERT_MSG(class_of_[m] == c, "class_of disagrees with members");
+      DAGMAP_ASSERT_MSG(repr_[m] == mem.front(),
+                        "repr is not the first member");
+      DAGMAP_ASSERT_MSG(anchor_[m] == mem.back(),
+                        "member anchor is not the last member");
+    }
+  }
+  for (NodeId n = 0; n < subject.size(); ++n) {
+    if (member_seen[n]) continue;
+    DAGMAP_ASSERT_MSG(repr_[n] == n, "unclassed node with a foreign repr");
+    DAGMAP_ASSERT_MSG(class_of_[n] == kNoClass,
+                      "unclassed node with a class index");
+    DAGMAP_ASSERT_MSG(anchor_[n] >= n, "anchor below its node");
+    if (anchor_[n] != n) {
+      // Burst-interior node: its anchor must be a real class anchor.
+      NodeId a = anchor_[n];
+      DAGMAP_ASSERT_MSG(a < subject.size() && member_seen[a] &&
+                            anchor_[a] == a,
+                        "interior anchor is not a class anchor");
+    }
+  }
+
+  // Endpoints reference class anchors, never a dangling non-canonical
+  // variant: the decomposer points POs and latch D inputs at the anchor,
+  // and the mapper's cover-time redirect is the only thing allowed to
+  // move them (onto the class-best member, checked by the mapper).
+  for (const Output& o : subject.outputs()) {
+    NodeId d = o.node;
+    if (!members(d).empty())
+      DAGMAP_ASSERT_MSG(d == anchor(d),
+                        "output dangling onto a non-anchor variant");
+  }
+  for (NodeId l : subject.latches()) {
+    NodeId d = subject.fanins(l)[0];
+    if (!members(d).empty())
+      DAGMAP_ASSERT_MSG(d == anchor(d),
+                        "latch D dangling onto a non-anchor variant");
+  }
+}
+
+}  // namespace dagmap

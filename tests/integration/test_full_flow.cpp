@@ -9,8 +9,8 @@
 //   * the flow is deterministic.
 #include <gtest/gtest.h>
 
-#include "core/choice_map.hpp"
 #include "dagmap/dagmap.hpp"
+#include "decomp/choices.hpp"
 #include "fanout/buffering.hpp"
 #include "mapnet/write.hpp"
 
@@ -73,9 +73,12 @@ TEST_P(FullFlow, OptionsPreserveCorrectness) {
   EXPECT_TRUE(check_equivalence(sg, r2.netlist.to_network()).equivalent);
 
   ChoiceDecomposition c = tech_decompose_choices(b.network);
-  MapResult r3 = dag_map_choices(c, lib);
+  c.validate();
+  MapResult r3 = dag_map(c.subject, lib, {.choices = &c.classes});
   EXPECT_TRUE(check_equivalence(b.network, r3.netlist.to_network()).equivalent);
-  EXPECT_LE(r3.optimal_delay, dag_map(sg, lib).optimal_delay + 1e-9);
+  // Guaranteed dominance: same subject, choices off — the per-class
+  // pricing only ever lowers a leaf price, never raises one.
+  EXPECT_LE(r3.optimal_delay, dag_map(c.subject, lib).optimal_delay + 1e-9);
 }
 
 TEST_P(FullFlow, BufferingAndWritersCompose) {

@@ -10,7 +10,17 @@
 //                             linear or NLDM timing collapsed to
 //                             block+slope; see io/liberty.hpp)
 //   --lib44 <1|2|3>           use a built-in 44-family library instead
-//   --mapper <dag|tree|choice> covering algorithm   (default: dag)
+//   --mapper <dag|tree>       covering algorithm    (default: dag)
+//   --choices[=gens]          decompose with choice classes (Lehman–
+//                             Watanabe): every logic node is lowered
+//                             through several structural variants and
+//                             the mapper picks per class.  `gens` is a
+//                             comma list of balanced,chain,andor (or
+//                             all, the default).  Works with both
+//                             backends; delay is never worse than the
+//                             single-structure subject.  (--mapper
+//                             choice is the legacy spelling of
+//                             --choices with the structural backend.)
 //   --backend <structural|cuts> match/candidate engine (default:
 //                             structural).  "cuts" maps with the
 //                             priority-cut Boolean engine (src/cutmap/):
@@ -74,7 +84,7 @@
 #include <sstream>
 #include <string>
 
-#include "core/choice_map.hpp"
+#include "decomp/choices.hpp"
 #include "obs/obs.hpp"
 #include "core/stats.hpp"
 #include "dagmap/dagmap.hpp"
@@ -97,6 +107,8 @@ struct CliOptions {
   int lib44 = 0;
   std::string mapper = "dag";
   std::string backend = "structural";
+  bool choices = false;
+  unsigned choice_gens = kChoiceGenAll;
   unsigned cut_size = 4;
   unsigned cut_count = 8;
   unsigned rounds = 1;
@@ -128,7 +140,8 @@ struct CliOptions {
   std::fprintf(stderr,
                "usage: dagmap_cli [--library F.genlib | --liberty F.lib | "
                "--lib44 N] "
-               "[--mapper dag|tree|choice] [--backend structural|cuts] "
+               "[--mapper dag|tree] [--choices[=gens]] "
+               "[--backend structural|cuts] "
                "[--cut-size N] [--cut-count N] [--rounds N] "
                "[--delay-factor X] [--load-rounds N] "
                "[--match standard|extended] "
@@ -169,6 +182,17 @@ CliOptions parse_args(int argc, char** argv) {
       o.load_rounds = std::stoul(a.substr(std::strlen("--load-rounds=")));
     else if (a == "--lib44") o.lib44 = std::stoi(next());
     else if (a == "--mapper") o.mapper = next();
+    else if (a == "--choices") o.choices = true;
+    else if (a.rfind("--choices=", 0) == 0) {
+      o.choices = true;
+      std::string gens = a.substr(std::strlen("--choices="));
+      std::optional<unsigned> g = parse_choice_gens(gens);
+      if (!g)
+        usage(("bad --choices generator list `" + gens +
+               "` (want balanced,chain,andor,all)")
+                  .c_str());
+      o.choice_gens = *g;
+    }
     else if (a == "--backend") o.backend = next();
     else if (a.rfind("--backend=", 0) == 0)
       o.backend = a.substr(std::strlen("--backend="));
@@ -222,10 +246,20 @@ CliOptions parse_args(int argc, char** argv) {
   if (o.delay_factor < 1.0) usage("bad --delay-factor (want >= 1.0)");
   if (!o.liberty_path.empty() && (!o.library_path.empty() || o.lib44 > 0))
     usage("--liberty excludes --library and --lib44");
-  if (o.load_rounds > 0 && (o.mapper == "tree" || o.mapper == "choice"))
+  if (o.mapper == "choice") {
+    // Legacy spelling: the choice flow is now the default mapper with
+    // the choice-annotated subject.
+    o.mapper = "dag";
+    o.choices = true;
+  }
+  if (o.load_rounds > 0 && o.mapper == "tree")
     usage("--load-rounds applies to the dag/cuts mapping flows");
   if (o.backend == "cuts" && o.mapper != "dag")
     usage("--backend=cuts applies to the default --mapper dag flow");
+  if (o.choices && o.mapper != "dag")
+    usage("--choices applies to the dag/cuts mapping flows");
+  if (o.choices && o.lut_k > 0)
+    usage("--choices does not apply to the LUT flow");
   if (o.circuit_path.empty() && o.save_lib_path.empty() && !o.serve)
     usage("no circuit file");
   if (o.serve && !o.circuit_path.empty())
@@ -431,31 +465,43 @@ int main(int argc, char** argv) try {
 
   MapResult result;
   Network subject;
-  if (opt.mapper == "choice") {
-    ChoiceDecomposition c = tech_decompose_choices(circuit);
-    subject = c.subject;
-    result = dag_map_choices(c, lib, mopt);
+  // Kept alive through the mapping call: DagMapOptions::choices /
+  // CutMapOptions::choices borrow `choice->classes`.
+  std::optional<ChoiceDecomposition> choice;
+  if (opt.choices) {
+    obs::Scope scope("decompose.choices");
+    ChoiceOptions chopt;
+    chopt.gens = opt.choice_gens;
+    choice = tech_decompose_choices(circuit, chopt);
+    choice->validate();
+    subject = choice->subject;  // copy preserves node ids, classes stay valid
+    mopt.choices = &choice->classes;
   } else {
     subject = tech_decompose(circuit);
-    if (opt.mapper == "dag" && opt.backend == "cuts") {
-      CutMapOptions copt;
-      copt.cut_size = opt.cut_size;
-      copt.cut_count = opt.cut_count;
-      copt.rounds = opt.rounds;
-      copt.delay_factor = opt.delay_factor;
-      copt.match_class = mopt.match_class;
-      copt.num_threads = opt.threads;
-      copt.profile = opt.profile;
-      copt.partition_mode = mopt.partition_mode;
-      copt.partition_window = mopt.partition_window;
-      copt.pattern_index = mopt.pattern_index;
-      copt.load_rounds = opt.load_rounds;
-      result = cut_map(subject, lib, copt);
-    } else if (opt.mapper == "dag") result = dag_map(subject, lib, mopt);
-    else if (opt.mapper == "tree") result = tree_map(subject, lib);
-    else usage("bad --mapper value");
   }
+  if (opt.mapper == "dag" && opt.backend == "cuts") {
+    CutMapOptions copt;
+    copt.cut_size = opt.cut_size;
+    copt.cut_count = opt.cut_count;
+    copt.rounds = opt.rounds;
+    copt.delay_factor = opt.delay_factor;
+    copt.match_class = mopt.match_class;
+    copt.num_threads = opt.threads;
+    copt.profile = opt.profile;
+    copt.partition_mode = mopt.partition_mode;
+    copt.partition_window = mopt.partition_window;
+    copt.pattern_index = mopt.pattern_index;
+    copt.load_rounds = opt.load_rounds;
+    copt.choices = mopt.choices;
+    result = cut_map(subject, lib, copt);
+  } else if (opt.mapper == "dag") result = dag_map(subject, lib, mopt);
+  else if (opt.mapper == "tree") result = tree_map(subject, lib);
+  else usage("bad --mapper value");
   std::printf("subject graph: %zu internal nodes\n", subject.num_internal());
+  if (opt.choices)
+    std::printf(
+        "choices: %zu classes, %zu extra variants, %zu folds won\n",
+        result.choice_classes, result.choice_variants, result.choice_wins);
   if (result.partitioned)
     std::printf(
         "partitioned: %zu partitions in %zu waves, %zu boundary edges, "

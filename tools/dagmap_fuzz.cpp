@@ -10,8 +10,10 @@
 // Extended <= Standard, thread determinism, supergate dominance — the
 // supergate-augmented library never maps slower than the base library —
 // the backend cross-check: the priority-cut engine never maps slower
-// than the structural mapper — and the load-rounds bound: the iterated
-// load-aware flow never measures worse than the load-oblivious round 0;
+// than the structural mapper — the load-rounds bound: the iterated
+// load-aware flow never measures worse than the load-oblivious round 0
+// — and choice dominance: mapping the choice-annotated subject is
+// never worse than mapping it with choices off, on both backends;
 // see check/fuzz_pipeline.hpp).
 // On a violation with --shrink, a delta-debugging pass minimizes the
 // instance and writes repro.blif + repro.genlib plus the replay command.
@@ -37,6 +39,7 @@ struct Args {
   bool lib_cache_only = false;
   bool backend_cross_only = false;
   bool load_rounds_only = false;
+  bool choices_only = false;
   std::string out_dir = ".";
   std::string replay_blif, replay_genlib;
   unsigned min_nodes = 8;
@@ -49,7 +52,7 @@ int usage() {
       "usage: dagmap_fuzz [--seeds N] [--seed S] [--min-nodes N] "
       "[--max-nodes N] [--shrink]\n"
       "                   [--inject-bug] [--lib-cache] [--backend-cross] "
-      "[--load-rounds]\n"
+      "[--load-rounds] [--choices]\n"
       "                   [--out DIR]\n"
       "       dagmap_fuzz --replay circuit.blif library.genlib\n");
   return 2;
@@ -81,6 +84,14 @@ FuzzOptions fuzz_options(const Args& args) {
     opt.inject_load_bug = args.inject_bug;
     opt.inject_label_bug = false;
   }
+  // --choices: restrict to the choice-dominance bound and equivalence
+  // (invariant #11); --inject-bug then corrupts the choice-mapped delay
+  // instead of the labels.
+  if (args.choices_only) {
+    opt.invariants = kFuzzChoiceDominance;
+    opt.inject_choice_bug = args.inject_bug;
+    opt.inject_label_bug = false;
+  }
   return opt;
 }
 
@@ -109,10 +120,11 @@ void write_repro(const Args& args, const Network& circuit,
   write_blif_file(circuit, blif_path);
   std::ofstream(lib_path) << library_text;
   std::printf("repro written: %s %s\n", blif_path.c_str(), lib_path.c_str());
-  std::printf("replay with:   dagmap_fuzz%s%s%s --replay %s %s\n",
+  std::printf("replay with:   dagmap_fuzz%s%s%s%s --replay %s %s\n",
               args.inject_bug ? " --inject-bug" : "",
               args.backend_cross_only ? " --backend-cross" : "",
               args.load_rounds_only ? " --load-rounds" : "",
+              args.choices_only ? " --choices" : "",
               blif_path.c_str(), lib_path.c_str());
 }
 
@@ -157,6 +169,8 @@ int main(int argc, char** argv) try {
       args.backend_cross_only = true;
     } else if (a == "--load-rounds") {
       args.load_rounds_only = true;
+    } else if (a == "--choices") {
+      args.choices_only = true;
     } else if (a == "--replay") {
       const char* b = value();
       const char* g = value();
